@@ -1,0 +1,55 @@
+//! Criterion bench of a full two-site DMRG optimization step (the unit the
+//! paper benchmarks) on the spin system, per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmrg::{DavidsonOptions, Dmrg, Environments, SweepParams};
+use tt_bench::{grow_state, System};
+use tt_blocks::Algorithm;
+use tt_dist::Executor;
+
+fn bench_dmrg_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dmrg_middle_step");
+    g.sample_size(10);
+    let lat = System::Spins.lattice(4, 3);
+    let warm = grow_state(System::Spins, &lat, 24);
+    let exec = Executor::local();
+    let params = SweepParams {
+        max_m: 24,
+        cutoff: 1e-12,
+        davidson: DavidsonOptions {
+            max_iter: 2,
+            max_subspace: 2,
+            tol: 1e-12,
+            seed: 3,
+        },
+        noise: 0.0,
+    };
+    for algo in [
+        Algorithm::List,
+        Algorithm::SparseDense,
+        Algorithm::SparseSparse,
+    ] {
+        g.bench_function(algo.to_string(), |bench| {
+            bench.iter_batched(
+                || {
+                    let mut mps = warm.mps.clone();
+                    mps.canonicalize(&exec, 0).unwrap();
+                    let envs =
+                        Environments::initialize(&exec, algo, &mps, &warm.mpo).unwrap();
+                    (mps, envs)
+                },
+                |(mut mps, mut envs)| {
+                    let driver = Dmrg::new(&exec, algo, &warm.mpo);
+                    driver
+                        .optimize_bond(&mut mps, &mut envs, 0, &params, true)
+                        .unwrap()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dmrg_step);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the local kernels: GEMM, transpose, einsum,
+//! sparse contraction — the building blocks whose throughput sets the
+//! roofline calibration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tt_tensor::{einsum, gemm_f64, DenseTensor, SparseTensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DenseTensor::<f64>::random([n, n], &mut rng);
+        let b = DenseTensor::<f64>::random([n, n], &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| gemm_f64(&a, &b).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpose");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let t3 = DenseTensor::<f64>::random([48, 32, 48], &mut rng);
+    g.bench_function("order3_rotate", |bench| {
+        bench.iter(|| t3.permute(&[2, 0, 1]).unwrap());
+    });
+    let t2 = DenseTensor::<f64>::random([512, 512], &mut rng);
+    g.bench_function("matrix_512", |bench| {
+        bench.iter(|| t2.permute(&[1, 0]).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_einsum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("einsum");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    // the DMRG environment-extension contraction shape
+    let l = DenseTensor::<f64>::random([48, 6, 48], &mut rng);
+    let t = DenseTensor::<f64>::random([48, 2, 48], &mut rng);
+    g.bench_function("env_extend", |bench| {
+        bench.iter(|| einsum("bkc,cqf->bkqf", &l, &t).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let dense = DenseTensor::<f64>::random([128, 128], &mut rng);
+    let sp = SparseTensor::from_dense(&dense, 0.7); // ~30% fill
+    let b = DenseTensor::<f64>::random([128, 64], &mut rng);
+    g.bench_function("spmm_128", |bench| {
+        bench.iter(|| sp.contract_dense("ik,kj->ij", &b).unwrap());
+    });
+    let sp2 = SparseTensor::from_dense(&dense, 0.7);
+    g.bench_function("spgemm_128", |bench| {
+        bench.iter(|| sp.contract_sparse("ik,kj->ij", &sp2).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_transpose, bench_einsum, bench_sparse);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **output-sparsity masking** in the sparse-sparse algorithm (the
+//!    paper's pre-computed sparsity feature) — result sizes with and
+//!    without the mask;
+//! 2. **distributed-SVD strategy** — TSQR vs gathered Householder QR on a
+//!    tall-skinny panel;
+//! 3. **SUMMA block size** — communication volume vs panel width.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tt_bench::Table;
+use tt_blocks::{contract, Algorithm, Arrow, BlockSparseTensor, QnIndex, QN};
+use tt_dist::{tsqr, Comm, CostTracker, DistMatrix, ExecMode, Executor, Machine};
+use tt_tensor::DenseTensor;
+
+fn comm(p: usize) -> Comm {
+    let tracker = Arc::new(Mutex::new(CostTracker::new(Machine::blue_waters(16), p)));
+    Comm::new(p, ExecMode::Sequential, tracker)
+}
+
+fn main() {
+    println!("=== Ablation 1: output-sparsity masking (sparse-sparse) ===\n");
+    // block tensors with parity-compatible spectra
+    let even: Vec<(QN, usize)> = [(0, 8), (2, 6), (-2, 6), (4, 3), (-4, 3)]
+        .iter()
+        .map(|&(q, d)| (QN::one(q), d))
+        .collect();
+    let odd: Vec<(QN, usize)> = [(1, 7), (-1, 7), (3, 4), (-3, 4)]
+        .iter()
+        .map(|&(q, d)| (QN::one(q), d))
+        .collect();
+    let spin = vec![(QN::one(1), 1), (QN::one(-1), 1)];
+    let mut rng = StdRng::seed_from_u64(21);
+    let a = BlockSparseTensor::random(
+        vec![
+            QnIndex::new(Arrow::In, even.clone()),
+            QnIndex::new(Arrow::In, spin.clone()),
+            QnIndex::new(Arrow::Out, odd.clone()),
+        ],
+        QN::zero(1),
+        &mut rng,
+    );
+    let b = BlockSparseTensor::random(
+        vec![
+            QnIndex::new(Arrow::In, odd),
+            QnIndex::new(Arrow::In, spin),
+            QnIndex::new(Arrow::Out, even),
+        ],
+        QN::zero(1),
+        &mut rng,
+    );
+    let exec = Executor::local();
+    let spec = "isj,jtk->istk";
+    let masked = contract(&exec, Algorithm::SparseSparse, spec, &a, &b).unwrap();
+    // unmasked: raw flat contraction, then re-blocked
+    let a_flat = a.to_flat_sparse();
+    let b_flat = b.to_flat_sparse();
+    let unmasked = exec.contract_ss(spec, &a_flat, &b_flat, None).unwrap();
+    let mut t = Table::new(&["variant", "result nnz", "result blocks"]);
+    t.row(vec![
+        "masked (QN-precomputed)".into(),
+        masked.to_flat_sparse().nnz().to_string(),
+        masked.n_blocks().to_string(),
+    ]);
+    t.row(vec![
+        "unmasked".into(),
+        unmasked.nnz().to_string(),
+        "-".into(),
+    ]);
+    t.print();
+    println!(
+        "\nThe mask bounds intermediate memory exactly to the symmetry-allowed\n\
+         pattern — 'knowledge of quantum number labels allows for pre-computation\n\
+         of the output sparsity … to control memory consumption'.\n"
+    );
+
+    println!("=== Ablation 2: TSQR vs gathered QR (tall-skinny panel) ===\n");
+    let mut t2 = Table::new(&["method", "ranks", "supersteps", "bytes critical", "ortho err"]);
+    let mut rng = StdRng::seed_from_u64(22);
+    let a_tall = DenseTensor::<f64>::random([256, 8], &mut rng);
+    for p in [2usize, 4, 8] {
+        let c = comm(p);
+        let (q, _r) = tsqr(&a_tall, &c).unwrap();
+        let qtq = tt_tensor::gemm(&q, tt_tensor::Layout::Transposed, &q, tt_tensor::Layout::Normal)
+            .unwrap();
+        let err = qtq.max_diff(&DenseTensor::eye(8)).unwrap();
+        let tr = c.tracker().lock();
+        t2.row(vec![
+            "TSQR".into(),
+            p.to_string(),
+            tr.supersteps.to_string(),
+            tr.bytes_critical.to_string(),
+            format!("{err:.2e}"),
+        ]);
+    }
+    {
+        // gathered: all data to one rank, local QR — bytes scale with the
+        // full panel instead of n² per tree level
+        let c = comm(8);
+        c.charge_p2p((256 * 8 * 8) as u64);
+        let (q, _r) = tt_linalg::qr_thin(&a_tall).unwrap();
+        let qtq = tt_tensor::gemm(&q, tt_tensor::Layout::Transposed, &q, tt_tensor::Layout::Normal)
+            .unwrap();
+        let err = qtq.max_diff(&DenseTensor::eye(8)).unwrap();
+        let tr = c.tracker().lock();
+        t2.row(vec![
+            "gather+QR".into(),
+            "8".into(),
+            tr.supersteps.to_string(),
+            tr.bytes_critical.to_string(),
+            format!("{err:.2e}"),
+        ]);
+    }
+    t2.print();
+    println!();
+
+    println!("=== Ablation 3: SUMMA panel width vs communication ===\n");
+    let mut t3 = Table::new(&["block", "supersteps", "bytes critical"]);
+    let mut rng = StdRng::seed_from_u64(23);
+    let a = DenseTensor::<f64>::random([64, 64], &mut rng);
+    let b = DenseTensor::<f64>::random([64, 64], &mut rng);
+    for block in [4usize, 8, 16, 32] {
+        let c = comm(4);
+        let da = DistMatrix::from_global(&a, &c, block).unwrap();
+        let db = DistMatrix::from_global(&b, &c, block).unwrap();
+        let _ = da.summa(&db, &c).unwrap();
+        let tr = c.tracker().lock();
+        t3.row(vec![
+            block.to_string(),
+            tr.supersteps.to_string(),
+            tr.bytes_critical.to_string(),
+        ]);
+    }
+    t3.print();
+    println!(
+        "\nWider panels trade fewer supersteps (latency) for the same asymptotic\n\
+         volume — the same latency/bandwidth dial as the list vs sparse choice."
+    );
+}

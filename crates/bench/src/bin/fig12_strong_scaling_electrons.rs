@@ -1,0 +1,40 @@
+//! Figure 12: electrons strong scaling of the sparse-sparse algorithm at
+//! m = 8192 on Blue Waters and Stampede2. The paper sees nearly ideal (or
+//! better) speedup at this size, with the sparse format requiring ≥4 nodes
+//! on Stampede2 (vs 2 on Blue Waters) for memory.
+
+use tt_bench::{model_step, System, Table};
+use tt_blocks::Algorithm;
+use tt_dist::Machine;
+
+fn main() {
+    let m = 8192;
+    println!("=== Fig. 12: electrons strong scaling, sparse-sparse, m={m} ===\n");
+    let mut t = Table::new(&["machine", "nodes", "time (s)", "speedup", "efficiency", "mem/node GB"]);
+    for (machine, nodes0, node_list) in [
+        (Machine::blue_waters(16), 2usize, vec![2usize, 4, 8]),
+        (Machine::stampede2(64), 4usize, vec![4usize, 8, 16]),
+    ] {
+        let t0 =
+            model_step(System::Electrons, Algorithm::SparseSparse, &machine, nodes0, m).total();
+        for nodes in node_list {
+            let p = model_step(System::Electrons, Algorithm::SparseSparse, &machine, nodes, m);
+            let speedup = t0 / p.total();
+            let eff = speedup / (nodes as f64 / nodes0 as f64);
+            t.row(vec![
+                machine.name.clone(),
+                nodes.to_string(),
+                format!("{:.4}", p.total()),
+                format!("{speedup:.2}"),
+                format!("{eff:.3}"),
+                format!("{:.1}", p.mem_per_node / 1e9),
+            ]);
+        }
+    }
+    t.print();
+    let _ = t.write_csv("fig12");
+    println!(
+        "\npaper shape checks: near-ideal strong-scaling speedup at m = 8192\n\
+         for the sparse-sparse algorithm on both machines."
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 9: spins strong scaling at m = 8192 on Blue Waters (list).
+//!
+//! Speedup and efficiency vs node count at fixed problem size. The paper
+//! finds ideal speedup only for the first doubling (2³ → 2⁴ nodes), with
+//! efficiency falling to ~60% after another doubling.
+
+use tt_bench::{model_step, System, Table};
+use tt_blocks::Algorithm;
+use tt_dist::Machine;
+
+fn main() {
+    let m = 8192;
+    println!("=== Fig. 9: strong scaling, spins, m = {m}, Blue Waters ===\n");
+    let mut t = Table::new(&["ppn", "nodes", "time (s)", "speedup", "efficiency"]);
+    for ppn in [16usize, 32] {
+        let machine = Machine::blue_waters(ppn);
+        let nodes0 = 8usize;
+        let t0 = model_step(System::Spins, Algorithm::List, &machine, nodes0, m).total();
+        for nodes in [8usize, 16, 32, 64] {
+            let ti = model_step(System::Spins, Algorithm::List, &machine, nodes, m).total();
+            let speedup = t0 / ti;
+            let eff = speedup / (nodes as f64 / nodes0 as f64);
+            t.row(vec![
+                ppn.to_string(),
+                nodes.to_string(),
+                format!("{ti:.4}"),
+                format!("{speedup:.2}"),
+                format!("{eff:.3}"),
+            ]);
+        }
+    }
+    t.print();
+    let _ = t.write_csv("fig9");
+    println!(
+        "\npaper shape checks: near-ideal speedup for the first doubling, then\n\
+         saturation — efficiency around or below ~60% by two doublings."
+    );
+}

@@ -1,0 +1,87 @@
+//! Table II: complexity of the three algorithms, evaluated from the
+//! empirical block model and cross-checked against live flop counts.
+
+use tt_bench::{grow_state, measure_middle_step, System, Table};
+use tt_blocks::Algorithm;
+use tt_dist::Executor;
+
+fn main() {
+    println!("=== Table II: algorithm complexity (block model) ===\n");
+    let algos = [
+        Algorithm::List,
+        Algorithm::SparseSparse,
+        Algorithm::SparseDense,
+    ];
+    for system in [System::Spins, System::Electrons] {
+        let model = system.block_model();
+        let k = system.paper_k();
+        println!(
+            "--- {system:?}: q = {}, r = {}, d = {}, k = {k} ---",
+            model.q, model.r, model.d
+        );
+        let mut t = Table::new(&[
+            "algorithm",
+            "m",
+            "blocks",
+            "Davidson flops",
+            "Davidson mem (words)",
+            "BSP supersteps",
+            "BSP words (p=64)",
+        ]);
+        for &m in &[2048usize, 8192, 32768] {
+            for algo in algos {
+                t.row(vec![
+                    algo.to_string(),
+                    m.to_string(),
+                    model.n_blocks(m).to_string(),
+                    format!("{:.3e}", model.davidson_flops(algo, m, k)),
+                    format!("{:.3e}", model.davidson_memory(algo, m, k)),
+                    format!("{:.0}", model.bsp_supersteps(algo, m)),
+                    format!("{:.3e}", model.bsp_comm(algo, m, k, 64)),
+                ]);
+            }
+        }
+        t.print();
+        let _ = t.write_csv(&format!("table2_{system:?}"));
+        println!();
+    }
+
+    println!("=== live cross-check: counted flops scale like the model ===\n");
+    // two live middle-step measurements at m and 2m: the flop ratio should
+    // approach the model's (the model scales with the cube of the block
+    // size plus subleading environment terms)
+    let mut t = Table::new(&["system", "m", "counted flops", "ratio", "model ratio"]);
+    for system in [System::Spins] {
+        let lat = system.default_lattice();
+        let exec = Executor::local();
+        let mut prev: Option<u64> = None;
+        for m in [16usize, 32, 64] {
+            let warm = grow_state(system, &lat, m);
+            let step = measure_middle_step(&warm, &exec, Algorithm::List);
+            let ratio = prev
+                .map(|p| format!("{:.2}", step.flops as f64 / p as f64))
+                .unwrap_or_else(|| "-".into());
+            let model = system.block_model();
+            let k = warm.mpo.max_bond_dim();
+            let mr = if prev.is_some() {
+                format!(
+                    "{:.2}",
+                    model.davidson_flops(Algorithm::List, m, k)
+                        / model.davidson_flops(Algorithm::List, m / 2, k)
+                )
+            } else {
+                "-".into()
+            };
+            t.row(vec![
+                format!("{system:?}"),
+                m.to_string(),
+                step.flops.to_string(),
+                ratio,
+                mr,
+            ]);
+            prev = Some(step.flops);
+        }
+    }
+    t.print();
+    let _ = t.write_csv("table2_live");
+}

@@ -1,0 +1,101 @@
+//! `tt-bench` — the harness that regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure (see the
+//! experiment index in `DESIGN.md`). Two kinds of data series appear:
+//!
+//! * **live** — actual DMRG executions at laptop-scale bond dimensions,
+//!   run through the simulated distributed runtime with full BSP cost
+//!   accounting;
+//! * **model** — the calibrated Table II complexity model evaluated at the
+//!   paper's bond dimensions (m = 2¹¹ … 2¹⁵), which no single core can run
+//!   live.
+//!
+//! The paper's observable claims are *shapes* (who wins, crossover
+//! locations, scaling trends); both series expose them.
+
+pub mod scaling;
+pub mod workload;
+
+pub use scaling::{
+    baseline_rate, model_step, rel_efficiency, ModelPoint, PAPER_MS,
+};
+pub use workload::{grow_state, measure_middle_step, InstrumentedStep, System, WarmState};
+
+/// Simple fixed-width table printer for figure binaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                out.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Also write as CSV into `bench_results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all("bench_results")?;
+        let mut s = self.headers.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        std::fs::write(format!("bench_results/{name}.csv"), s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

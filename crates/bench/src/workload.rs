@@ -1,0 +1,218 @@
+//! Workload generation: warm DMRG states and instrumented middle-bond
+//! optimization steps, mirroring the paper's benchmarking protocol
+//! ("instead of timing all sites, we optimize the middle 3 columns …
+//! reporting the timing of the middle column"; electrons: "a single DMRG
+//! step (the 15th and 16th sites)").
+
+use dmrg::{DavidsonOptions, Dmrg, Environments, Schedule, SweepParams};
+use tt_blocks::Algorithm;
+use tt_dist::Executor;
+use tt_mps::{
+    electron_filling, heisenberg_j1j2, hubbard, neel_state, Electron, Lattice, Mpo, Mps,
+    SpinHalf,
+};
+
+/// The two benchmark systems of Section V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// `J1−J2` Heisenberg on a square cylinder (d = 2, one U(1) charge).
+    Spins,
+    /// Triangular Hubbard at t=1, U=8.5 (d = 4, two U(1) charges).
+    Electrons,
+}
+
+impl System {
+    /// The paper's lattice for this system, scaled by `lx × ly`.
+    pub fn lattice(&self, lx: usize, ly: usize) -> Lattice {
+        match self {
+            System::Spins => Lattice::square_cylinder(lx, ly),
+            System::Electrons => Lattice::triangular_cylinder_xc(lx, ly),
+        }
+    }
+
+    /// Default scaled-down lattice (paper: 20×10 spins, 6×6 electrons).
+    pub fn default_lattice(&self) -> Lattice {
+        match self {
+            System::Spins => Lattice::square_cylinder(6, 4),
+            System::Electrons => Lattice::triangular_cylinder_xc(4, 2),
+        }
+    }
+
+    /// Block model fitted to this system (Table II caption).
+    pub fn block_model(&self) -> tt_blocks::BlockModel {
+        match self {
+            System::Spins => tt_blocks::BlockModel::spins(),
+            System::Electrons => tt_blocks::BlockModel::electrons(),
+        }
+    }
+
+    /// MPO bond dimension the paper quotes (`k ~ 30` spins; `k = 26`
+    /// compressed electrons).
+    pub fn paper_k(&self) -> usize {
+        match self {
+            System::Spins => 30,
+            System::Electrons => 26,
+        }
+    }
+}
+
+/// A DMRG-grown state ready for instrumented measurements.
+pub struct WarmState {
+    /// The Hamiltonian.
+    pub mpo: Mpo,
+    /// The optimized state at the target bond dimension.
+    pub mps: Mps,
+    /// The lattice.
+    pub lattice: Lattice,
+    /// Ground-state energy estimate from the warm-up.
+    pub energy: f64,
+}
+
+/// Grow a state on `lattice` to bond dimension `m_target` with an untimed
+/// ramp (the paper grows states with untimed sweeps before benchmarking).
+pub fn grow_state(system: System, lattice: &Lattice, m_target: usize) -> WarmState {
+    let n = lattice.n_sites();
+    let exec = Executor::local();
+    let (mpo, mut mps) = match system {
+        System::Spins => {
+            let mpo = heisenberg_j1j2(lattice, 1.0, 0.5).build().expect("mpo");
+            let mps = Mps::product_state(&SpinHalf, &neel_state(n)).expect("state");
+            (mpo, mps)
+        }
+        System::Electrons => {
+            let mut mpo = hubbard(lattice, 1.0, 8.5).build().expect("mpo");
+            let _ = mpo.compress(&exec, 1e-13);
+            let mps =
+                Mps::product_state(&Electron, &electron_filling(n, n / 2, n / 2))
+                    .expect("state");
+            (mpo, mps)
+        }
+    };
+    // geometric ramp to the target
+    let mut ms = Vec::new();
+    let mut m = 8usize;
+    while m < m_target {
+        ms.push(m);
+        m *= 2;
+    }
+    ms.push(m_target);
+    let dav = DavidsonOptions {
+        max_iter: 4,
+        max_subspace: 2,
+        tol: 1e-9,
+        seed: 11,
+    };
+    let schedule = Schedule {
+        sweeps: ms
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| SweepParams {
+                max_m: m,
+                cutoff: 1e-12,
+                davidson: dav,
+                noise: if i + 1 < ms.len() { 1e-5 } else { 0.0 },
+            })
+            .collect(),
+    };
+    let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
+    let run = driver.run(&mut mps, &schedule).expect("warm-up converges");
+    WarmState {
+        mpo,
+        mps,
+        lattice: lattice.clone(),
+        energy: run.energy,
+    }
+}
+
+/// Instrumented result of optimizing the middle bond.
+#[derive(Debug, Clone)]
+pub struct InstrumentedStep {
+    /// Flops counted by the runtime during the step.
+    pub flops: u64,
+    /// Wall-clock seconds (this machine, for live rates).
+    pub wall_seconds: f64,
+    /// Simulated time on the executor's machine.
+    pub sim: tt_dist::SimTime,
+    /// BSP supersteps.
+    pub supersteps: u64,
+    /// Bond dimension at the optimized bond.
+    pub bond_dim: usize,
+}
+
+/// Optimize the middle pair of sites once on the given executor/algorithm
+/// and report counters — the paper's per-step benchmark protocol.
+pub fn measure_middle_step(
+    warm: &WarmState,
+    exec: &Executor,
+    algo: Algorithm,
+) -> InstrumentedStep {
+    let mut mps = warm.mps.clone();
+    let local = Executor::local();
+    mps.canonicalize(&local, 0).expect("canonicalize");
+    let mut envs =
+        Environments::initialize(exec, algo, &mps, &warm.mpo).expect("environments");
+    let driver = Dmrg::new(exec, algo, &warm.mpo);
+    let n = mps.n_sites();
+    let params = SweepParams {
+        max_m: mps.max_bond_dim(),
+        cutoff: 1e-12,
+        davidson: DavidsonOptions {
+            max_iter: 2,
+            max_subspace: 2,
+            tol: 1e-12,
+            seed: 3,
+        },
+        noise: 0.0,
+    };
+    // walk to the middle without instrumentation
+    let mid = n / 2 - 1;
+    for j in 0..mid {
+        driver
+            .optimize_bond(&mut mps, &mut envs, j, &params, true)
+            .expect("walk");
+    }
+    exec.reset_costs();
+    let t0 = std::time::Instant::now();
+    let rec = driver
+        .optimize_bond(&mut mps, &mut envs, mid, &params, true)
+        .expect("middle step");
+    InstrumentedStep {
+        flops: exec.total_flops(),
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        sim: exec.sim_time(),
+        supersteps: exec.supersteps(),
+        bond_dim: rec.bond_dim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_small_spin_state() {
+        let lat = Lattice::square_cylinder(3, 2);
+        let warm = grow_state(System::Spins, &lat, 12);
+        assert!(warm.mps.max_bond_dim() <= 12);
+        assert!(warm.energy < 0.0);
+    }
+
+    #[test]
+    fn middle_step_counters() {
+        let lat = Lattice::square_cylinder(3, 2);
+        let warm = grow_state(System::Spins, &lat, 8);
+        let exec = Executor::local();
+        let step = measure_middle_step(&warm, &exec, Algorithm::List);
+        assert!(step.flops > 0);
+        assert!(step.wall_seconds > 0.0);
+        assert!(step.sim.total() > 0.0);
+        assert!(step.bond_dim > 0);
+    }
+
+    #[test]
+    fn system_metadata() {
+        assert_eq!(System::Spins.paper_k(), 30);
+        assert_eq!(System::Electrons.paper_k(), 26);
+        assert_eq!(System::Spins.default_lattice().n_sites(), 24);
+    }
+}

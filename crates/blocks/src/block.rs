@@ -1,0 +1,594 @@
+//! Block-sparse symmetric tensors.
+//!
+//! A [`BlockSparseTensor`] is described — exactly as in Section II-D of the
+//! paper — by a list of quantum-number label tuples, each naming an
+//! independent dense block `T_q ∈ R^{d₁×…×d_r}`. A block with sector choice
+//! `(s₁,…,s_r)` is *allowed* when the signed charges balance the tensor's
+//! flux: `Σ_i arrow_i · q(s_i) == flux`. Memory drops from `Π d_i` to
+//! `Σ_blocks Π d_i^ℓ` and contractions run block-by-block (list algorithm)
+//! or on the flattened sparse form (sparse-dense / sparse-sparse).
+
+use crate::index::QnIndex;
+use crate::qn::{signed, QN};
+use crate::{Error, Result};
+use rand::Rng;
+use std::collections::{BTreeMap, HashSet};
+use tt_tensor::{DenseTensor, SparseTensor};
+
+/// Sector choice per index, identifying one block.
+pub type BlockKey = Vec<u16>;
+
+/// A quantum-number block-sparse tensor over `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockSparseTensor {
+    indices: Vec<QnIndex>,
+    flux: QN,
+    /// Deterministically ordered block storage.
+    blocks: BTreeMap<BlockKey, DenseTensor<f64>>,
+}
+
+impl BlockSparseTensor {
+    /// Empty tensor with the given graded indices and flux.
+    pub fn new(indices: Vec<QnIndex>, flux: QN) -> Self {
+        assert!(!indices.is_empty(), "need at least one index");
+        let arity = indices[0].arity();
+        assert!(
+            indices.iter().all(|i| i.arity() == arity) && flux.n_charges() == arity,
+            "mixed QN arities"
+        );
+        Self {
+            indices,
+            flux,
+            blocks: BTreeMap::new(),
+        }
+    }
+
+    /// The graded indices.
+    pub fn indices(&self) -> &[QnIndex] {
+        &self.indices
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Dense dimensions (sum of sector dims per index).
+    pub fn dense_dims(&self) -> Vec<usize> {
+        self.indices.iter().map(|i| i.dim()).collect()
+    }
+
+    /// The tensor's flux.
+    pub fn flux(&self) -> QN {
+        self.flux
+    }
+
+    /// Signed charge residual of a sector combination.
+    pub fn residual(&self, key: &[u16]) -> QN {
+        let mut r = QN::zero(self.flux.n_charges());
+        for (i, &s) in key.iter().enumerate() {
+            r = r.add(signed(self.indices[i].qn(s as usize), self.indices[i].arrow()));
+        }
+        r
+    }
+
+    /// True when the sector combination conserves the flux.
+    pub fn is_allowed(&self, key: &[u16]) -> bool {
+        self.residual(key) == self.flux
+    }
+
+    /// Enumerate all allowed sector combinations (suffix-DP pruned).
+    pub fn allowed_keys(&self) -> Vec<BlockKey> {
+        let n = self.order();
+        // suffix_possible[i] = set of achievable Σ_{j≥i} signed charges
+        let arity = self.flux.n_charges();
+        let mut suffix: Vec<HashSet<QN>> = vec![HashSet::new(); n + 1];
+        suffix[n].insert(QN::zero(arity));
+        for i in (0..n).rev() {
+            let mut set = HashSet::new();
+            for s in 0..self.indices[i].n_sectors() {
+                let q = signed(self.indices[i].qn(s), self.indices[i].arrow());
+                for &rest in &suffix[i + 1] {
+                    set.insert(q.add(rest));
+                }
+            }
+            suffix[i] = set;
+        }
+        let mut out = Vec::new();
+        let mut key = vec![0u16; n];
+        self.enumerate_rec(0, QN::zero(arity), &suffix, &mut key, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        pos: usize,
+        partial: QN,
+        suffix: &[HashSet<QN>],
+        key: &mut BlockKey,
+        out: &mut Vec<BlockKey>,
+    ) {
+        if pos == self.order() {
+            if partial == self.flux {
+                out.push(key.clone());
+            }
+            return;
+        }
+        for s in 0..self.indices[pos].n_sectors() {
+            let q = signed(self.indices[pos].qn(s), self.indices[pos].arrow());
+            let np = partial.add(q);
+            // prune: remaining must be achievable by the suffix
+            if !suffix[pos + 1].contains(&self.flux.sub(np)) {
+                continue;
+            }
+            key[pos] = s as u16;
+            self.enumerate_rec(pos + 1, np, suffix, key, out);
+        }
+    }
+
+    /// Dimensions of the block at `key`.
+    pub fn block_dims(&self, key: &[u16]) -> Vec<usize> {
+        key.iter()
+            .enumerate()
+            .map(|(i, &s)| self.indices[i].sector_dim(s as usize))
+            .collect()
+    }
+
+    /// Insert (or overwrite) a block. The key must be allowed and the
+    /// tensor shape must match the sector dims.
+    pub fn insert_block(&mut self, key: BlockKey, t: DenseTensor<f64>) -> Result<()> {
+        if key.len() != self.order() {
+            return Err(Error::Key(format!(
+                "key order {} != tensor order {}",
+                key.len(),
+                self.order()
+            )));
+        }
+        if !self.is_allowed(&key) {
+            return Err(Error::Symmetry(format!(
+                "block {key:?} violates flux {}",
+                self.flux
+            )));
+        }
+        let want = self.block_dims(&key);
+        if t.dims() != want {
+            return Err(Error::Key(format!(
+                "block {key:?} dims {:?} != sector dims {want:?}",
+                t.dims()
+            )));
+        }
+        self.blocks.insert(key, t);
+        Ok(())
+    }
+
+    /// The block at `key`, if stored.
+    pub fn block(&self, key: &[u16]) -> Option<&DenseTensor<f64>> {
+        self.blocks.get(key)
+    }
+
+    /// Iterate stored blocks in deterministic key order.
+    pub fn blocks(&self) -> impl Iterator<Item = (&BlockKey, &DenseTensor<f64>)> {
+        self.blocks.iter()
+    }
+
+    /// Number of stored blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Fill every allowed block with uniform random entries.
+    pub fn random(
+        indices: Vec<QnIndex>,
+        flux: QN,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Self {
+        let mut t = Self::new(indices, flux);
+        for key in t.allowed_keys() {
+            let dims = t.block_dims(&key);
+            let b = DenseTensor::random(dims, rng);
+            t.blocks.insert(key, b);
+        }
+        t
+    }
+
+    /// Embed into a dense tensor (blocks at their sector offsets).
+    pub fn to_dense(&self) -> DenseTensor<f64> {
+        let dims = self.dense_dims();
+        let mut out = DenseTensor::zeros(dims.clone());
+        for (key, block) in &self.blocks {
+            let offs: Vec<usize> = key
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| self.indices[i].sector_offset(s as usize))
+                .collect();
+            for idx in block.shape().index_iter() {
+                let gidx: Vec<usize> = idx.iter().zip(&offs).map(|(&x, &o)| x + o).collect();
+                out.set(&gidx, block.at(&idx));
+            }
+        }
+        out
+    }
+
+    /// Extract the allowed blocks of a dense tensor; blocks with all
+    /// entries `|x| ≤ tol` are dropped.
+    pub fn from_dense(
+        indices: Vec<QnIndex>,
+        flux: QN,
+        dense: &DenseTensor<f64>,
+        tol: f64,
+    ) -> Result<Self> {
+        let mut t = Self::new(indices, flux);
+        let want: Vec<usize> = t.dense_dims();
+        if dense.dims() != want {
+            return Err(Error::Key(format!(
+                "dense dims {:?} != graded dims {:?}",
+                dense.dims(),
+                want
+            )));
+        }
+        for key in t.allowed_keys() {
+            let dims = t.block_dims(&key);
+            let offs: Vec<usize> = key
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| t.indices[i].sector_offset(s as usize))
+                .collect();
+            let mut block = DenseTensor::zeros(dims.clone());
+            let mut maxabs = 0.0f64;
+            for idx in block.shape().index_iter() {
+                let gidx: Vec<usize> = idx.iter().zip(&offs).map(|(&x, &o)| x + o).collect();
+                let v = dense.at(&gidx);
+                maxabs = maxabs.max(v.abs());
+                block.set(&idx, v);
+            }
+            if maxabs > tol {
+                t.blocks.insert(key, block);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Flatten into a single sparse tensor over the dense index space
+    /// (the storage format of the sparse-dense / sparse-sparse algorithms).
+    pub fn to_flat_sparse(&self) -> SparseTensor<f64> {
+        let dims = self.dense_dims();
+        let shape = tt_tensor::Shape::from(dims.clone());
+        let mut entries = Vec::new();
+        for (key, block) in &self.blocks {
+            let offs: Vec<usize> = key
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| self.indices[i].sector_offset(s as usize))
+                .collect();
+            for idx in block.shape().index_iter() {
+                let gidx: Vec<usize> = idx.iter().zip(&offs).map(|(&x, &o)| x + o).collect();
+                let v = block.at(&idx);
+                if v != 0.0 {
+                    entries.push((shape.offset(&gidx).expect("in bounds") as u64, v));
+                }
+            }
+        }
+        SparseTensor::from_entries(dims, entries).expect("valid entries")
+    }
+
+    /// All dense offsets allowed by symmetry — the pre-computed output
+    /// sparsity handed to masked sparse-sparse contractions.
+    pub fn flat_mask(indices: &[QnIndex], flux: QN) -> Vec<u64> {
+        let probe = Self::new(indices.to_vec(), flux);
+        let shape = tt_tensor::Shape::from(probe.dense_dims());
+        let mut mask = Vec::new();
+        for key in probe.allowed_keys() {
+            let dims = probe.block_dims(&key);
+            let offs: Vec<usize> = key
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| probe.indices[i].sector_offset(s as usize))
+                .collect();
+            for idx in tt_tensor::Shape::from(dims).index_iter() {
+                let gidx: Vec<usize> = idx.iter().zip(&offs).map(|(&x, &o)| x + o).collect();
+                mask.push(shape.offset(&gidx).expect("in bounds") as u64);
+            }
+        }
+        mask
+    }
+
+    /// Rebuild block form from a flattened sparse tensor. Entries in
+    /// symmetry-forbidden positions are rejected.
+    pub fn from_flat_sparse(
+        indices: Vec<QnIndex>,
+        flux: QN,
+        sp: &SparseTensor<f64>,
+    ) -> Result<Self> {
+        let mut t = Self::new(indices, flux);
+        let dims = t.dense_dims();
+        if sp.dims() != dims {
+            return Err(Error::Key(format!(
+                "sparse dims {:?} != graded dims {:?}",
+                sp.dims(),
+                dims
+            )));
+        }
+        let shape = tt_tensor::Shape::from(dims);
+        for (off, v) in sp.entries() {
+            if v == 0.0 {
+                continue;
+            }
+            let gidx = shape.unoffset(off as usize);
+            let mut key: BlockKey = Vec::with_capacity(t.order());
+            let mut within: Vec<usize> = Vec::with_capacity(t.order());
+            for (i, &g) in gidx.iter().enumerate() {
+                let (s, w) = t.indices[i].locate(g);
+                key.push(s as u16);
+                within.push(w);
+            }
+            if !t.is_allowed(&key) {
+                return Err(Error::Symmetry(format!(
+                    "entry at {gidx:?} violates flux {}",
+                    t.flux
+                )));
+            }
+            let dims_b = t.block_dims(&key);
+            let block = t
+                .blocks
+                .entry(key)
+                .or_insert_with(|| DenseTensor::zeros(dims_b));
+            let cur = block.at(&within);
+            block.set(&within, cur + v);
+        }
+        Ok(t)
+    }
+
+    /// Permute the tensor modes.
+    pub fn permute(&self, perm: &[usize]) -> Result<Self> {
+        if !tt_tensor::shape::is_permutation(perm, self.order()) {
+            return Err(Error::Key(format!("bad permutation {perm:?}")));
+        }
+        let indices: Vec<QnIndex> = perm.iter().map(|&p| self.indices[p].clone()).collect();
+        let mut out = Self::new(indices, self.flux);
+        for (key, block) in &self.blocks {
+            let nk: BlockKey = perm.iter().map(|&p| key[p]).collect();
+            let nb = block.permute(perm)?;
+            out.blocks.insert(nk, nb);
+        }
+        Ok(out)
+    }
+
+    /// Complex conjugate / dagger: flips all arrows and negates the flux
+    /// (values unchanged for real tensors).
+    pub fn conj(&self) -> Self {
+        let indices: Vec<QnIndex> = self.indices.iter().map(|i| i.dual()).collect();
+        let mut out = Self::new(indices, self.flux.neg());
+        out.blocks = self.blocks.clone();
+        out
+    }
+
+    /// In-place scale.
+    pub fn scale_mut(&mut self, s: f64) {
+        for b in self.blocks.values_mut() {
+            b.scale_mut(s);
+        }
+    }
+
+    /// `self += alpha · other` (same indices and flux; union of blocks).
+    pub fn axpy(&mut self, alpha: f64, other: &Self) -> Result<()> {
+        if self.indices != other.indices || self.flux != other.flux {
+            return Err(Error::Symmetry("axpy between incompatible tensors".into()));
+        }
+        for (key, ob) in &other.blocks {
+            match self.blocks.get_mut(key) {
+                Some(b) => b.axpy(alpha, ob)?,
+                None => {
+                    self.blocks.insert(key.clone(), ob.scaled(alpha));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Conjugated inner product.
+    pub fn dot(&self, other: &Self) -> Result<f64> {
+        if self.indices != other.indices {
+            return Err(Error::Symmetry("dot between incompatible tensors".into()));
+        }
+        let mut acc = 0.0;
+        for (key, b) in &self.blocks {
+            if let Some(ob) = other.blocks.get(key) {
+                acc += b.dot(ob)?;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.blocks
+            .values()
+            .map(|b| b.norm2())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Drop blocks whose largest entry is ≤ `tol`.
+    pub fn prune(&mut self, tol: f64) {
+        self.blocks.retain(|_, b| b.max_abs() > tol);
+    }
+
+    /// Stored elements (sum of block volumes).
+    pub fn stored_elements(&self) -> usize {
+        self.blocks.values().map(|b| b.len()).sum()
+    }
+
+    /// Fraction of the dense volume that is stored — Fig. 2b's "sparsity".
+    pub fn fill_fraction(&self) -> f64 {
+        let dense: usize = self.dense_dims().iter().product();
+        if dense == 0 {
+            0.0
+        } else {
+            self.stored_elements() as f64 / dense as f64
+        }
+    }
+
+    /// Largest single mode extent over stored blocks — Fig. 2a's
+    /// "size of largest block".
+    pub fn largest_block_dim(&self) -> usize {
+        self.blocks
+            .keys()
+            .map(|k| {
+                k.iter()
+                    .enumerate()
+                    .map(|(i, &s)| self.indices[i].sector_dim(s as usize))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qn::Arrow;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spin_site(arrow: Arrow) -> QnIndex {
+        QnIndex::new(arrow, vec![(QN::one(1), 1), (QN::one(-1), 1)])
+    }
+
+    fn bond(arrow: Arrow, dims: &[(i32, usize)]) -> QnIndex {
+        QnIndex::new(
+            arrow,
+            dims.iter().map(|&(q, d)| (QN::one(q), d)).collect(),
+        )
+    }
+
+    fn mps_like() -> BlockSparseTensor {
+        // T(il In, σ In, ir Out), flux 0
+        let il = bond(Arrow::In, &[(-1, 2), (1, 3)]);
+        let s = spin_site(Arrow::In);
+        let ir = bond(Arrow::Out, &[(-2, 1), (0, 4), (2, 2)]);
+        let mut rng = StdRng::seed_from_u64(91);
+        BlockSparseTensor::random(vec![il, s, ir], QN::zero(1), &mut rng)
+    }
+
+    #[test]
+    fn allowed_keys_conserve_flux() {
+        let t = mps_like();
+        let keys = t.allowed_keys();
+        assert!(!keys.is_empty());
+        for k in &keys {
+            assert!(t.is_allowed(k));
+        }
+        // count: (il,σ) -> total in-charge ∈ {-2,0,0,2}; matching ir sectors:
+        // il=-1,σ=-1 → need ir=-2 ✓; il=-1,σ=+1 → ir=0 ✓; il=+1,σ=-1 → ir=0 ✓;
+        // il=+1,σ=+1 → ir=+2 ✓ ⇒ 4 allowed keys
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn random_fills_all_allowed() {
+        let t = mps_like();
+        assert_eq!(t.n_blocks(), 4);
+        assert_eq!(t.stored_elements(), 2 * 1 + 2 * 4 + 3 * 4 + 3 * 2);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let t = mps_like();
+        let d = t.to_dense();
+        assert_eq!(d.dims(), &[5, 2, 7]);
+        let back =
+            BlockSparseTensor::from_dense(t.indices().to_vec(), t.flux(), &d, 0.0).unwrap();
+        assert!(back.to_dense().allclose(&d, 0.0));
+        assert_eq!(back.n_blocks(), t.n_blocks());
+    }
+
+    #[test]
+    fn flat_sparse_roundtrip() {
+        let t = mps_like();
+        let sp = t.to_flat_sparse();
+        assert_eq!(sp.nnz(), t.stored_elements());
+        let back =
+            BlockSparseTensor::from_flat_sparse(t.indices().to_vec(), t.flux(), &sp).unwrap();
+        assert!(back.to_dense().allclose(&t.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn flat_mask_covers_blocks() {
+        let t = mps_like();
+        let mask = BlockSparseTensor::flat_mask(t.indices(), t.flux());
+        assert_eq!(mask.len(), t.stored_elements());
+        let sp = t.to_flat_sparse();
+        let mask_set: std::collections::HashSet<u64> = mask.into_iter().collect();
+        for (off, _) in sp.entries() {
+            assert!(mask_set.contains(&off));
+        }
+    }
+
+    #[test]
+    fn forbidden_insert_rejected() {
+        let mut t = BlockSparseTensor::new(
+            vec![spin_site(Arrow::In), spin_site(Arrow::Out)],
+            QN::zero(1),
+        );
+        // key (0,0): -1 in, +1 out ⇒ residual = +1 - (+1) = 0 ✓ allowed
+        assert!(t
+            .insert_block(vec![0, 0], DenseTensor::zeros([1, 1]))
+            .is_ok());
+        // key (0,1): residual = -1 - (+1)·(-1)?? — In(+1) gives -1, Out(-1)
+        // gives -1 ⇒ -2 ≠ 0 forbidden
+        assert!(t
+            .insert_block(vec![0, 1], DenseTensor::zeros([1, 1]))
+            .is_err());
+        // wrong dims
+        assert!(t
+            .insert_block(vec![0, 0], DenseTensor::zeros([2, 1]))
+            .is_err());
+    }
+
+    #[test]
+    fn sparsity_less_than_one() {
+        let t = mps_like();
+        let f = t.fill_fraction();
+        assert!(f > 0.0 && f < 1.0);
+        assert_eq!(t.largest_block_dim(), 4);
+    }
+
+    #[test]
+    fn permute_consistent_with_dense() {
+        let t = mps_like();
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        assert!(p
+            .to_dense()
+            .allclose(&t.to_dense().permute(&[2, 0, 1]).unwrap(), 0.0));
+        assert!(p.is_allowed(&p.allowed_keys()[0]));
+    }
+
+    #[test]
+    fn conj_flips_arrows_and_flux() {
+        let il = bond(Arrow::In, &[(0, 1), (2, 2)]);
+        let ir = bond(Arrow::Out, &[(1, 1), (3, 2)]);
+        let mut rng = StdRng::seed_from_u64(92);
+        let t = BlockSparseTensor::random(vec![il, ir], QN::one(1), &mut rng);
+        let c = t.conj();
+        assert_eq!(c.flux(), QN::one(-1));
+        assert_eq!(c.indices()[0].arrow(), Arrow::Out);
+        assert!(c.to_dense().allclose(&t.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn axpy_dot_norm() {
+        let t = mps_like();
+        let mut u = t.clone();
+        u.axpy(1.0, &t).unwrap();
+        assert!(u.to_dense().allclose(&t.to_dense().scaled(2.0), 1e-14));
+        let d = t.dot(&t).unwrap();
+        assert!((d - t.norm() * t.norm()).abs() < 1e-10);
+        let mut z = t.clone();
+        z.axpy(-1.0, &t).unwrap();
+        assert!(z.norm() < 1e-14);
+        z.prune(1e-15);
+        assert_eq!(z.n_blocks(), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Quantum-number-graded tensor indices.
+//!
+//! Each index of a block-sparse tensor is a list of `(QN, dimension)`
+//! sectors plus an [`Arrow`]. The dense dimension is the sum of sector
+//! dimensions, and each sector occupies a contiguous range of the dense
+//! index — which is how block tensors flatten into the single sparse/dense
+//! tensors of the *sparse-dense* and *sparse-sparse* algorithms.
+
+use crate::qn::{Arrow, QN};
+
+/// A graded index: ordered sectors of `(quantum number, degeneracy)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QnIndex {
+    arrow: Arrow,
+    sectors: Vec<(QN, usize)>,
+    /// cumulative offsets: `offsets[s]` = dense start of sector `s`;
+    /// `offsets[n_sectors]` = total dimension
+    offsets: Vec<usize>,
+}
+
+impl QnIndex {
+    /// Build an index from sectors (kept in the given order; duplicate QNs
+    /// are allowed but discouraged).
+    pub fn new(arrow: Arrow, sectors: Vec<(QN, usize)>) -> Self {
+        assert!(!sectors.is_empty(), "index needs at least one sector");
+        assert!(sectors.iter().all(|&(_, d)| d > 0), "zero-dim sector");
+        let arity = sectors[0].0.n_charges();
+        assert!(
+            sectors.iter().all(|(q, _)| q.n_charges() == arity),
+            "mixed QN arities in one index"
+        );
+        let mut offsets = Vec::with_capacity(sectors.len() + 1);
+        let mut acc = 0usize;
+        for &(_, d) in &sectors {
+            offsets.push(acc);
+            acc += d;
+        }
+        offsets.push(acc);
+        Self {
+            arrow,
+            sectors,
+            offsets,
+        }
+    }
+
+    /// Trivial index: one sector of dimension `d` with zero charge.
+    pub fn trivial(arrow: Arrow, d: usize, arity: u8) -> Self {
+        Self::new(arrow, vec![(QN::zero(arity), d)])
+    }
+
+    /// The index direction.
+    pub fn arrow(&self) -> Arrow {
+        self.arrow
+    }
+
+    /// Number of sectors.
+    pub fn n_sectors(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// Total (dense) dimension.
+    pub fn dim(&self) -> usize {
+        *self.offsets.last().expect("non-empty")
+    }
+
+    /// Quantum number of sector `s`.
+    pub fn qn(&self, s: usize) -> QN {
+        self.sectors[s].0
+    }
+
+    /// Degeneracy (dimension) of sector `s`.
+    pub fn sector_dim(&self, s: usize) -> usize {
+        self.sectors[s].1
+    }
+
+    /// Dense offset where sector `s` starts.
+    pub fn sector_offset(&self, s: usize) -> usize {
+        self.offsets[s]
+    }
+
+    /// The sectors as a slice.
+    pub fn sectors(&self) -> &[(QN, usize)] {
+        &self.sectors
+    }
+
+    /// Charge arity of the sectors.
+    pub fn arity(&self) -> u8 {
+        self.sectors[0].0.n_charges()
+    }
+
+    /// Same sectors, flipped arrow.
+    pub fn dual(&self) -> QnIndex {
+        QnIndex {
+            arrow: self.arrow.flip(),
+            sectors: self.sectors.clone(),
+            offsets: self.offsets.clone(),
+        }
+    }
+
+    /// Find the sector containing dense position `i`; returns
+    /// `(sector, within-sector offset)`.
+    pub fn locate(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i < self.dim());
+        // offsets is sorted; binary search for the last offset <= i
+        let s = match self.offsets.binary_search(&i) {
+            Ok(s) => {
+                // could be the start of an empty... dims > 0 so exact hit is
+                // the sector start
+                s.min(self.n_sectors() - 1)
+            }
+            Err(ins) => ins - 1,
+        };
+        (s, i - self.offsets[s])
+    }
+
+    /// Sector lists are contraction-compatible when the QNs and dims match
+    /// pairwise and the arrows are opposite.
+    pub fn contractable_with(&self, other: &QnIndex) -> bool {
+        self.arrow != other.arrow && self.sectors == other.sectors
+    }
+
+    /// Fuse with another index: the product index whose sectors are all
+    /// pairwise sums (merged by QN, dims multiplied and summed).
+    /// The fused arrow is `self.arrow` (caller aligns arrows first).
+    pub fn fuse(&self, other: &QnIndex) -> QnIndex {
+        use std::collections::BTreeMap;
+        let mut acc: BTreeMap<QN, usize> = BTreeMap::new();
+        for &(qa, da) in &self.sectors {
+            let qa_s = crate::qn::signed(qa, self.arrow);
+            for &(qb, db) in &other.sectors {
+                let qb_s = crate::qn::signed(qb, other.arrow);
+                // fused charge measured in the `self.arrow` direction
+                let fused = crate::qn::signed(qa_s.add(qb_s), self.arrow);
+                *acc.entry(fused).or_insert(0) += da * db;
+            }
+        }
+        QnIndex::new(self.arrow, acc.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_phys(arrow: Arrow) -> QnIndex {
+        // spin-1/2 site: Sz = ±1 (doubled), each 1-dimensional
+        QnIndex::new(arrow, vec![(QN::one(1), 1), (QN::one(-1), 1)])
+    }
+
+    #[test]
+    fn dims_and_offsets() {
+        let i = QnIndex::new(
+            Arrow::Out,
+            vec![(QN::one(-2), 3), (QN::one(0), 5), (QN::one(2), 2)],
+        );
+        assert_eq!(i.dim(), 10);
+        assert_eq!(i.n_sectors(), 3);
+        assert_eq!(i.sector_offset(0), 0);
+        assert_eq!(i.sector_offset(1), 3);
+        assert_eq!(i.sector_offset(2), 8);
+        assert_eq!(i.sector_dim(1), 5);
+        assert_eq!(i.qn(2), QN::one(2));
+    }
+
+    #[test]
+    fn locate_inverts_offsets() {
+        let i = QnIndex::new(
+            Arrow::Out,
+            vec![(QN::one(-2), 3), (QN::one(0), 5), (QN::one(2), 2)],
+        );
+        for pos in 0..i.dim() {
+            let (s, w) = i.locate(pos);
+            assert_eq!(i.sector_offset(s) + w, pos);
+            assert!(w < i.sector_dim(s));
+        }
+    }
+
+    #[test]
+    fn dual_flips_arrow_only() {
+        let i = spin_phys(Arrow::In);
+        let d = i.dual();
+        assert_eq!(d.arrow(), Arrow::Out);
+        assert_eq!(d.sectors(), i.sectors());
+        assert!(i.contractable_with(&d));
+        assert!(!i.contractable_with(&i.clone()));
+    }
+
+    #[test]
+    fn fuse_two_spins() {
+        // two spin-1/2 out-indices fuse to Sz = -2, 0, 0, +2 => sectors
+        // (-2,1), (0,2), (+2,1)
+        let a = spin_phys(Arrow::Out);
+        let f = a.fuse(&a);
+        assert_eq!(f.dim(), 4);
+        assert_eq!(f.n_sectors(), 3);
+        assert_eq!(f.sectors()[0], (QN::one(-2), 1));
+        assert_eq!(f.sectors()[1], (QN::one(0), 2));
+        assert_eq!(f.sectors()[2], (QN::one(2), 1));
+    }
+
+    #[test]
+    fn fuse_opposite_arrows_cancels_charge() {
+        // Out(+1) fused with In(+1) gives net 0 for matching sectors
+        let a = spin_phys(Arrow::Out);
+        let b = spin_phys(Arrow::In);
+        let f = a.fuse(&b);
+        // sectors: +1-1=0 (dim 1*1 twice => 2), +1+1=2?? careful with signs:
+        // In flips: q_b effective -q. (+1,-(+1))=0, (+1,-(-1))=+2,
+        // (-1,-(+1))=-2, (-1,-(-1))=0
+        assert_eq!(f.n_sectors(), 3);
+        assert_eq!(f.sectors()[1], (QN::one(0), 2));
+        assert_eq!(f.dim(), 4);
+    }
+
+    #[test]
+    fn trivial_index() {
+        let t = QnIndex::trivial(Arrow::Out, 1, 1);
+        assert_eq!(t.dim(), 1);
+        assert!(t.qn(0).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dim sector")]
+    fn zero_dim_rejected() {
+        QnIndex::new(Arrow::In, vec![(QN::one(0), 0)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! The empirical block-structure and complexity model of Table II.
+//!
+//! The paper fits the sector-size distribution of DMRG MPS tensors with
+//! `b_ℓ = ⌊(m/q)·rℓ⌋` — `q = 4, r = 0.6` for the spin system and
+//! `q = 10, r = 0.65` for the electron system — and expresses each
+//! algorithm's flops, memory and BSP costs in those parameters. This module
+//! evaluates the model (Table II and the paper-scale "model" series of
+//! Figs. 5–13) and generates synthetic graded indices with the same sector
+//! structure for live benchmarking.
+
+use crate::contract::Algorithm;
+use crate::index::QnIndex;
+use crate::qn::{Arrow, QN};
+
+/// Empirical block-structure model `b_ℓ = ⌊(m/q) rℓ⌋`.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockModel {
+    /// Largest-block divisor (`q` in the paper).
+    pub q: f64,
+    /// Geometric decay of sector sizes (`r` in the paper).
+    pub r: f64,
+    /// Physical dimension of the system's sites.
+    pub d: usize,
+    /// Number of conserved U(1) charges.
+    pub n_charges: u8,
+}
+
+impl BlockModel {
+    /// Spin system (J1−J2 Heisenberg): `q = 4`, `r = 0.6`, `d = 2`, U(1).
+    pub fn spins() -> Self {
+        BlockModel {
+            q: 4.0,
+            r: 0.6,
+            d: 2,
+            n_charges: 1,
+        }
+    }
+
+    /// Electron system (triangular Hubbard): `q = 10`, `r = 0.65`, `d = 4`,
+    /// U(1)×U(1).
+    pub fn electrons() -> Self {
+        BlockModel {
+            q: 10.0,
+            r: 0.65,
+            d: 4,
+            n_charges: 2,
+        }
+    }
+
+    /// Sector dimensions at bond dimension `m`: `⌊(m/q)·rℓ⌋` until < 1.
+    pub fn sector_dims(&self, m: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut x = m as f64 / self.q;
+        while x >= 1.0 {
+            out.push(x as usize);
+            x *= self.r;
+        }
+        if out.is_empty() {
+            out.push(1);
+        }
+        out
+    }
+
+    /// Number of blocks at bond dimension `m` (mirror-symmetric around the
+    /// charge origin: `2·len − 1` sectors).
+    pub fn n_blocks(&self, m: usize) -> usize {
+        2 * self.sector_dims(m).len() - 1
+    }
+
+    /// Size of the largest block at bond dimension `m` (`⌊m/q⌋`).
+    pub fn largest_block(&self, m: usize) -> usize {
+        (m as f64 / self.q) as usize
+    }
+
+    /// Synthetic bond index with the model's sector structure, mirror
+    /// symmetric in the charge.
+    pub fn bond_index(&self, m: usize, arrow: Arrow) -> QnIndex {
+        let dims = self.sector_dims(m);
+        let mut sectors: Vec<(QN, usize)> = Vec::new();
+        for (l, &d) in dims.iter().enumerate() {
+            let c = l as i32;
+            let mk = |c: i32| -> QN {
+                if self.n_charges == 1 {
+                    QN::one(2 * c)
+                } else {
+                    QN::two(c, -c)
+                }
+            };
+            if l == 0 {
+                sectors.push((mk(0), d));
+            } else {
+                sectors.push((mk(c), d));
+                sectors.push((mk(-c), d));
+            }
+        }
+        sectors.sort();
+        QnIndex::new(arrow, sectors)
+    }
+
+    /// Effective bond dimension of the synthetic index (Σ b_ℓ over the
+    /// mirrored sectors).
+    pub fn effective_m(&self, m: usize) -> usize {
+        let dims = self.sector_dims(m);
+        dims[0] + 2 * dims[1..].iter().sum::<usize>()
+    }
+
+    /// Table II: flops per Davidson iteration.
+    pub fn davidson_flops(&self, algo: Algorithm, m: usize, k: usize) -> f64 {
+        let d = self.d as f64;
+        let k = k as f64;
+        match algo {
+            Algorithm::List | Algorithm::SparseSparse => {
+                let b = m as f64 / self.q;
+                b.powi(3) * k * d * d
+            }
+            Algorithm::SparseDense => (m as f64).powi(3) * k * d * d,
+        }
+    }
+
+    /// Table II: working-set memory of a Davidson iteration (words).
+    pub fn davidson_memory(&self, algo: Algorithm, m: usize, k: usize) -> f64 {
+        let d = self.d as f64;
+        let k = k as f64;
+        match algo {
+            Algorithm::List | Algorithm::SparseSparse => {
+                let b = m as f64 / self.q;
+                b * b * k * d * d
+            }
+            Algorithm::SparseDense => (m as f64).powi(2) * k * d * d,
+        }
+    }
+
+    /// Table II: environment storage for an `n`-site system (words).
+    pub fn environment_memory(&self, n_sites: usize, m: usize, k: usize) -> f64 {
+        let b = m as f64 / self.q;
+        n_sites as f64 * b * b * k as f64
+    }
+
+    /// Table II: BSP supersteps per Davidson iteration.
+    pub fn bsp_supersteps(&self, algo: Algorithm, m: usize) -> f64 {
+        match algo {
+            Algorithm::List => self.n_blocks(m) as f64,
+            Algorithm::SparseDense | Algorithm::SparseSparse => 1.0,
+        }
+    }
+
+    /// Table II: BSP communication cost per Davidson iteration (words along
+    /// the critical path), for `p` processes.
+    pub fn bsp_comm(&self, algo: Algorithm, m: usize, k: usize, p: usize) -> f64 {
+        let md = self.davidson_memory(algo, m, k);
+        match algo {
+            Algorithm::List => md / (p as f64).powf(2.0 / 3.0),
+            Algorithm::SparseDense | Algorithm::SparseSparse => md / (p as f64).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_dims_geometric() {
+        let m = BlockModel::spins();
+        let dims = m.sector_dims(4096);
+        assert_eq!(dims[0], 1024); // m/q
+        assert_eq!(dims[1], 614); // 1024·0.6 truncated
+        assert!(dims.windows(2).all(|w| w[1] <= w[0]));
+        assert!(*dims.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn largest_block_scaling_close_to_paper_fit() {
+        // paper: largest block ∝ m^0.94 (spins), m^0.97 (electrons);
+        // the b₀ = m/q model is exactly linear — check it stays within the
+        // right order across the measured range
+        let sp = BlockModel::spins();
+        assert_eq!(sp.largest_block(2048), 512);
+        assert_eq!(sp.largest_block(32768), 8192);
+        let el = BlockModel::electrons();
+        assert_eq!(el.largest_block(32768), 3276);
+    }
+
+    #[test]
+    fn electrons_have_more_blocks() {
+        let sp = BlockModel::spins();
+        let el = BlockModel::electrons();
+        // Fig. 2a: electron systems show more blocks at the same m
+        for m in [2048usize, 8192, 32768] {
+            assert!(el.n_blocks(m) >= sp.n_blocks(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn synthetic_index_matches_model() {
+        let sp = BlockModel::spins();
+        let idx = sp.bond_index(1024, Arrow::Out);
+        assert_eq!(idx.n_sectors(), sp.n_blocks(1024));
+        // largest sector is b0
+        let max = (0..idx.n_sectors()).map(|s| idx.sector_dim(s)).max();
+        assert_eq!(max, Some(sp.largest_block(1024)));
+        assert_eq!(idx.dim(), sp.effective_m(1024));
+    }
+
+    #[test]
+    fn table2_flop_hierarchy() {
+        let sp = BlockModel::spins();
+        let (m, k) = (8192, 30);
+        let list = sp.davidson_flops(Algorithm::List, m, k);
+        let ss = sp.davidson_flops(Algorithm::SparseSparse, m, k);
+        let sd = sp.davidson_flops(Algorithm::SparseDense, m, k);
+        assert_eq!(list, ss);
+        assert!(sd > list, "sparse-dense pays the dense m^3 cost");
+        assert!((sd / list - sp.q.powi(3)).abs() / sp.q.powi(3) < 1e-12);
+    }
+
+    #[test]
+    fn table2_bsp_tradeoff() {
+        // list: many supersteps, lower comm; sparse-sparse: one superstep,
+        // higher comm — the trade-off the paper's analysis highlights
+        let sp = BlockModel::spins();
+        let (m, k, p) = (8192, 30, 64);
+        assert!(sp.bsp_supersteps(Algorithm::List, m) > 1.0);
+        assert_eq!(sp.bsp_supersteps(Algorithm::SparseSparse, m), 1.0);
+        let comm_list = sp.bsp_comm(Algorithm::List, m, k, p);
+        let comm_ss = sp.bsp_comm(Algorithm::SparseSparse, m, k, p);
+        assert!(comm_list < comm_ss);
+    }
+
+    #[test]
+    fn environment_memory_linear_in_sites() {
+        let sp = BlockModel::spins();
+        let a = sp.environment_memory(100, 4096, 30);
+        let b = sp.environment_memory(200, 4096, 30);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,366 @@
+//! Exact diagonalization — the reference that validates every DMRG energy.
+//!
+//! Two independent paths:
+//!
+//! * [`ground_state_energy`] — generic: applies the same Jordan-Wigner
+//!   expanded term list the MPO is built from to a quantum-number-restricted
+//!   product basis, then Lanczos. Validates MPO/DMRG machinery.
+//! * [`hubbard_ed`] — model-specific: second-quantized Hubbard Hamiltonian
+//!   on occupation bitstrings with explicit anticommutation sign counting.
+//!   Independent of the Jordan-Wigner expansion, so it cross-checks the
+//!   fermion handling itself.
+
+use crate::{Error, Result};
+use std::collections::HashMap;
+use tt_blocks::QN;
+use tt_linalg::{lanczos_smallest, LanczosOptions};
+use tt_mps::{ExpandedTerm, SiteType};
+
+/// Basis of product states with a fixed total quantum number.
+pub struct SectorBasis {
+    /// Packed site configurations (base-`d` digits), sorted.
+    pub states: Vec<u64>,
+    /// Inverse lookup.
+    pub index: HashMap<u64, usize>,
+    /// Number of sites.
+    pub n: usize,
+    /// Local dimension.
+    pub d: usize,
+}
+
+/// Enumerate all product states of `n` sites with total charge `sector`.
+pub fn sector_basis<S: SiteType>(site: &S, n: usize, sector: QN) -> SectorBasis {
+    let d = site.d();
+    let mut states = Vec::new();
+    // iterate all d^n configurations (caller keeps n small)
+    let total = (d as u64).pow(n as u32);
+    for code in 0..total {
+        let mut q = QN::zero(site.arity());
+        let mut c = code;
+        for _ in 0..n {
+            q = q.add(site.state_qn((c % d as u64) as usize));
+            c /= d as u64;
+        }
+        if q == sector {
+            states.push(code);
+        }
+    }
+    let index = states
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    SectorBasis {
+        states,
+        index,
+        n,
+        d,
+    }
+}
+
+impl SectorBasis {
+    /// Dimension of the sector.
+    pub fn dim(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Site state of configuration `code` at `site`.
+    pub fn site_state(&self, code: u64, site: usize) -> usize {
+        ((code / (self.d as u64).pow(site as u32)) % self.d as u64) as usize
+    }
+
+    /// Replace the site state, returning the new code.
+    pub fn with_site_state(&self, code: u64, site: usize, s: usize) -> u64 {
+        let p = (self.d as u64).pow(site as u32);
+        let old = (code / p) % self.d as u64;
+        code - old * p + (s as u64) * p
+    }
+}
+
+/// Sparse Hamiltonian rows built from expanded terms.
+pub struct SparseHam {
+    /// CSR-ish: per row, list of `(col, value)`.
+    pub rows: Vec<Vec<(usize, f64)>>,
+}
+
+/// Build the sector Hamiltonian from Jordan-Wigner expanded terms.
+pub fn build_hamiltonian(basis: &SectorBasis, terms: &[ExpandedTerm]) -> SparseHam {
+    let mut rows: Vec<HashMap<usize, f64>> = (0..basis.dim()).map(|_| HashMap::new()).collect();
+    for (col_idx, &code) in basis.states.iter().enumerate() {
+        for term in terms {
+            // apply the factors (they act on disjoint sites)
+            // enumerate output configurations recursively
+            let mut partials: Vec<(u64, f64)> = vec![(code, term.coef)];
+            for (s, m) in &term.factors {
+                let mut next = Vec::with_capacity(partials.len());
+                for &(pc, amp) in &partials {
+                    let in_state = basis.site_state(pc, *s);
+                    for out_state in 0..basis.d {
+                        let v = m.at(&[out_state, in_state]);
+                        if v != 0.0 {
+                            next.push((basis.with_site_state(pc, *s, out_state), amp * v));
+                        }
+                    }
+                }
+                partials = next;
+            }
+            for (out_code, amp) in partials {
+                if let Some(&row_idx) = basis.index.get(&out_code) {
+                    *rows[row_idx].entry(col_idx).or_insert(0.0) += amp;
+                }
+            }
+        }
+    }
+    SparseHam {
+        rows: rows
+            .into_iter()
+            .map(|r| {
+                let mut v: Vec<(usize, f64)> = r.into_iter().collect();
+                v.sort_unstable_by_key(|e| e.0);
+                v
+            })
+            .collect(),
+    }
+}
+
+impl SparseHam {
+    /// Matrix-vector product.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; x.len()];
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut acc = 0.0;
+            for &(j, v) in row {
+                acc += v * x[j];
+            }
+            y[i] = acc;
+        }
+        tt_tensor::counter::add_flops(2 * self.rows.iter().map(|r| r.len() as u64).sum::<u64>());
+        y
+    }
+
+    /// Max |H - Hᵀ| (symmetry check).
+    pub fn asymmetry(&self) -> f64 {
+        let mut max = 0.0f64;
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, v) in row {
+                let vt = self.rows[j]
+                    .iter()
+                    .find(|&&(k, _)| k == i)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0);
+                max = max.max((v - vt).abs());
+            }
+        }
+        max
+    }
+}
+
+/// Ground-state energy in a charge sector via Lanczos on the term-built
+/// Hamiltonian.
+pub fn ground_state_energy<S: SiteType>(
+    site: &S,
+    n: usize,
+    terms: &[ExpandedTerm],
+    sector: QN,
+) -> Result<f64> {
+    let basis = sector_basis(site, n, sector);
+    if basis.dim() == 0 {
+        return Err(Error::Ed("empty sector".into()));
+    }
+    let h = build_hamiltonian(&basis, terms);
+    if basis.dim() == 1 {
+        return Ok(h.rows[0].first().map(|&(_, v)| v).unwrap_or(0.0));
+    }
+    let x0: Vec<f64> = (0..basis.dim())
+        .map(|i| 1.0 + (i as f64 * 0.7391).sin())
+        .collect();
+    let (e, _) = lanczos_smallest(|v| h.apply(v), &x0, LanczosOptions::default())
+        .map_err(|e| Error::Ed(e.to_string()))?;
+    Ok(e)
+}
+
+/// Independent Hubbard ED on occupation bitstrings (up/down masks per
+/// lattice site) with explicit fermionic sign counting.
+pub fn hubbard_ed(
+    n_sites: usize,
+    bonds: &[(usize, usize)],
+    t: f64,
+    u: f64,
+    n_up: usize,
+    n_dn: usize,
+) -> Result<f64> {
+    if n_sites >= 20 {
+        return Err(Error::Ed("bitstring ED capped at 20 sites".into()));
+    }
+    let masks_with = |count: usize| -> Vec<u32> {
+        (0u32..(1 << n_sites))
+            .filter(|m| m.count_ones() as usize == count)
+            .collect()
+    };
+    let ups = masks_with(n_up);
+    let dns = masks_with(n_dn);
+    let dim = ups.len() * dns.len();
+    if dim == 0 {
+        return Err(Error::Ed("empty Hubbard sector".into()));
+    }
+    let up_index: HashMap<u32, usize> = ups.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    let dn_index: HashMap<u32, usize> = dns.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+
+    // fermionic hop: c†_a c_b on a bitmask; returns (new mask, sign)
+    let hop = |mask: u32, a: usize, b: usize| -> Option<(u32, f64)> {
+        if mask & (1 << b) == 0 || (a != b && mask & (1 << a) != 0) {
+            return None;
+        }
+        let removed = mask & !(1 << b);
+        // sign from electrons between the two sites
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let between = removed & (((1u32 << hi) - 1) & !((1u32 << (lo + 1)) - 1));
+        let sign = if between.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        Some((removed | (1 << a), sign))
+    };
+
+    let apply = |x: &[f64]| -> Vec<f64> {
+        let mut y = vec![0.0; dim];
+        for (iu, &up) in ups.iter().enumerate() {
+            for (id, &dn) in dns.iter().enumerate() {
+                let col = iu * dns.len() + id;
+                let amp = x[col];
+                if amp == 0.0 {
+                    continue;
+                }
+                // U term
+                let docc = (up & dn).count_ones() as f64;
+                y[col] += u * docc * amp;
+                // hopping
+                for &(a, b) in bonds {
+                    for (i, j) in [(a, b), (b, a)] {
+                        if let Some((nu, sign)) = hop(up, i, j) {
+                            let row = up_index[&nu] * dns.len() + id;
+                            y[row] += -t * sign * amp;
+                        }
+                        if let Some((nd, sign)) = hop(dn, i, j) {
+                            let row = iu * dns.len() + dn_index[&nd];
+                            y[row] += -t * sign * amp;
+                        }
+                    }
+                }
+            }
+        }
+        y
+    };
+
+    if dim == 1 {
+        let x = vec![1.0];
+        return Ok(apply(&x)[0]);
+    }
+    let x0: Vec<f64> = (0..dim).map(|i| 1.0 + (i as f64 * 0.3717).cos()).collect();
+    let (e, _) = lanczos_smallest(apply, &x0, LanczosOptions::default())
+        .map_err(|e| Error::Ed(e.to_string()))?;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_blocks::QN;
+    use tt_mps::{heisenberg_j1j2, hubbard, Lattice, SpinHalf};
+
+    #[test]
+    fn sector_dimensions() {
+        let b = sector_basis(&SpinHalf, 4, QN::one(0));
+        assert_eq!(b.dim(), 6); // C(4,2)
+        let b2 = sector_basis(&SpinHalf, 4, QN::one(4));
+        assert_eq!(b2.dim(), 1);
+        let b3 = sector_basis(&tt_mps::Electron, 2, QN::two(1, 1));
+        assert_eq!(b3.dim(), 4);
+    }
+
+    #[test]
+    fn two_site_heisenberg_singlet() {
+        // two-spin Heisenberg: ground state is the singlet at E = −3/4
+        let lat = Lattice::chain(2);
+        let terms = heisenberg_j1j2(&lat, 1.0, 0.0).expanded().unwrap();
+        let e = ground_state_energy(&SpinHalf, 2, &terms, QN::one(0)).unwrap();
+        assert!((e + 0.75).abs() < 1e-9, "E = {e}");
+    }
+
+    #[test]
+    fn heisenberg_chain_n4_exact() {
+        // N=4 open Heisenberg chain: E0 = (1 - sqrt(3)) - ... known value
+        // E0 = -(3/2 - ... use the analytic result E0 = (-3 + √3·? );
+        // instead check against full dense diagonalization
+        let lat = Lattice::chain(4);
+        let terms = heisenberg_j1j2(&lat, 1.0, 0.0).expanded().unwrap();
+        let e = ground_state_energy(&SpinHalf, 4, &terms, QN::one(0)).unwrap();
+        // dense reference over the full space
+        let h = tt_mps::dense_from_terms(&SpinHalf, 4, &terms);
+        let (w, _) = tt_linalg::eigh(&h).unwrap();
+        assert!((e - w[0]).abs() < 1e-8, "{e} vs {}", w[0]);
+        // known value for the N=4 open chain: E0 = −(3−√3)/2·... check
+        // numerically stable constant instead
+        assert!((e + 1.6160254037844386).abs() < 1e-8);
+    }
+
+    #[test]
+    fn hamiltonian_symmetric() {
+        let lat = Lattice::square_cylinder(2, 2);
+        let terms = heisenberg_j1j2(&lat, 1.0, 0.5).expanded().unwrap();
+        let basis = sector_basis(&SpinHalf, 4, QN::one(0));
+        let h = build_hamiltonian(&basis, &terms);
+        assert!(h.asymmetry() < 1e-12);
+    }
+
+    #[test]
+    fn hubbard_term_ed_matches_bitstring_ed() {
+        // the key fermion-sign cross-validation: Jordan-Wigner expanded
+        // term ED vs direct second-quantized bitstring ED
+        let lat = Lattice::chain(4);
+        let terms = hubbard(&lat, 1.0, 4.0).expanded().unwrap();
+        let e_terms =
+            ground_state_energy(&tt_mps::Electron, 4, &terms, QN::two(2, 2)).unwrap();
+        let bonds: Vec<(usize, usize)> =
+            lat.bonds_of(tt_mps::BondKind::Nearest).collect();
+        let e_bits = hubbard_ed(4, &bonds, 1.0, 4.0, 2, 2).unwrap();
+        assert!(
+            (e_terms - e_bits).abs() < 1e-7,
+            "JW terms {e_terms} vs bitstrings {e_bits}"
+        );
+    }
+
+    #[test]
+    fn hubbard_triangular_fermion_signs() {
+        // triangular connectivity exercises longer JW strings (bonds that
+        // skip sites in the 1-D ordering)
+        let lat = Lattice::triangular_cylinder_xc(2, 2);
+        let terms = hubbard(&lat, 1.0, 8.5).expanded().unwrap();
+        let e_terms =
+            ground_state_energy(&tt_mps::Electron, 4, &terms, QN::two(2, 2)).unwrap();
+        let bonds: Vec<(usize, usize)> =
+            lat.bonds_of(tt_mps::BondKind::Nearest).collect();
+        let e_bits = hubbard_ed(4, &bonds, 1.0, 8.5, 2, 2).unwrap();
+        assert!(
+            (e_terms - e_bits).abs() < 1e-7,
+            "JW terms {e_terms} vs bitstrings {e_bits}"
+        );
+    }
+
+    #[test]
+    fn atomic_limit() {
+        // t=0: ground energy = 0 in the (1,1) sector of 2 sites (electrons
+        // avoid double occupancy)
+        let e = hubbard_ed(2, &[(0, 1)], 0.0, 8.5, 1, 1).unwrap();
+        assert!(e.abs() < 1e-10);
+        // forced double occupancy: 1 site, 1↑1↓ ⇒ E = U
+        let e2 = hubbard_ed(1, &[], 0.0, 8.5, 1, 1).unwrap();
+        assert!((e2 - 8.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hubbard_two_site_analytic() {
+        // 2-site Hubbard at half filling: E0 = (U − √(U² + 16t²)) / 2
+        let (t, u) = (1.0, 4.0);
+        let e = hubbard_ed(2, &[(0, 1)], t, u, 1, 1).unwrap();
+        let analytic = (u - (u * u + 16.0 * t * t).sqrt()) / 2.0;
+        assert!((e - analytic).abs() < 1e-9, "{e} vs {analytic}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Lanczos iteration for extremal eigenpairs of large implicit matrices.
+//!
+//! Used by the exact-diagonalization reference path (`dmrg::ed`) that
+//! validates every DMRG energy in the test suite. Full reorthogonalization
+//! keeps the basis numerically orthogonal — the Krylov spaces here are small
+//! (≤ a few hundred vectors) so the O(k²n) cost is acceptable.
+
+use crate::eig::eigh;
+use crate::{Error, Result};
+use tt_tensor::DenseTensor;
+
+/// Options for [`lanczos_smallest`].
+#[derive(Debug, Clone, Copy)]
+pub struct LanczosOptions {
+    /// Maximum Krylov dimension per restart cycle.
+    pub max_krylov: usize,
+    /// Maximum number of restart cycles.
+    pub max_restarts: usize,
+    /// Convergence threshold on the residual norm `‖A·x − λ·x‖`.
+    pub tol: f64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        Self {
+            max_krylov: 200,
+            max_restarts: 20,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Compute the smallest eigenpair `(λ, x)` of a symmetric operator given as
+/// a matrix-free closure `apply(v) = A·v`, starting from `x0`.
+pub fn lanczos_smallest(
+    apply: impl Fn(&[f64]) -> Vec<f64>,
+    x0: &[f64],
+    opts: LanczosOptions,
+) -> Result<(f64, Vec<f64>)> {
+    let n = x0.len();
+    if n == 0 {
+        return Err(Error::Shape("lanczos on empty vector".into()));
+    }
+    let nrm = norm(x0);
+    if nrm == 0.0 {
+        return Err(Error::Shape("lanczos needs a nonzero start vector".into()));
+    }
+    let mut x: Vec<f64> = x0.iter().map(|v| v / nrm).collect();
+    let mut lambda = f64::INFINITY;
+
+    for _restart in 0..opts.max_restarts {
+        let mut basis: Vec<Vec<f64>> = vec![x.clone()];
+        let mut alphas: Vec<f64> = Vec::new();
+        let mut betas: Vec<f64> = Vec::new();
+
+        let kmax = opts.max_krylov.min(n);
+        for j in 0..kmax {
+            let mut w = apply(&basis[j]);
+            debug_assert_eq!(w.len(), n);
+            let alpha = dot(&basis[j], &w);
+            alphas.push(alpha);
+            // w -= alpha * v_j + beta_{j-1} * v_{j-1}
+            axpy(&mut w, -alpha, &basis[j]);
+            if j > 0 {
+                let b = betas[j - 1];
+                axpy(&mut w, -b, &basis[j - 1]);
+            }
+            // full reorthogonalization (twice is enough)
+            for _ in 0..2 {
+                for v in &basis {
+                    let c = dot(v, &w);
+                    axpy(&mut w, -c, v);
+                }
+            }
+            let beta = norm(&w);
+            if beta < 1e-14 || j + 1 == kmax {
+                break;
+            }
+            betas.push(beta);
+            basis.push(w.iter().map(|v| v / beta).collect());
+        }
+
+        // diagonalize the tridiagonal matrix
+        let k = alphas.len();
+        let mut t = DenseTensor::<f64>::zeros([k, k]);
+        for i in 0..k {
+            t.set(&[i, i], alphas[i]);
+            if i + 1 < k {
+                t.set(&[i, i + 1], betas[i]);
+                t.set(&[i + 1, i], betas[i]);
+            }
+        }
+        let (w, v) = eigh(&t)?;
+        lambda = w[0];
+        // Ritz vector
+        let mut ritz = vec![0.0f64; n];
+        for (j, b) in basis.iter().enumerate() {
+            axpy(&mut ritz, v.at(&[j, 0]), b);
+        }
+        let rn = norm(&ritz);
+        for e in &mut ritz {
+            *e /= rn;
+        }
+        // residual
+        let mut r = apply(&ritz);
+        axpy(&mut r, -lambda, &ritz);
+        let res = norm(&r);
+        x = ritz;
+        if res <= opts.tol {
+            return Ok((lambda, x));
+        }
+    }
+    // did not hit tolerance; return best estimate but flag it
+    if lambda.is_finite() {
+        Ok((lambda, x))
+    } else {
+        Err(Error::NoConvergence("lanczos produced no estimate".into()))
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    tt_tensor::counter::add_flops(2 * a.len() as u64);
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    tt_tensor::counter::add_flops(2 * y.len() as u64);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn diagonal_operator() {
+        // A = diag(0..n), smallest eigenvalue 0 with eigenvector e_0
+        let n = 50;
+        let apply = |v: &[f64]| -> Vec<f64> {
+            v.iter().enumerate().map(|(i, x)| i as f64 * x).collect()
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let (lam, x) = lanczos_smallest(apply, &x0, LanczosOptions::default()).unwrap();
+        assert!(lam.abs() < 1e-8);
+        assert!((x[0].abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_dense_eigh() {
+        let n = 30;
+        let mut rng = StdRng::seed_from_u64(32);
+        let b = DenseTensor::<f64>::random([n, n], &mut rng);
+        let a = b.add(&b.permute(&[1, 0]).unwrap()).unwrap().scaled(0.5);
+        let (w_ref, _) = eigh(&a).unwrap();
+        let apply = |v: &[f64]| tt_tensor::gemm::gemv(&a, v).unwrap();
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (lam, x) = lanczos_smallest(apply, &x0, LanczosOptions::default()).unwrap();
+        assert!((lam - w_ref[0]).abs() < 1e-8, "{lam} vs {}", w_ref[0]);
+        // eigen-residual
+        let ax = tt_tensor::gemm::gemv(&a, &x).unwrap();
+        let res: f64 = ax
+            .iter()
+            .zip(&x)
+            .map(|(axi, xi)| (axi - lam * xi).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_ground_state() {
+        // A = diag(1,1,2,...) — degenerate minimum still converges
+        let diag = [1.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let apply = |v: &[f64]| -> Vec<f64> {
+            v.iter().zip(diag.iter()).map(|(x, d)| d * x).collect()
+        };
+        let x0 = vec![1.0; 6];
+        let (lam, _) = lanczos_smallest(apply, &x0, LanczosOptions::default()).unwrap();
+        assert!((lam - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_start() {
+        let apply = |v: &[f64]| v.to_vec();
+        assert!(lanczos_smallest(apply, &[0.0; 4], LanczosOptions::default()).is_err());
+        assert!(lanczos_smallest(apply, &[], LanczosOptions::default()).is_err());
+    }
+}

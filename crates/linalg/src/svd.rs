@@ -1,0 +1,356 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The paper performs DMRG bond truncation with a distributed ScaLAPACK SVD
+//! (`pdgesvd`); locally we use one-sided Jacobi, which is simple, backward
+//! stable, and accurate for the small-to-medium blocks a quantum-number
+//! sector produces. Tall matrices are pre-reduced with a Householder QR so
+//! the Jacobi sweeps run on the square factor.
+
+use crate::qr::qr_thin;
+use crate::{Error, Result};
+use tt_tensor::{gemm_f64, DenseTensor};
+
+/// Result of a full SVD: `A = U · diag(s) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SvdResult {
+    /// Left singular vectors, `m×r` (orthonormal columns), `r = min(m,n)`.
+    pub u: DenseTensor<f64>,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors transposed, `r×n` (orthonormal rows).
+    pub vt: DenseTensor<f64>,
+}
+
+/// Truncation policy for [`svd_trunc`].
+#[derive(Debug, Clone, Copy)]
+pub struct TruncSpec {
+    /// Keep at most this many singular values (`usize::MAX` = no cap).
+    pub max_rank: usize,
+    /// Discard singular values `<= cutoff` (absolute). The paper uses
+    /// `1e-12` during sweeps and `1e-13` for MPO compression.
+    pub cutoff: f64,
+    /// Keep at least this many values (even below cutoff), when available.
+    pub min_keep: usize,
+}
+
+impl Default for TruncSpec {
+    fn default() -> Self {
+        Self {
+            max_rank: usize::MAX,
+            cutoff: 1e-12,
+            min_keep: 1,
+        }
+    }
+}
+
+impl TruncSpec {
+    /// Cap the rank.
+    pub fn with_max_rank(mut self, r: usize) -> Self {
+        self.max_rank = r;
+        self
+    }
+    /// Set the absolute singular-value cutoff.
+    pub fn with_cutoff(mut self, c: f64) -> Self {
+        self.cutoff = c;
+        self
+    }
+}
+
+/// Result of a truncated SVD.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left vectors `m×r`.
+    pub u: DenseTensor<f64>,
+    /// Kept singular values, descending.
+    pub s: Vec<f64>,
+    /// Right vectors `r×n`.
+    pub vt: DenseTensor<f64>,
+    /// Sum of squares of the discarded singular values (the DMRG
+    /// truncation error).
+    pub trunc_err: f64,
+    /// Number of singular values discarded.
+    pub n_discarded: usize,
+}
+
+const JACOBI_EPS: f64 = 1e-14;
+const MAX_SWEEPS: usize = 60;
+
+/// Full SVD of an `m×n` matrix.
+pub fn svd(a: &DenseTensor<f64>) -> Result<SvdResult> {
+    if a.order() != 2 {
+        return Err(Error::Shape("svd wants a matrix".into()));
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if m == 0 || n == 0 {
+        return Ok(SvdResult {
+            u: DenseTensor::zeros([m, m.min(n)]),
+            s: vec![],
+            vt: DenseTensor::zeros([m.min(n), n]),
+        });
+    }
+    if m < n {
+        // SVD of the transpose and swap factors: Aᵀ = U Σ Vᵀ ⇒ A = V Σ Uᵀ
+        let at = a.permute(&[1, 0])?;
+        let r = svd(&at)?;
+        return Ok(SvdResult {
+            u: r.vt.permute(&[1, 0])?,
+            s: r.s,
+            vt: r.u.permute(&[1, 0])?,
+        });
+    }
+    // Tall: QR first, Jacobi on the square R factor.
+    if m > n {
+        let (q, r) = qr_thin(a)?;
+        let inner = svd_square_jacobi(&r)?;
+        let u = gemm_f64(&q, &inner.u)?;
+        return Ok(SvdResult {
+            u,
+            s: inner.s,
+            vt: inner.vt,
+        });
+    }
+    svd_square_jacobi(a)
+}
+
+/// One-sided Jacobi SVD for a square (or modestly rectangular m>=n) matrix.
+fn svd_square_jacobi(a: &DenseTensor<f64>) -> Result<SvdResult> {
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    debug_assert!(m >= n);
+    // column-major working copy of A; V accumulated column-major
+    let mut w = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            w[i + j * m] = a.at(&[i, j]);
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for j in 0..n {
+        v[j + j * n] = 1.0;
+    }
+
+    let norm_a = a.norm();
+    let tol = JACOBI_EPS * norm_a.max(1e-300);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    let x = w[i + p * m];
+                    let y = w[i + q * m];
+                    app += x * x;
+                    aqq += y * y;
+                    apq += x * y;
+                }
+                tt_tensor::counter::add_flops(6 * m as u64);
+                if apq.abs() <= tol * (app.sqrt() * aqq.sqrt()).max(tol) {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let x = w[i + p * m];
+                    let y = w[i + q * m];
+                    w[i + p * m] = c * x - s * y;
+                    w[i + q * m] = s * x + c * y;
+                }
+                for i in 0..n {
+                    let x = v[i + p * n];
+                    let y = v[i + q * n];
+                    v[i + p * n] = c * x - s * y;
+                    v[i + q * n] = s * x + c * y;
+                }
+                tt_tensor::counter::add_flops(6 * (m + n) as u64);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // singular values = column norms; normalize columns into U
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigma = vec![0.0f64; n];
+    for j in 0..n {
+        sigma[j] = (0..m).map(|i| w[i + j * m] * w[i + j * m]).sum::<f64>().sqrt();
+    }
+    order.sort_by(|&x, &y| sigma[y].partial_cmp(&sigma[x]).expect("no NaN"));
+
+    let mut u = DenseTensor::zeros([m, n]);
+    let mut vt = DenseTensor::zeros([n, n]);
+    let mut s = Vec::with_capacity(n);
+    for (newj, &j) in order.iter().enumerate() {
+        let sg = sigma[j];
+        s.push(sg);
+        if sg > 0.0 {
+            for i in 0..m {
+                u.set(&[i, newj], w[i + j * m] / sg);
+            }
+        }
+        for i in 0..n {
+            vt.set(&[newj, i], v[i + j * n]);
+        }
+    }
+    Ok(SvdResult { u, s, vt })
+}
+
+/// Truncated SVD according to a [`TruncSpec`]; reports the discarded weight.
+pub fn svd_trunc(a: &DenseTensor<f64>, spec: TruncSpec) -> Result<TruncatedSvd> {
+    let full = svd(a)?;
+    let r_full = full.s.len();
+    let mut keep = 0usize;
+    for (i, &sv) in full.s.iter().enumerate() {
+        if i < spec.min_keep || (sv > spec.cutoff && i < spec.max_rank) {
+            keep = i + 1;
+        } else {
+            break;
+        }
+    }
+    keep = keep.min(spec.max_rank.max(spec.min_keep)).min(r_full);
+    let trunc_err: f64 = full.s[keep..].iter().map(|x| x * x).sum();
+
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let mut u = DenseTensor::zeros([m, keep]);
+    for i in 0..m {
+        for j in 0..keep {
+            u.set(&[i, j], full.u.at(&[i, j]));
+        }
+    }
+    let mut vt = DenseTensor::zeros([keep, n]);
+    for i in 0..keep {
+        for j in 0..n {
+            vt.set(&[i, j], full.vt.at(&[i, j]));
+        }
+    }
+    Ok(TruncatedSvd {
+        u,
+        s: full.s[..keep].to_vec(),
+        vt,
+        trunc_err,
+        n_discarded: r_full - keep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tt_tensor::Layout;
+
+    fn reconstruct(r: &SvdResult) -> DenseTensor<f64> {
+        let rk = r.s.len();
+        let mut us = r.u.clone();
+        for i in 0..us.dims()[0] {
+            for j in 0..rk {
+                us.set(&[i, j], us.at(&[i, j]) * r.s[j]);
+            }
+        }
+        gemm_f64(&us, &r.vt).unwrap()
+    }
+
+    fn check_svd(a: &DenseTensor<f64>, tol: f64) {
+        let r = svd(a).unwrap();
+        assert!(reconstruct(&r).allclose(a, tol), "A != U S V^T");
+        // descending
+        for w in r.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        // orthonormality (columns of U corresponding to nonzero s)
+        let utu = tt_tensor::gemm(&r.u, Layout::Transposed, &r.u, Layout::Normal).unwrap();
+        for i in 0..r.s.len() {
+            if r.s[i] > 1e-10 {
+                assert!((utu.at(&[i, i]) - 1.0).abs() < 1e-9);
+            }
+        }
+        let vvt = tt_tensor::gemm(&r.vt, Layout::Normal, &r.vt, Layout::Transposed).unwrap();
+        assert!(vvt.allclose(&DenseTensor::eye(r.s.len()), 1e-9));
+    }
+
+    #[test]
+    fn shapes_tall_square_wide() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (m, n) in [(5, 5), (8, 3), (3, 8), (1, 4), (4, 1), (16, 11), (11, 16)] {
+            let a = DenseTensor::<f64>::random([m, n], &mut rng);
+            check_svd(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn known_singular_values() {
+        // diag(3, 2, 1) embedded in 3x3
+        let a = DenseTensor::from_vec(
+            [3, 3],
+            vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0],
+        )
+        .unwrap();
+        let r = svd(&a).unwrap();
+        assert!((r.s[0] - 3.0).abs() < 1e-12);
+        assert!((r.s[1] - 2.0).abs() < 1e-12);
+        assert!((r.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        // outer product: single nonzero singular value = |u||v|
+        let u = [1.0, 2.0, 2.0]; // norm 3
+        let v = [3.0, 4.0]; // norm 5
+        let a = DenseTensor::from_fn([3, 2], |i| u[i[0]] * v[i[1]]);
+        let r = svd(&a).unwrap();
+        assert!((r.s[0] - 15.0).abs() < 1e-10);
+        assert!(r.s[1].abs() < 1e-10);
+    }
+
+    #[test]
+    fn frobenius_identity() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = DenseTensor::<f64>::random([7, 9], &mut rng);
+        let r = svd(&a).unwrap();
+        let s2: f64 = r.s.iter().map(|x| x * x).sum();
+        assert!((s2 - a.norm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_by_rank_and_cutoff() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = DenseTensor::<f64>::random([10, 10], &mut rng);
+        let full = svd(&a).unwrap();
+        let t = svd_trunc(&a, TruncSpec::default().with_max_rank(4)).unwrap();
+        assert_eq!(t.s.len(), 4);
+        assert_eq!(t.n_discarded, 6);
+        let expect_err: f64 = full.s[4..].iter().map(|x| x * x).sum();
+        assert!((t.trunc_err - expect_err).abs() < 1e-9);
+        // cutoff larger than everything keeps min_keep
+        let t2 = svd_trunc(&a, TruncSpec { max_rank: usize::MAX, cutoff: 1e9, min_keep: 1 })
+            .unwrap();
+        assert_eq!(t2.s.len(), 1);
+    }
+
+    #[test]
+    fn truncated_reconstruction_error_is_optimal() {
+        // Eckart–Young: rank-k truncation error equals sum of discarded s^2
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = DenseTensor::<f64>::random([8, 6], &mut rng);
+        let t = svd_trunc(&a, TruncSpec::default().with_max_rank(3)).unwrap();
+        let mut us = t.u.clone();
+        for i in 0..8 {
+            for j in 0..t.s.len() {
+                us.set(&[i, j], us.at(&[i, j]) * t.s[j]);
+            }
+        }
+        let approx = gemm_f64(&us, &t.vt).unwrap();
+        let diff = a.sub(&approx).unwrap();
+        assert!((diff.norm2() - t.trunc_err).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_matrix_svd() {
+        let a = DenseTensor::<f64>::zeros([4, 4]);
+        let r = svd(&a).unwrap();
+        assert!(r.s.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the linear-algebra layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tt_linalg::{eigh, qr_thin, svd, svd_trunc, TruncSpec};
+use tt_tensor::{gemm_f64, DenseTensor, Layout};
+
+fn random_matrix(m: usize, n: usize, seed: u64) -> DenseTensor<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseTensor::random([m, n], &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// QR: reconstruction + orthonormal Q + upper-triangular R, any shape.
+    #[test]
+    fn qr_invariants(m in 1usize..12, n in 1usize..12, seed in 0u64..10_000) {
+        let a = random_matrix(m, n, seed);
+        let (q, r) = qr_thin(&a).unwrap();
+        let k = m.min(n);
+        prop_assert_eq!(q.dims(), &[m, k]);
+        prop_assert_eq!(r.dims(), &[k, n]);
+        prop_assert!(gemm_f64(&q, &r).unwrap().allclose(&a, 1e-9));
+        let qtq = tt_tensor::gemm(&q, Layout::Transposed, &q, Layout::Normal).unwrap();
+        prop_assert!(qtq.allclose(&DenseTensor::eye(k), 1e-9));
+        for i in 0..k {
+            for j in 0..i.min(n) {
+                prop_assert!(r.at(&[i, j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// SVD: reconstruction, descending spectrum, Frobenius identity.
+    #[test]
+    fn svd_invariants(m in 1usize..10, n in 1usize..10, seed in 0u64..10_000) {
+        let a = random_matrix(m, n, seed);
+        let r = svd(&a).unwrap();
+        // reconstruct
+        let mut us = r.u.clone();
+        for i in 0..m {
+            for j in 0..r.s.len() {
+                us.set(&[i, j], us.at(&[i, j]) * r.s[j]);
+            }
+        }
+        prop_assert!(gemm_f64(&us, &r.vt).unwrap().allclose(&a, 1e-8));
+        for w in r.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        let s2: f64 = r.s.iter().map(|x| x * x).sum();
+        prop_assert!((s2 - a.norm2()).abs() < 1e-8 * a.norm2().max(1.0));
+    }
+
+    /// Eckart–Young: rank-k truncation error equals the discarded weight,
+    /// and equals the squared Frobenius distance of the reconstruction.
+    #[test]
+    fn truncation_optimality(seed in 0u64..10_000, keep in 1usize..5) {
+        let a = random_matrix(7, 6, seed);
+        let full = svd(&a).unwrap();
+        prop_assume!(full.s.len() > keep);
+        let t = svd_trunc(&a, TruncSpec { max_rank: keep, cutoff: 0.0, min_keep: 1 }).unwrap();
+        prop_assert_eq!(t.s.len(), keep);
+        let expect: f64 = full.s[keep..].iter().map(|x| x * x).sum();
+        prop_assert!((t.trunc_err - expect).abs() < 1e-9 * expect.max(1.0));
+        let mut us = t.u.clone();
+        for i in 0..7 {
+            for j in 0..keep {
+                us.set(&[i, j], us.at(&[i, j]) * t.s[j]);
+            }
+        }
+        let diff = a.sub(&gemm_f64(&us, &t.vt).unwrap()).unwrap();
+        prop_assert!((diff.norm2() - t.trunc_err).abs() < 1e-7 * t.trunc_err.max(1.0));
+    }
+
+    /// eigh: A·V = V·Λ, orthonormal V, trace identity.
+    #[test]
+    fn eigh_invariants(n in 1usize..9, seed in 0u64..10_000) {
+        let b = random_matrix(n, n, seed);
+        let a = b.add(&b.permute(&[1, 0]).unwrap()).unwrap().scaled(0.5);
+        let (w, v) = eigh(&a).unwrap();
+        let av = gemm_f64(&a, &v).unwrap();
+        let mut vl = v.clone();
+        for i in 0..n {
+            for j in 0..n {
+                vl.set(&[i, j], v.at(&[i, j]) * w[j]);
+            }
+        }
+        prop_assert!(av.allclose(&vl, 1e-7));
+        let vtv = tt_tensor::gemm(&v, Layout::Transposed, &v, Layout::Normal).unwrap();
+        prop_assert!(vtv.allclose(&DenseTensor::eye(n), 1e-8));
+        let tr: f64 = (0..n).map(|i| a.at(&[i, i])).sum();
+        prop_assert!((w.iter().sum::<f64>() - tr).abs() < 1e-8 * tr.abs().max(1.0));
+    }
+
+    /// SVD of an orthogonal-column matrix has unit singular values.
+    #[test]
+    fn svd_of_isometry(m in 3usize..10, seed in 0u64..10_000) {
+        let a = random_matrix(m, 3.min(m), seed);
+        let (q, _) = qr_thin(&a).unwrap();
+        // skip rank-deficient random draws
+        let r = svd(&q).unwrap();
+        prop_assume!(r.s.iter().all(|&s| s > 1e-8));
+        for &s in &r.s {
+            prop_assert!((s - 1.0).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's two benchmark Hamiltonians.
+//!
+//! * **spins** — the square-lattice `J1−J2` Heisenberg antiferromagnet at
+//!   `J2/J1 = 0.5` on a cylinder (Section V):
+//!   `H = J1 Σ_{⟨ij⟩} S_i·S_j + J2 Σ_{⟨⟨ij⟩⟩} S_i·S_j`.
+//! * **electrons** — the triangular-lattice Hubbard model at `t = 1`,
+//!   `U = 8.5`:
+//!   `H = −t Σ_{⟨ij⟩σ} (c†_{iσ} c_{jσ} + h.c.) + U Σ_i n_{i↑} n_{i↓}`.
+
+use crate::autompo::AutoMpo;
+use crate::lattice::{BondKind, Lattice};
+use crate::sites::{Electron, SpinHalf};
+
+/// `J1−J2` Heisenberg model on a lattice: `S_i·S_j` on every bond with the
+/// coupling chosen by bond kind.
+pub fn heisenberg_j1j2(lat: &Lattice, j1: f64, j2: f64) -> AutoMpo<SpinHalf> {
+    let mut b = AutoMpo::new(SpinHalf, lat.n_sites());
+    let mut add_bond = |i: usize, j: usize, coupling: f64| {
+        if coupling == 0.0 {
+            return;
+        }
+        b.add(coupling, &[(i, "Sz"), (j, "Sz")]);
+        b.add(0.5 * coupling, &[(i, "S+"), (j, "S-")]);
+        b.add(0.5 * coupling, &[(i, "S-"), (j, "S+")]);
+    };
+    for (i, j) in lat.bonds_of(BondKind::Nearest) {
+        add_bond(i, j, j1);
+    }
+    for (i, j) in lat.bonds_of(BondKind::NextNearest) {
+        add_bond(i, j, j2);
+    }
+    b
+}
+
+/// Hubbard model on a lattice: hopping `−t` on nearest-neighbour bonds plus
+/// on-site repulsion `U`.
+pub fn hubbard(lat: &Lattice, t: f64, u: f64) -> AutoMpo<Electron> {
+    let mut b = AutoMpo::new(Electron, lat.n_sites());
+    for (i, j) in lat.bonds_of(BondKind::Nearest) {
+        for (cd, c) in [("Cdagup", "Cup"), ("Cdagdn", "Cdn")] {
+            b.add(-t, &[(i, cd), (j, c)]);
+            b.add(-t, &[(j, cd), (i, c)]);
+        }
+    }
+    if u != 0.0 {
+        for i in 0..lat.n_sites() {
+            b.add(u, &[(i, "Nupdn")]);
+        }
+    }
+    b
+}
+
+/// Néel-pattern initial product state for a spin lattice (`Sz_total = 0`
+/// for even site counts).
+pub fn neel_state(n: usize) -> Vec<usize> {
+    (0..n).map(|i| i % 2).collect()
+}
+
+/// Alternating ↑/↓ filling with `n_up + n_dn` electrons on `n` sites
+/// (`|↑⟩`=1, `|↓⟩`=2, `|0⟩`=0), spread as evenly as possible.
+pub fn electron_filling(n: usize, n_up: usize, n_dn: usize) -> Vec<usize> {
+    assert!(n_up + n_dn <= n, "more electrons than sites (no doublons)");
+    let mut states = vec![0usize; n];
+    let total = n_up + n_dn;
+    let mut placed_up = 0;
+    let mut placed_dn = 0;
+    for k in 0..total {
+        // spread electron k across the chain
+        let pos = k * n / total;
+        // find the next free site from pos
+        let mut p = pos;
+        while states[p] != 0 {
+            p = (p + 1) % n;
+        }
+        if (k % 2 == 0 && placed_up < n_up) || placed_dn >= n_dn {
+            states[p] = 1;
+            placed_up += 1;
+        } else {
+            states[p] = 2;
+            placed_dn += 1;
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mps::Mps;
+    use tt_blocks::QN;
+
+    #[test]
+    fn heisenberg_chain_term_count() {
+        let lat = Lattice::chain(6);
+        let b = heisenberg_j1j2(&lat, 1.0, 0.0);
+        // 3 terms per bond, 5 bonds
+        assert_eq!(b.terms().len(), 15);
+    }
+
+    #[test]
+    fn j2_terms_included() {
+        let lat = Lattice::square_cylinder(3, 4);
+        let b = heisenberg_j1j2(&lat, 1.0, 0.5);
+        let nn = lat.bonds_of(BondKind::Nearest).count();
+        let nnn = lat.bonds_of(BondKind::NextNearest).count();
+        assert_eq!(b.terms().len(), 3 * (nn + nnn));
+        // j2 = 0 drops the NNN terms
+        let b0 = heisenberg_j1j2(&lat, 1.0, 0.0);
+        assert_eq!(b0.terms().len(), 3 * nn);
+    }
+
+    #[test]
+    fn hubbard_term_count() {
+        let lat = Lattice::chain(4);
+        let b = hubbard(&lat, 1.0, 8.5);
+        // 4 hopping terms per bond (2 spins × h.c.) + U per site
+        assert_eq!(b.terms().len(), 4 * 3 + 4);
+    }
+
+    #[test]
+    fn mpo_builds_for_small_cylinders() {
+        let lat = Lattice::square_cylinder(3, 2);
+        let mpo = heisenberg_j1j2(&lat, 1.0, 0.5).build().unwrap();
+        assert_eq!(mpo.n_sites(), 6);
+        assert!(mpo.max_bond_dim() >= 5);
+        let lat_t = Lattice::triangular_cylinder_xc(2, 2);
+        let mpo_h = hubbard(&lat_t, 1.0, 8.5).build().unwrap();
+        assert_eq!(mpo_h.n_sites(), 4);
+    }
+
+    #[test]
+    fn neel_and_filling_states() {
+        assert_eq!(neel_state(4), vec![0, 1, 0, 1]);
+        let f = electron_filling(4, 2, 2);
+        assert_eq!(f.iter().filter(|&&s| s == 1).count(), 2);
+        assert_eq!(f.iter().filter(|&&s| s == 2).count(), 2);
+        let psi = Mps::product_state(&Electron, &f).unwrap();
+        assert_eq!(psi.total_qn(), QN::two(2, 2));
+        let _ = SpinHalf;
+    }
+
+    #[test]
+    fn hubbard_mpo_energy_of_filled_state() {
+        // doubly-occupied site pays U; hopping has zero expectation on a
+        // product state
+        let lat = Lattice::chain(2);
+        let mpo = hubbard(&lat, 1.0, 8.5).build().unwrap();
+        let psi = Mps::product_state(&Electron, &[3, 0]).unwrap();
+        let e = psi.expectation(&mpo).unwrap();
+        assert!((e - 8.5).abs() < 1e-10, "e = {e}");
+    }
+}

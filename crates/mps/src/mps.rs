@@ -1,0 +1,501 @@
+//! Matrix product states.
+//!
+//! Site tensors carry indices `(i_left In, σ In, i_right Out)` with flux 0;
+//! the state's total quantum number rides on the rightmost boundary bond.
+//! Canonical forms are maintained via block QR/SVD exactly as in
+//! Section II-C of the paper.
+
+use crate::mpo::Mpo;
+use crate::sites::SiteType;
+use crate::{Error, Result};
+use tt_blocks::contract::contract_list;
+use tt_blocks::{block_svd, scale_bond, Arrow, BlockSparseTensor, QnIndex, QN};
+use tt_dist::Executor;
+use tt_linalg::TruncSpec;
+use tt_tensor::DenseTensor;
+
+/// A matrix product state over block-sparse site tensors.
+#[derive(Debug, Clone)]
+pub struct Mps {
+    tensors: Vec<BlockSparseTensor>,
+}
+
+impl Mps {
+    /// Build from site tensors, validating bond compatibility.
+    pub fn from_tensors(tensors: Vec<BlockSparseTensor>) -> Result<Self> {
+        if tensors.is_empty() {
+            return Err(Error::State("empty MPS".into()));
+        }
+        for t in &tensors {
+            if t.order() != 3 {
+                return Err(Error::State(format!(
+                    "MPS site tensors must be order 3, got {}",
+                    t.order()
+                )));
+            }
+        }
+        for w in tensors.windows(2) {
+            if !w[0].indices()[2].contractable_with(&w[1].indices()[0]) {
+                return Err(Error::State("MPS bond indices incompatible".into()));
+            }
+        }
+        Ok(Self { tensors })
+    }
+
+    /// Product state `|s₀ s₁ …⟩`; the total charge accumulates on the
+    /// right boundary bond.
+    pub fn product_state<S: SiteType>(site: &S, states: &[usize]) -> Result<Self> {
+        if states.is_empty() {
+            return Err(Error::State("empty product state".into()));
+        }
+        let arity = site.arity();
+        let mut tensors = Vec::with_capacity(states.len());
+        let mut acc = QN::zero(arity);
+        for (&s, _) in states.iter().zip(0..) {
+            if s >= site.d() {
+                return Err(Error::State(format!("state {s} ≥ d={}", site.d())));
+            }
+            let left = QnIndex::new(Arrow::In, vec![(acc, 1)]);
+            acc = acc.add(site.state_qn(s));
+            let right = QnIndex::new(Arrow::Out, vec![(acc, 1)]);
+            let phys = site.physical_index(Arrow::In);
+            let mut t =
+                BlockSparseTensor::new(vec![left, phys.clone(), right], QN::zero(arity));
+            // locate the sector of basis state s within the physical index
+            let mut sector = 0usize;
+            let mut within = s;
+            for sec in 0..phys.n_sectors() {
+                if within < phys.sector_dim(sec) {
+                    sector = sec;
+                    break;
+                }
+                within -= phys.sector_dim(sec);
+            }
+            let mut block = DenseTensor::zeros([1, phys.sector_dim(sector), 1]);
+            block.set(&[0, within, 0], 1.0);
+            t.insert_block(vec![0, sector as u16, 0], block)
+                .map_err(|e| Error::State(e.to_string()))?;
+            tensors.push(t);
+        }
+        Self::from_tensors(tensors)
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Site tensor `j`.
+    pub fn tensor(&self, j: usize) -> &BlockSparseTensor {
+        &self.tensors[j]
+    }
+
+    /// Replace site tensor `j`.
+    pub fn set_tensor(&mut self, j: usize, t: BlockSparseTensor) {
+        self.tensors[j] = t;
+    }
+
+    /// Bond dimensions including the unit boundaries (length `n+1`).
+    pub fn bond_dims(&self) -> Vec<usize> {
+        let mut out = vec![self.tensors[0].indices()[0].dim()];
+        for t in &self.tensors {
+            out.push(t.indices()[2].dim());
+        }
+        out
+    }
+
+    /// Maximum bond dimension `m`.
+    pub fn max_bond_dim(&self) -> usize {
+        self.bond_dims().into_iter().max().unwrap_or(0)
+    }
+
+    /// Total quantum number of the state (charge of the right boundary).
+    pub fn total_qn(&self) -> QN {
+        let last = self.tensors.last().expect("non-empty");
+        last.indices()[2].qn(0)
+    }
+
+    /// `⟨self|other⟩`.
+    pub fn overlap(&self, other: &Mps) -> Result<f64> {
+        if self.n_sites() != other.n_sites() {
+            return Err(Error::State("overlap between different sizes".into()));
+        }
+        let exec = Executor::local();
+        let bra0 = self.tensors[0].conj();
+        // E(b_bra, c_ket)
+        let mut e = contract_list(&exec, "lsb,lsc->bc", &bra0, &other.tensors[0])
+            .map_err(|e| Error::State(e.to_string()))?;
+        for j in 1..self.n_sites() {
+            let bra = self.tensors[j].conj();
+            let t1 = contract_list(&exec, "bc,bse->cse", &e, &bra)
+                .map_err(|e| Error::State(e.to_string()))?;
+            e = contract_list(&exec, "cse,csf->ef", &t1, &other.tensors[j])
+                .map_err(|e| Error::State(e.to_string()))?;
+        }
+        Ok(e.to_dense().at(&[0, 0]))
+    }
+
+    /// State norm `√⟨ψ|ψ⟩`.
+    pub fn norm(&self) -> f64 {
+        self.overlap(self).map(|x| x.max(0.0).sqrt()).unwrap_or(0.0)
+    }
+
+    /// Scale so the norm is 1.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            self.tensors[0].scale_mut(1.0 / n);
+        }
+    }
+
+    /// `⟨ψ|H|ψ⟩ / ⟨ψ|ψ⟩`.
+    pub fn expectation(&self, mpo: &Mpo) -> Result<f64> {
+        if mpo.n_sites() != self.n_sites() {
+            return Err(Error::State("MPO/MPS size mismatch".into()));
+        }
+        let exec = Executor::local();
+        let bra0 = self.tensors[0].conj();
+        // E(b_bra, k_mpo, c_ket): contract bra, W, ket at site 0
+        // bra (l Out, p Out, b In); W (x In, p In, q Out, k Out);
+        // ket (l In, q In, c Out); boundary l and x are unit dims —
+        // contract p and q, fold the unit left bonds via explicit labels
+        let mut e = {
+            let bw = contract_list(&exec, "lpb,xpqk->lbxqk", &bra0, mpo.tensor(0))
+                .map_err(wrap)?;
+            contract_list(&exec, "lbxqk,lqc->bxkc", &bw, &self.tensors[0]).map_err(wrap)?
+        };
+        // e has indices (b_bra, x_unit, k_mpo, c_ket) — drop the unit x by
+        // contracting later; simpler: reshape via permute keeping order —
+        // x has dim 1; treat e as (b, x, k, c) and fold x into contraction
+        for j in 1..self.n_sites() {
+            let bra = self.tensors[j].conj();
+            // t1(b,x,k,c) · bra(b,p,e) -> (x,k,c,p,e)
+            let t1 = contract_list(&exec, "bxkc,bpe->xkcpe", &e, &bra).map_err(wrap)?;
+            // · W(k,p,q,f) -> (x,c,e,q,f)
+            let t2 = contract_list(&exec, "xkcpe,kpqf->xceqf", &t1, mpo.tensor(j))
+                .map_err(wrap)?;
+            // · ket(c,q,g) -> (x,e,f,g) == new (e? ...) keep order (e,x?,...)
+            let t3 = contract_list(&exec, "xceqf,cqg->exfg", &t2, &self.tensors[j])
+                .map_err(wrap)?;
+            // rename to (b,x,k,c)
+            e = t3;
+        }
+        // close: all remaining bonds are unit boundary bonds
+        let val = e.to_dense().at(&[0, 0, 0, 0]);
+        let n2 = self.overlap(self)?;
+        Ok(val / n2)
+    }
+
+    /// Direct sum `|self⟩ + |other⟩` of two states with equal site count
+    /// and total quantum number.
+    ///
+    /// Bond dimensions add (block-diagonal bulk tensors, row/column
+    /// concatenation at the boundaries). The result is neither normalized
+    /// nor canonical; DMRG initialization is its main use — starting from a
+    /// superposition of product states widens the bond sector structure and
+    /// avoids the local minima a single product state can get stuck in.
+    pub fn sum(&self, other: &Mps) -> Result<Mps> {
+        let n = self.n_sites();
+        if other.n_sites() != n {
+            return Err(Error::State("sum of different sizes".into()));
+        }
+        if n == 1 {
+            let mut t = self.tensors[0].clone();
+            t.axpy(1.0, &other.tensors[0])
+                .map_err(|e| Error::State(e.to_string()))?;
+            return Mps::from_tensors(vec![t]);
+        }
+        if self.total_qn() != other.total_qn() {
+            return Err(Error::State(format!(
+                "sum of different sectors {} and {}",
+                self.total_qn(),
+                other.total_qn()
+            )));
+        }
+        let mut tensors = Vec::with_capacity(n);
+        for j in 0..n {
+            let a = &self.tensors[j];
+            let b = &other.tensors[j];
+            let share_left = j == 0;
+            let share_right = j == n - 1;
+            if share_left && a.indices()[0] != b.indices()[0] {
+                return Err(Error::State("left boundary indices differ".into()));
+            }
+            if share_right && a.indices()[2] != b.indices()[2] {
+                return Err(Error::State("right boundary indices differ".into()));
+            }
+            // concatenated graded indices (sector lists appended)
+            let concat = |ia: &QnIndex, ib: &QnIndex| -> QnIndex {
+                let mut sectors = ia.sectors().to_vec();
+                sectors.extend_from_slice(ib.sectors());
+                QnIndex::new(ia.arrow(), sectors)
+            };
+            let left = if share_left {
+                a.indices()[0].clone()
+            } else {
+                concat(&a.indices()[0], &b.indices()[0])
+            };
+            let right = if share_right {
+                a.indices()[2].clone()
+            } else {
+                concat(&a.indices()[2], &b.indices()[2])
+            };
+            let phys = a.indices()[1].clone();
+            if phys != b.indices()[1] {
+                return Err(Error::State("physical indices differ".into()));
+            }
+            let mut t = BlockSparseTensor::new(
+                vec![left, phys, right],
+                QN::zero(a.flux().n_charges()),
+            );
+            let l_shift = if share_left {
+                0
+            } else {
+                a.indices()[0].n_sectors() as u16
+            };
+            let r_shift = if share_right {
+                0
+            } else {
+                a.indices()[2].n_sectors() as u16
+            };
+            for (key, block) in a.blocks() {
+                t.insert_block(key.clone(), block.clone())
+                    .map_err(|e| Error::State(e.to_string()))?;
+            }
+            for (key, block) in b.blocks() {
+                let nk = vec![key[0] + l_shift, key[1], key[2] + r_shift];
+                // boundary sharing can collide block keys; accumulate
+                if let Some(existing) = t.block(&nk) {
+                    let mut acc = existing.clone();
+                    acc.axpy(1.0, block)
+                        .map_err(|e| Error::State(e.to_string()))?;
+                    t.insert_block(nk, acc)
+                        .map_err(|e| Error::State(e.to_string()))?;
+                } else {
+                    t.insert_block(nk, block.clone())
+                        .map_err(|e| Error::State(e.to_string()))?;
+                }
+            }
+            tensors.push(t);
+        }
+        Mps::from_tensors(tensors)
+    }
+
+    /// Left-canonicalize sites `0..center` and right-canonicalize
+    /// `center+1..n` (via block QR / SVD), making `center` the
+    /// orthogonality center.
+    pub fn canonicalize(&mut self, exec: &Executor, center: usize) -> Result<()> {
+        let n = self.n_sites();
+        if center >= n {
+            return Err(Error::State(format!("center {center} ≥ n={n}")));
+        }
+        for j in 0..center {
+            let (q, r) = tt_blocks::block_qr(exec, &self.tensors[j], &[0, 1], &[2])
+                .map_err(|e| Error::State(e.to_string()))?;
+            let merged =
+                contract_list(exec, "bk,ksj->bsj", &r, &self.tensors[j + 1]).map_err(wrap)?;
+            self.tensors[j] = q;
+            self.tensors[j + 1] = merged;
+        }
+        for j in (center + 1..n).rev() {
+            let svd = block_svd(
+                exec,
+                &self.tensors[j],
+                &[0],
+                &[1, 2],
+                TruncSpec {
+                    max_rank: usize::MAX,
+                    cutoff: 0.0,
+                    min_keep: 1,
+                },
+            )
+            .map_err(|e| Error::State(e.to_string()))?;
+            let mut us = svd.u;
+            scale_bond(&mut us, 1, &svd.s, false).map_err(|e| Error::State(e.to_string()))?;
+            let merged =
+                contract_list(exec, "lsk,kx->lsx", &self.tensors[j - 1], &us).map_err(wrap)?;
+            self.tensors[j] = svd.vt;
+            self.tensors[j - 1] = merged;
+        }
+        Ok(())
+    }
+
+    /// Entanglement spectrum across the bond right of `site`
+    /// (requires the state to be canonicalized with center at `site`).
+    pub fn bond_spectrum(&self, exec: &Executor, site: usize) -> Result<tt_blocks::BlockDiag> {
+        let svd = block_svd(
+            exec,
+            &self.tensors[site],
+            &[0, 1],
+            &[2],
+            TruncSpec {
+                max_rank: usize::MAX,
+                cutoff: 0.0,
+                min_keep: 1,
+            },
+        )
+        .map_err(|e| Error::State(e.to_string()))?;
+        Ok(svd.s)
+    }
+
+    /// Per-tensor block statistics for Fig. 2: `(n_blocks, largest block
+    /// extent, fill fraction)` of site tensor `j`.
+    pub fn block_stats(&self, j: usize) -> (usize, usize, f64) {
+        let t = &self.tensors[j];
+        (t.n_blocks(), t.largest_block_dim(), t.fill_fraction())
+    }
+}
+
+fn wrap(e: tt_blocks::Error) -> Error {
+    Error::State(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autompo::AutoMpo;
+    use crate::sites::{Electron, SpinHalf};
+
+    fn neel(n: usize) -> Mps {
+        let states: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        Mps::product_state(&SpinHalf, &states).unwrap()
+    }
+
+    #[test]
+    fn product_state_norm_and_qn() {
+        let psi = neel(6);
+        assert_eq!(psi.n_sites(), 6);
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+        // Néel state has Sz_total = 0
+        assert!(psi.total_qn().is_zero());
+        assert_eq!(psi.max_bond_dim(), 1);
+        // all-up state has 2Sz = n
+        let up = Mps::product_state(&SpinHalf, &[0, 0, 0, 0]).unwrap();
+        assert_eq!(up.total_qn(), QN::one(4));
+    }
+
+    #[test]
+    fn orthogonal_product_states() {
+        let a = Mps::product_state(&SpinHalf, &[0, 1, 0, 1]).unwrap();
+        let b = Mps::product_state(&SpinHalf, &[1, 0, 0, 1]).unwrap();
+        assert!((a.overlap(&a).unwrap() - 1.0).abs() < 1e-12);
+        assert!(a.overlap(&b).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn electron_product_state() {
+        // half filling, alternating ↑/↓: total (N↑,N↓) = (2,2)
+        let psi = Mps::product_state(&Electron, &[1, 2, 1, 2]).unwrap();
+        assert_eq!(psi.total_qn(), QN::two(2, 2));
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_on_product_state() {
+        // Néel state: ⟨Sz_i Sz_{i+1}⟩ = -1/4 per bond, ⟨S+S- + h.c.⟩ = 0
+        let n = 4;
+        let mut b = AutoMpo::new(SpinHalf, n);
+        for i in 0..n - 1 {
+            b.add(1.0, &[(i, "Sz"), (i + 1, "Sz")]);
+            b.add(0.5, &[(i, "S+"), (i + 1, "S-")]);
+            b.add(0.5, &[(i, "S-"), (i + 1, "S+")]);
+        }
+        let mpo = b.build().unwrap();
+        let psi = neel(n);
+        let e = psi.expectation(&mpo).unwrap();
+        assert!((e - (-(n as f64 - 1.0) * 0.25)).abs() < 1e-10, "e = {e}");
+    }
+
+    #[test]
+    fn single_site_expectation() {
+        let n = 3;
+        let mut b = AutoMpo::new(SpinHalf, n);
+        b.add(1.0, &[(1, "Sz")]);
+        let mpo = b.build().unwrap();
+        let psi = Mps::product_state(&SpinHalf, &[0, 1, 0]).unwrap();
+        assert!((psi.expectation(&mpo).unwrap() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonicalize_preserves_state() {
+        // build a small entangled state by summing two product states via
+        // expectation checks: use canonicalization on a product state then
+        // verify norm and overlap invariance
+        let mut psi = neel(5);
+        let exec = Executor::local();
+        let reference = neel(5);
+        psi.canonicalize(&exec, 2).unwrap();
+        assert!((psi.norm() - 1.0).abs() < 1e-10);
+        assert!((psi.overlap(&reference).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn product_state_entropy_zero() {
+        let mut psi = neel(4);
+        let exec = Executor::local();
+        psi.canonicalize(&exec, 1).unwrap();
+        let spec = psi.bond_spectrum(&exec, 1).unwrap();
+        assert!(spec.entanglement_entropy().abs() < 1e-10);
+        assert_eq!(spec.bond_dim(), 1);
+    }
+
+    #[test]
+    fn bad_states_rejected() {
+        assert!(Mps::product_state(&SpinHalf, &[]).is_err());
+        assert!(Mps::product_state(&SpinHalf, &[2]).is_err());
+    }
+
+    #[test]
+    fn sum_of_orthogonal_states() {
+        let a = Mps::product_state(&SpinHalf, &[0, 1, 0, 1]).unwrap();
+        let b = Mps::product_state(&SpinHalf, &[1, 0, 1, 0]).unwrap();
+        let s = a.sum(&b).unwrap();
+        // ⟨a+b|a+b⟩ = 2 for orthonormal a, b
+        assert!((s.norm() - 2.0f64.sqrt()).abs() < 1e-10);
+        assert!((s.overlap(&a).unwrap() - 1.0).abs() < 1e-10);
+        assert!((s.overlap(&b).unwrap() - 1.0).abs() < 1e-10);
+        assert_eq!(s.max_bond_dim(), 2);
+        assert!(s.total_qn().is_zero());
+    }
+
+    #[test]
+    fn sum_same_state_doubles() {
+        let a = Mps::product_state(&SpinHalf, &[0, 1, 0]).unwrap();
+        let s = a.sum(&a).unwrap();
+        assert!((s.overlap(&a).unwrap() - 2.0).abs() < 1e-10);
+        assert!((s.norm() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sum_expectation_is_mixture() {
+        // (|ab⟩+|ba⟩)/√2 on 2 sites: ⟨SzSz⟩ = −1/4 still, but ⟨Sz_0⟩ = 0
+        let a = Mps::product_state(&SpinHalf, &[0, 1]).unwrap();
+        let b = Mps::product_state(&SpinHalf, &[1, 0]).unwrap();
+        let mut s = a.sum(&b).unwrap();
+        s.normalize();
+        let mut bld = AutoMpo::new(SpinHalf, 2);
+        bld.add(1.0, &[(0, "Sz")]);
+        let mpo = bld.build().unwrap();
+        assert!(s.expectation(&mpo).unwrap().abs() < 1e-10);
+    }
+
+    #[test]
+    fn sum_sector_mismatch_rejected() {
+        let a = Mps::product_state(&SpinHalf, &[0, 1]).unwrap();
+        let b = Mps::product_state(&SpinHalf, &[0, 0]).unwrap();
+        assert!(a.sum(&b).is_err());
+        let c = Mps::product_state(&SpinHalf, &[0, 1, 0]).unwrap();
+        assert!(a.sum(&c).is_err());
+    }
+
+    #[test]
+    fn sum_canonicalizes_cleanly() {
+        let a = Mps::product_state(&SpinHalf, &[0, 1, 0, 1]).unwrap();
+        let b = Mps::product_state(&SpinHalf, &[0, 0, 1, 1]).unwrap();
+        let mut s = a.sum(&b).unwrap();
+        let exec = Executor::local();
+        let before = s.norm();
+        s.canonicalize(&exec, 0).unwrap();
+        assert!((s.norm() - before).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Tiled, cache-blocked matrix multiplication — the BLAS stand-in.
+//!
+//! Every tensor contraction in the workspace bottoms out here (the paper's
+//! "GEMM/MKL" time category in Fig. 7). The kernel uses classic
+//! `(i,k,j)` loop ordering over cache blocks so the innermost loop streams
+//! both `B` and `C` rows contiguously in row-major layout, which LLVM
+//! autovectorizes. Flops are charged to the global counter
+//! ([`crate::counter`]) as `2·m·n·k`.
+
+use crate::dense::DenseTensor;
+use crate::scalar::Scalar;
+use crate::{Error, Result};
+
+/// Operand layout marker (row-major is native; `Transposed` avoids an
+/// explicit transpose for the common `Aᵀ·B` patterns).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Use the operand as stored.
+    Normal,
+    /// Use the (conjugate-free) transpose of the operand.
+    Transposed,
+}
+
+/// Cache blocking parameters (elements). Sized for ~32 KiB L1 / 1 MiB L2.
+const MC: usize = 64;
+const KC: usize = 128;
+const NC: usize = 512;
+
+/// `C = A · B` for row-major matrices given as flat slices.
+///
+/// `a` is `m×k`, `b` is `k×n`, `c` (output, overwritten) is `m×n`.
+pub fn gemm_slices<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for x in c.iter_mut() {
+        *x = T::zero();
+    }
+    gemm_acc_slices(m, k, n, a, b, c);
+}
+
+/// `C += A · B` for row-major flat slices (accumulating form).
+pub fn gemm_acc_slices<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    crate::counter::add_flops(2 * (m as u64) * (n as u64) * (k as u64));
+    for ib in (0..m).step_by(MC) {
+        let imax = (ib + MC).min(m);
+        for kb in (0..k).step_by(KC) {
+            let kmax = (kb + KC).min(k);
+            for jb in (0..n).step_by(NC) {
+                let jmax = (jb + NC).min(n);
+                for i in ib..imax {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let crow = &mut c[i * n + jb..i * n + jmax];
+                    for kk in kb..kmax {
+                        let aik = arow[kk];
+                        let brow = &b[kk * n + jb..kk * n + jmax];
+                        for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                            *cj += aik * bj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// General matrix multiply on [`DenseTensor`] matrices with optional
+/// transposition of either operand: `C = op(A) · op(B)`.
+pub fn gemm<T: Scalar>(
+    a: &DenseTensor<T>,
+    la: Layout,
+    b: &DenseTensor<T>,
+    lb: Layout,
+) -> Result<DenseTensor<T>> {
+    if a.order() != 2 || b.order() != 2 {
+        return Err(Error::ShapeMismatch(format!(
+            "gemm wants matrices, got orders {} and {}",
+            a.order(),
+            b.order()
+        )));
+    }
+    // materialize transposes (TTGT style); cheap relative to the multiply
+    let at;
+    let a_eff = match la {
+        Layout::Normal => a,
+        Layout::Transposed => {
+            at = a.permute(&[1, 0])?;
+            &at
+        }
+    };
+    let bt;
+    let b_eff = match lb {
+        Layout::Normal => b,
+        Layout::Transposed => {
+            bt = b.permute(&[1, 0])?;
+            &bt
+        }
+    };
+    let (m, ka) = (a_eff.dims()[0], a_eff.dims()[1]);
+    let (kb, n) = (b_eff.dims()[0], b_eff.dims()[1]);
+    if ka != kb {
+        return Err(Error::ShapeMismatch(format!(
+            "gemm inner dims {ka} != {kb}"
+        )));
+    }
+    let mut c = DenseTensor::zeros([m, n]);
+    gemm_acc_slices(m, ka, n, a_eff.data(), b_eff.data(), c.data_mut());
+    Ok(c)
+}
+
+/// Convenience: `C = A · B` for `f64` matrices.
+pub fn gemm_f64(a: &DenseTensor<f64>, b: &DenseTensor<f64>) -> Result<DenseTensor<f64>> {
+    gemm(a, Layout::Normal, b, Layout::Normal)
+}
+
+/// Matrix–vector product `y = A·x` (row-major `m×n` times length-`n`).
+pub fn gemv<T: Scalar>(a: &DenseTensor<T>, x: &[T]) -> Result<Vec<T>> {
+    if a.order() != 2 {
+        return Err(Error::ShapeMismatch("gemv wants a matrix".into()));
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if x.len() != n {
+        return Err(Error::ShapeMismatch(format!(
+            "gemv dims {n} vs vector {}",
+            x.len()
+        )));
+    }
+    crate::counter::add_flops(2 * (m as u64) * (n as u64));
+    let data = a.data();
+    let mut y = vec![T::zero(); m];
+    for i in 0..m {
+        let row = &data[i * n..(i + 1) * n];
+        let mut acc = T::zero();
+        for (&aij, &xj) in row.iter().zip(x.iter()) {
+            acc += aij * xj;
+        }
+        y[i] = acc;
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(a: &DenseTensor<f64>, b: &DenseTensor<f64>) -> DenseTensor<f64> {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = DenseTensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                c.set(&[i, j], s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_exact() {
+        let a = DenseTensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DenseTensor::from_vec([2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = gemm_f64(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_neutral() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = DenseTensor::<f64>::random([5, 5], &mut rng);
+        let i = DenseTensor::<f64>::eye(5);
+        assert!(gemm_f64(&a, &i).unwrap().allclose(&a, 1e-14));
+        assert!(gemm_f64(&i, &a).unwrap().allclose(&a, 1e-14));
+    }
+
+    #[test]
+    fn blocked_matches_naive_odd_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (m, k, n) in [(1, 1, 1), (3, 7, 5), (65, 129, 33), (70, 40, 90)] {
+            let a = DenseTensor::<f64>::random([m, k], &mut rng);
+            let b = DenseTensor::<f64>::random([k, n], &mut rng);
+            let c = gemm_f64(&a, &b).unwrap();
+            assert!(c.allclose(&naive(&a, &b), 1e-11), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transposed_layouts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = DenseTensor::<f64>::random([4, 6], &mut rng);
+        let b = DenseTensor::<f64>::random([4, 3], &mut rng);
+        // A^T (6x4) * B (4x3)
+        let c = gemm(&a, Layout::Transposed, &b, Layout::Normal).unwrap();
+        let at = a.permute(&[1, 0]).unwrap();
+        assert!(c.allclose(&naive(&at, &b), 1e-12));
+        // B^T (3x4) * A (4x6)
+        let d = gemm(&b, Layout::Transposed, &a, Layout::Normal).unwrap();
+        let bt = b.permute(&[1, 0]).unwrap();
+        assert!(d.allclose(&naive(&bt, &a), 1e-12));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = DenseTensor::<f64>::zeros([2, 3]);
+        let b = DenseTensor::<f64>::zeros([4, 2]);
+        assert!(gemm_f64(&a, &b).is_err());
+    }
+
+    #[test]
+    fn counts_flops() {
+        let a = DenseTensor::<f64>::zeros([8, 4]);
+        let b = DenseTensor::<f64>::zeros([4, 16]);
+        let g = counter::FlopGuard::start();
+        gemm_f64(&a, &b).unwrap();
+        assert_eq!(g.elapsed(), 2 * 8 * 4 * 16);
+    }
+
+    #[test]
+    fn complex_gemm() {
+        use crate::Complex64 as C;
+        let a = DenseTensor::from_vec([1, 2], vec![C::new(0.0, 1.0), C::new(1.0, 0.0)]).unwrap();
+        let b =
+            DenseTensor::from_vec([2, 1], vec![C::new(0.0, 1.0), C::new(2.0, 0.0)]).unwrap();
+        let c = gemm(&a, Layout::Normal, &b, Layout::Normal).unwrap();
+        // i*i + 1*2 = -1 + 2 = 1
+        assert!((c.at(&[0, 0]) - C::new(1.0, 0.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = DenseTensor::<f64>::random([7, 9], &mut rng);
+        let x = DenseTensor::<f64>::random([9, 1], &mut rng);
+        let y = gemv(&a, x.data()).unwrap();
+        let y2 = gemm_f64(&a, &x).unwrap();
+        for i in 0..7 {
+            assert!((y[i] - y2.at(&[i, 0])).abs() < 1e-12);
+        }
+    }
+}

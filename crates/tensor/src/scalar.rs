@@ -1,0 +1,293 @@
+//! Scalar element types for tensors.
+//!
+//! The paper's tensors are complex in general but both benchmark
+//! Hamiltonians (Heisenberg `J1-J2`, triangular Hubbard) are real, so `f64`
+//! is the workhorse type. [`Complex64`] is provided (with full arithmetic)
+//! so the dense kernels remain usable for complex-valued tensor networks.
+
+use rand::Rng;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Element type usable inside tensors.
+///
+/// Deliberately minimal: the set of operations the kernels in this workspace
+/// actually need (ring arithmetic, conjugation, absolute value, scaling by a
+/// real, random sampling for test/workload generation).
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + fmt::Debug
+    + fmt::Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+    + Default
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Complex conjugate (identity for reals).
+    fn conj(self) -> Self;
+    /// Squared modulus, `|x|^2`, always real.
+    fn abs2(self) -> f64;
+    /// Modulus `|x|`.
+    fn abs(self) -> f64 {
+        self.abs2().sqrt()
+    }
+    /// Embed a real number.
+    fn from_f64(x: f64) -> Self;
+    /// Real part.
+    fn real(self) -> f64;
+    /// Multiply by a real scalar.
+    fn scale(self, x: f64) -> Self;
+    /// Uniform sample in `[-1, 1]` (each component for complex).
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self;
+    /// True if this type carries an imaginary component.
+    fn is_complex() -> bool;
+}
+
+impl Scalar for f64 {
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline(always)]
+    fn abs2(self) -> f64 {
+        self * self
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn real(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn scale(self, x: f64) -> Self {
+        self * x
+    }
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.gen_range(-1.0..1.0)
+    }
+    #[inline(always)]
+    fn is_complex() -> bool {
+        false
+    }
+}
+
+/// A complex number with `f64` components.
+///
+/// Hand-rolled (the `num-complex` crate is outside the allowed dependency
+/// set); implements exactly the arithmetic the kernels need.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Construct from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+}
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+}
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        let d = o.re * o.re + o.im * o.im;
+        Self::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Self) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: Self) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: Self) {
+        *self = *self * o;
+    }
+}
+impl DivAssign for Complex64 {
+    #[inline(always)]
+    fn div_assign(&mut self, o: Self) {
+        *self = *self / o;
+    }
+}
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex64::new(0.0, 0.0), |a, b| a + b)
+    }
+}
+
+impl Scalar for Complex64 {
+    #[inline(always)]
+    fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        Self::new(1.0, 0.0)
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+    #[inline(always)]
+    fn abs2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        Self::new(x, 0.0)
+    }
+    #[inline(always)]
+    fn real(self) -> f64 {
+        self.re
+    }
+    #[inline(always)]
+    fn scale(self, x: f64) -> Self {
+        Self::new(self.re * x, self.im * x)
+    }
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    }
+    #[inline(always)]
+    fn is_complex() -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_field_axioms() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 4.0);
+        let c = Complex64::new(3.0, 0.5);
+        // associativity/commutativity spot checks
+        assert_eq!(a + b, b + a);
+        assert!(((a * b) * c - a * (b * c)).abs() < 1e-12);
+        // distribution
+        assert!((a * (b + c) - (a * b + a * c)).abs() < 1e-12);
+        // inverse
+        let inv = Complex64::one() / a;
+        assert!((a * inv - Complex64::one()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.abs2(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert!((a * a.conj()).im.abs() < 1e-15);
+        assert_eq!((a * a.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn real_scalar_ops() {
+        assert_eq!(<f64 as Scalar>::one() + <f64 as Scalar>::zero(), 1.0);
+        assert_eq!(2.0f64.conj(), 2.0);
+        assert_eq!((-3.0f64).abs2(), 9.0);
+        assert_eq!(2.5f64.scale(2.0), 5.0);
+        assert!(!<f64 as Scalar>::is_complex());
+        assert!(<Complex64 as Scalar>::is_complex());
+    }
+
+    #[test]
+    fn imaginary_unit() {
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::one());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2i");
+    }
+}

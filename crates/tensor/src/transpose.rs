@@ -1,0 +1,183 @@
+//! Blocked N-dimensional tensor transposition — the HPTT stand-in.
+//!
+//! CTF lowers every contraction to matrix multiplication by transposing
+//! (permuting) operands into a fused matrix layout; the paper reports this
+//! under the "CTF transposition" time category (Fig. 7). The kernels here
+//! perform the same role locally: an odometer-walk permutation for general
+//! orders, with a cache-blocked fast path for the ubiquitous 2-D case.
+
+use crate::dense::DenseTensor;
+use crate::scalar::Scalar;
+use crate::shape::is_permutation;
+use crate::{Error, Result};
+
+/// Cache block edge for the 2-D transpose fast path (elements).
+const BLOCK: usize = 32;
+
+/// Permute the modes of a tensor.
+///
+/// `perm[i]` gives the *input* mode that becomes output mode `i`, i.e.
+/// `out[j_0, …, j_{n-1}] = t[j_{inv(0)}, …]` with
+/// `out.dim(i) == t.dim(perm[i])` — the NumPy `transpose(perm)` convention.
+pub fn permute<T: Scalar>(t: &DenseTensor<T>, perm: &[usize]) -> Result<DenseTensor<T>> {
+    let n = t.order();
+    if !is_permutation(perm, n) {
+        return Err(Error::BadIndex(format!(
+            "{perm:?} is not a permutation of 0..{n}"
+        )));
+    }
+    crate::counter::add_mem_traffic(2 * (t.len() * std::mem::size_of::<T>()) as u64);
+
+    // identity permutation: plain copy
+    if perm.iter().enumerate().all(|(i, &p)| i == p) {
+        return Ok(t.clone());
+    }
+
+    // 2-D fast path
+    if n == 2 {
+        return Ok(transpose2d(t));
+    }
+
+    let out_shape = t.shape().permuted(perm)?;
+    let in_strides = t.shape().strides();
+    // stride in the input for each *output* mode
+    let strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+    let dims = out_shape.dims().to_vec();
+    let mut out = vec![T::zero(); t.len()];
+
+    if t.len() > 0 {
+        // odometer walk over output positions; input offset tracked incrementally
+        let mut idx = vec![0usize; n];
+        let mut in_off = 0usize;
+        let data = t.data();
+        for slot in out.iter_mut() {
+            *slot = data[in_off];
+            // increment odometer (last mode fastest)
+            for k in (0..n).rev() {
+                idx[k] += 1;
+                in_off += strides[k];
+                if idx[k] < dims[k] {
+                    break;
+                }
+                in_off -= strides[k] * dims[k];
+                idx[k] = 0;
+                if k == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    DenseTensor::from_vec(out_shape, out)
+}
+
+/// Cache-blocked out-of-place 2-D transpose.
+fn transpose2d<T: Scalar>(t: &DenseTensor<T>) -> DenseTensor<T> {
+    let (r, c) = (t.dims()[0], t.dims()[1]);
+    let mut out = vec![T::zero(); r * c];
+    let data = t.data();
+    for ib in (0..r).step_by(BLOCK) {
+        for jb in (0..c).step_by(BLOCK) {
+            let imax = (ib + BLOCK).min(r);
+            let jmax = (jb + BLOCK).min(c);
+            for i in ib..imax {
+                for j in jb..jmax {
+                    out[j * r + i] = data[i * c + j];
+                }
+            }
+        }
+    }
+    DenseTensor::from_vec([c, r], out).expect("volume preserved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_permute(t: &DenseTensor<f64>, perm: &[usize]) -> DenseTensor<f64> {
+        let out_shape = t.shape().permuted(perm).unwrap();
+        let mut out = DenseTensor::zeros(out_shape.clone());
+        for out_idx in out_shape.index_iter() {
+            let mut in_idx = vec![0usize; t.order()];
+            for (i, &p) in perm.iter().enumerate() {
+                in_idx[p] = out_idx[i];
+            }
+            out.set(&out_idx, t.at(&in_idx));
+        }
+        out
+    }
+
+    #[test]
+    fn matrix_transpose() {
+        let t = DenseTensor::<f64>::from_fn([2, 3], |i| (i[0] * 3 + i[1]) as f64);
+        let tt = permute(&t, &[1, 0]).unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(tt.at(&[j, i]), t.at(&[i, j]));
+            }
+        }
+    }
+
+    #[test]
+    fn large_matrix_transpose_blocked() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = DenseTensor::<f64>::random([67, 129], &mut rng);
+        let tt = permute(&t, &[1, 0]).unwrap();
+        let back = permute(&tt, &[1, 0]).unwrap();
+        assert!(t.allclose(&back, 0.0));
+    }
+
+    #[test]
+    fn identity_permutation_is_copy() {
+        let t = DenseTensor::<f64>::from_fn([2, 3, 4], |i| (i[0] + i[1] + i[2]) as f64);
+        let p = permute(&t, &[0, 1, 2]).unwrap();
+        assert_eq!(p.data(), t.data());
+    }
+
+    #[test]
+    fn order3_permutations_match_naive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = DenseTensor::<f64>::random([3, 4, 5], &mut rng);
+        for perm in [
+            [0usize, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let fast = permute(&t, &perm).unwrap();
+            let slow = naive_permute(&t, &perm);
+            assert!(fast.allclose(&slow, 0.0), "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn order4_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = DenseTensor::<f64>::random([2, 3, 4, 5], &mut rng);
+        let p = permute(&t, &[3, 1, 0, 2]).unwrap();
+        assert_eq!(p.dims(), &[5, 3, 2, 4]);
+        // invert: output mode i holds input mode perm[i]
+        let inv = [2usize, 1, 3, 0];
+        let back = permute(&p, &inv).unwrap();
+        assert!(t.allclose(&back, 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_permutation() {
+        let t = DenseTensor::<f64>::zeros([2, 2]);
+        assert!(permute(&t, &[0, 0]).is_err());
+        assert!(permute(&t, &[0]).is_err());
+    }
+
+    #[test]
+    fn zero_volume_tensor() {
+        let t = DenseTensor::<f64>::zeros([2, 0, 3]);
+        let p = permute(&t, &[2, 0, 1]).unwrap();
+        assert_eq!(p.dims(), &[3, 2, 0]);
+        assert_eq!(p.len(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the local tensor kernels.
+
+use proptest::prelude::*;
+use tt_tensor::{einsum, DenseTensor, SparseTensor};
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+fn tensor_with_shape(dims: Vec<usize>) -> impl Strategy<Value = DenseTensor<f64>> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-1.0f64..1.0, n)
+        .prop_map(move |data| DenseTensor::from_vec(dims.clone(), data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A permutation followed by its inverse is the identity.
+    #[test]
+    fn permute_roundtrip(dims in small_dims(), seed in 0u64..1000) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = DenseTensor::<f64>::random(dims.clone(), &mut rng);
+        let n = dims.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let p = t.permute(&perm).unwrap();
+        // invert
+        let mut inv = vec![0usize; n];
+        for (i, &pi) in perm.iter().enumerate() { inv[pi] = i; }
+        let back = p.permute(&inv).unwrap();
+        prop_assert!(t.allclose(&back, 0.0));
+    }
+
+    /// Matrix multiplication is associative: (AB)C == A(BC).
+    #[test]
+    fn gemm_associative(
+        a in tensor_with_shape(vec![3, 4]),
+        b in tensor_with_shape(vec![4, 2]),
+        c in tensor_with_shape(vec![2, 5]),
+    ) {
+        let ab_c = einsum("ik,kj->ij", &einsum("ik,kj->ij", &a, &b).unwrap(), &c).unwrap();
+        let a_bc = einsum("ik,kj->ij", &a, &einsum("ik,kj->ij", &b, &c).unwrap()).unwrap();
+        prop_assert!(ab_c.allclose(&a_bc, 1e-10));
+    }
+
+    /// Contraction is bilinear in the first argument.
+    #[test]
+    fn einsum_linear(
+        a1 in tensor_with_shape(vec![2, 3, 2]),
+        a2 in tensor_with_shape(vec![2, 3, 2]),
+        b in tensor_with_shape(vec![2, 3, 4]),
+        alpha in -2.0f64..2.0,
+    ) {
+        let spec = "isj,jsm->im";
+        let lhs = {
+            let mut s = a1.clone();
+            s.axpy(alpha, &a2).unwrap();
+            einsum(spec, &s, &b).unwrap()
+        };
+        let mut rhs = einsum(spec, &a1, &b).unwrap();
+        rhs.axpy(alpha, &einsum(spec, &a2, &b).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-10));
+    }
+
+    /// Sparse kernels agree with dense einsum regardless of pattern.
+    #[test]
+    fn sparse_kernels_match_dense(
+        a in tensor_with_shape(vec![3, 4, 2]),
+        b in tensor_with_shape(vec![2, 4, 3]),
+        tol in 0.0f64..0.9,
+    ) {
+        // sparsify with a threshold to get varied patterns
+        let sa = SparseTensor::from_dense(&a, tol);
+        let sb = SparseTensor::from_dense(&b, tol);
+        let da = sa.to_dense();
+        let db = sb.to_dense();
+        let spec = "ika,akj->ij";
+        let reference = einsum(spec, &da, &db).unwrap();
+        let sd = sa.contract_dense(spec, &db).unwrap();
+        prop_assert!(sd.allclose(&reference, 1e-10));
+        let ss = sa.contract_sparse(spec, &sb).unwrap();
+        prop_assert!(ss.to_dense().allclose(&reference, 1e-10));
+    }
+
+    /// einsum reduces to reference triple loop for matrices.
+    #[test]
+    fn gemm_matches_reference(
+        a in tensor_with_shape(vec![4, 3]),
+        b in tensor_with_shape(vec![3, 5]),
+    ) {
+        let c = einsum("ik,kj->ij", &a, &b).unwrap();
+        for i in 0..4 {
+            for j in 0..5 {
+                let mut s = 0.0;
+                for k in 0..3 { s += a.at(&[i, k]) * b.at(&[k, j]); }
+                prop_assert!((c.at(&[i, j]) - s).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// dot(x, x) equals ||x||^2 and the norm is permutation invariant.
+    #[test]
+    fn norm_invariants(dims in small_dims(), seed in 0u64..1000) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = DenseTensor::<f64>::random(dims.clone(), &mut rng);
+        prop_assert!((t.dot(&t).unwrap() - t.norm2()).abs() < 1e-10);
+        let n = dims.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        prop_assert!((t.permute(&perm).unwrap().norm() - t.norm()).abs() < 1e-12);
+    }
+}

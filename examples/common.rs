@@ -1,0 +1,43 @@
+//! Shared helpers for the example binaries.
+
+use dmrg::{DavidsonOptions, Schedule, SweepParams};
+
+/// A bond-dimension ramp schedule with slightly stronger Davidson settings
+/// than the sweep-time defaults (examples run few sweeps, so each solve
+/// works a little harder). Noise decays geometrically and switches off for
+/// the final quarter of the schedule, which keeps frustrated systems out
+/// of product-state local minima while letting the last sweeps converge
+/// variationally.
+pub fn example_schedule(ms: &[usize], sweeps_per_m: usize) -> Schedule {
+    let dav = DavidsonOptions {
+        max_iter: 6,
+        max_subspace: 3,
+        tol: 1e-10,
+        seed: 7,
+    };
+    let total = ms.len() * sweeps_per_m;
+    let clean_from = total - total.div_ceil(4);
+    Schedule {
+        sweeps: (0..total)
+            .map(|idx| {
+                let m = ms[idx / sweeps_per_m];
+                let noise = if idx >= clean_from {
+                    0.0
+                } else {
+                    1e-3 * 0.1f64.powi(idx as i32)
+                };
+                SweepParams {
+                    max_m: m,
+                    cutoff: 1e-12,
+                    davidson: dav,
+                    noise,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Print a labelled energy line.
+pub fn report_energy(label: &str, e: f64) {
+    println!("{label:<40} {e:+.10}");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: ground state of a Heisenberg spin chain, validated against
+//! exact diagonalization.
+//!
+//! ```text
+//! cargo run --release -p tt-examples --bin quickstart
+//! ```
+
+use dmrg::{ground_state_energy, Dmrg};
+use tt_blocks::{Algorithm, QN};
+use tt_dist::Executor;
+use tt_examples::{example_schedule, report_energy};
+use tt_mps::{heisenberg_j1j2, neel_state, Lattice, Mps, SpinHalf};
+
+fn main() {
+    let n = 12;
+    println!("== Quickstart: N={n} Heisenberg chain ==\n");
+
+    // 1. Hamiltonian as an MPO via AutoMPO
+    let lattice = Lattice::chain(n);
+    let builder = heisenberg_j1j2(&lattice, 1.0, 0.0);
+    let mpo = builder.build().expect("MPO builds");
+    println!("MPO bond dimension k = {}", mpo.max_bond_dim());
+
+    // 2. initial state: Néel product state in the Sz = 0 sector
+    let mut psi = Mps::product_state(&SpinHalf, &neel_state(n)).expect("product state");
+    report_energy("initial <H> (Neel)", psi.expectation(&mpo).unwrap());
+
+    // 3. two-site DMRG with a bond-dimension ramp
+    let exec = Executor::local();
+    let solver = Dmrg::new(&exec, Algorithm::List, &mpo);
+    let schedule = example_schedule(&[8, 16, 32, 64], 2);
+    let run = solver.run(&mut psi, &schedule).expect("DMRG converges");
+    report_energy("DMRG ground-state energy", run.energy);
+    println!("final bond dimensions: {:?}", psi.bond_dims());
+
+    // 4. validate against exact diagonalization (Lanczos in the Sz=0 sector)
+    let terms = builder.expanded().expect("terms expand");
+    let exact = ground_state_energy(&SpinHalf, n, &terms, QN::one(0)).expect("ED runs");
+    report_energy("exact diagonalization", exact);
+    println!("\n|DMRG - ED| = {:.2e}", (run.energy - exact).abs());
+    assert!(
+        (run.energy - exact).abs() < 1e-6,
+        "DMRG must reproduce the ED energy"
+    );
+    println!("quickstart OK");
+}

@@ -1,0 +1,30 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use dmrg::{DavidsonOptions, Schedule, SweepParams};
+
+/// Schedule for integration tests: enough effort to converge small systems
+/// to ED accuracy, with early noise for frustrated cases.
+pub fn test_schedule(ms: &[usize], sweeps_per_m: usize) -> Schedule {
+    let dav = DavidsonOptions {
+        max_iter: 12,
+        max_subspace: 6,
+        tol: 1e-11,
+        seed: 1234,
+    };
+    let total = ms.len() * sweeps_per_m;
+    let clean_from = total.saturating_sub(total / 3).max(1);
+    Schedule {
+        sweeps: (0..total)
+            .map(|i| SweepParams {
+                max_m: ms[i / sweeps_per_m],
+                cutoff: 1e-12,
+                davidson: dav,
+                noise: if i >= clean_from {
+                    0.0
+                } else {
+                    1e-3 * 0.1f64.powi(i as i32 / 2)
+                },
+            })
+            .collect(),
+    }
+}

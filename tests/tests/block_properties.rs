@@ -1,0 +1,134 @@
+//! Property-based integration tests on the block-sparse layer: the three
+//! contraction algorithms agree on random symmetric tensors, and the block
+//! SVD satisfies its invariants, under randomized sector structures.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tt_blocks::{
+    block_svd, contract, Algorithm, Arrow, BlockSparseTensor, QnIndex, QN,
+};
+use tt_dist::Executor;
+use tt_linalg::TruncSpec;
+
+/// Random graded index with 1-3 sectors of dim 1-3 and charges in ±2.
+fn arb_sectors() -> impl Strategy<Value = Vec<(i32, usize)>> {
+    prop::collection::vec((-2i32..=2, 1usize..=3), 1..=3).prop_map(|mut v| {
+        v.sort();
+        v.dedup_by_key(|e| e.0);
+        v
+    })
+}
+
+fn mk_index(arrow: Arrow, sectors: &[(i32, usize)]) -> QnIndex {
+    QnIndex::new(
+        arrow,
+        sectors.iter().map(|&(q, d)| (QN::one(q), d)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// list ≡ sparse-dense ≡ sparse-sparse on random block tensors.
+    #[test]
+    fn algorithms_agree(
+        s1 in arb_sectors(),
+        s2 in arb_sectors(),
+        s3 in arb_sectors(),
+        s4 in arb_sectors(),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shared = mk_index(Arrow::Out, &s2);
+        let a = BlockSparseTensor::random(
+            vec![mk_index(Arrow::In, &s1), shared.clone()],
+            QN::zero(1),
+            &mut rng,
+        );
+        let b = BlockSparseTensor::random(
+            vec![shared.dual(), mk_index(Arrow::In, &s3), mk_index(Arrow::Out, &s4)],
+            QN::zero(1),
+            &mut rng,
+        );
+        // skip degenerate empty-tensor cases
+        prop_assume!(a.n_blocks() > 0 && b.n_blocks() > 0);
+        let exec = Executor::local();
+        let spec = "ij,jkl->ikl";
+        let c_list = contract(&exec, Algorithm::List, spec, &a, &b).unwrap();
+        let c_sd = contract(&exec, Algorithm::SparseDense, spec, &a, &b).unwrap();
+        let c_ss = contract(&exec, Algorithm::SparseSparse, spec, &a, &b).unwrap();
+        let d = c_list.to_dense();
+        prop_assert!(c_sd.to_dense().allclose(&d, 1e-10));
+        prop_assert!(c_ss.to_dense().allclose(&d, 1e-10));
+        // and against the plain dense einsum
+        let reference = tt_tensor::einsum(spec, &a.to_dense(), &b.to_dense()).unwrap();
+        prop_assert!(d.allclose(&reference, 1e-10));
+    }
+
+    /// Block SVD: reconstruction, isometry and Frobenius identity.
+    #[test]
+    fn block_svd_invariants(
+        s1 in arb_sectors(),
+        s2 in arb_sectors(),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = BlockSparseTensor::random(
+            vec![
+                mk_index(Arrow::In, &s1),
+                mk_index(Arrow::In, &[(1, 1), (-1, 1)]),
+                mk_index(Arrow::Out, &s2),
+            ],
+            QN::zero(1),
+            &mut rng,
+        );
+        prop_assume!(t.n_blocks() > 0);
+        let exec = Executor::local();
+        let svd = block_svd(
+            &exec,
+            &t,
+            &[0, 1],
+            &[2],
+            TruncSpec { max_rank: usize::MAX, cutoff: 0.0, min_keep: 1 },
+        )
+        .unwrap();
+        // Frobenius identity
+        let s2sum: f64 = svd.s.norm2();
+        prop_assert!((s2sum - t.norm() * t.norm()).abs() < 1e-8 * t.norm().max(1.0).powi(2));
+        // reconstruction
+        let mut us = svd.u.clone();
+        tt_blocks::scale_bond(&mut us, 2, &svd.s, false).unwrap();
+        let rec = contract(&exec, Algorithm::List, "abk,kc->abc", &us, &svd.vt).unwrap();
+        prop_assert!(rec.to_dense().allclose(&t.to_dense(), 1e-9));
+    }
+
+    /// Truncated SVD error equals the discarded spectral weight.
+    #[test]
+    fn truncation_error_identity(
+        s1 in arb_sectors(),
+        seed in 0u64..10_000,
+        keep in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = BlockSparseTensor::random(
+            vec![mk_index(Arrow::In, &s1), mk_index(Arrow::Out, &s1)],
+            QN::zero(1),
+            &mut rng,
+        );
+        prop_assume!(t.n_blocks() > 0);
+        let exec = Executor::local();
+        let full = block_svd(
+            &exec, &t, &[0], &[1],
+            TruncSpec { max_rank: usize::MAX, cutoff: 0.0, min_keep: 1 },
+        ).unwrap();
+        let all = full.s.all_values();
+        prop_assume!(all.len() > keep);
+        let trunc = block_svd(
+            &exec, &t, &[0], &[1],
+            TruncSpec { max_rank: keep, cutoff: 0.0, min_keep: 1 },
+        ).unwrap();
+        let expect: f64 = all[keep..].iter().map(|x| x * x).sum();
+        prop_assert!((trunc.trunc_err - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Failure injection and boundary cases across the stack: the library must
+//! fail loudly (never silently) on misuse, and degenerate-but-legal inputs
+//! must work.
+
+use dmrg::{Dmrg, Environments};
+use tt_blocks::Algorithm;
+use tt_dist::Executor;
+use tt_integration::test_schedule;
+use tt_mps::{heisenberg_j1j2, neel_state, AutoMpo, Lattice, Mps, SpinHalf};
+
+#[test]
+fn two_site_system_smallest_legal_dmrg() {
+    // N = 2 is the smallest two-site DMRG problem: one bond, exact answer
+    // is the singlet at E = −3/4
+    let lat = Lattice::chain(2);
+    let mpo = heisenberg_j1j2(&lat, 1.0, 0.0).build().unwrap();
+    let mut psi = Mps::product_state(&SpinHalf, &[0, 1]).unwrap();
+    let exec = Executor::local();
+    let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
+    let run = driver.run(&mut psi, &test_schedule(&[4], 2)).unwrap();
+    assert!((run.energy + 0.75).abs() < 1e-10, "E = {}", run.energy);
+}
+
+#[test]
+fn size_mismatch_rejected() {
+    let mpo = heisenberg_j1j2(&Lattice::chain(4), 1.0, 0.0).build().unwrap();
+    let mut psi = Mps::product_state(&SpinHalf, &neel_state(6)).unwrap();
+    let exec = Executor::local();
+    let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
+    assert!(driver.run(&mut psi, &test_schedule(&[4], 1)).is_err());
+}
+
+#[test]
+fn single_site_system_rejected() {
+    let mut b = AutoMpo::new(SpinHalf, 1);
+    b.add(1.0, &[(0, "Sz")]);
+    let mpo = b.build().unwrap();
+    let mut psi = Mps::product_state(&SpinHalf, &[0]).unwrap();
+    let exec = Executor::local();
+    let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
+    assert!(driver.run(&mut psi, &test_schedule(&[4], 1)).is_err());
+}
+
+#[test]
+fn extreme_truncation_still_runs() {
+    // m capped at 1: DMRG degenerates to a product-state optimizer but must
+    // stay numerically sane (normalized, conserving, monotone-ish)
+    let lat = Lattice::chain(6);
+    let mpo = heisenberg_j1j2(&lat, 1.0, 0.0).build().unwrap();
+    let mut psi = Mps::product_state(&SpinHalf, &neel_state(6)).unwrap();
+    let exec = Executor::local();
+    let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
+    let run = driver.run(&mut psi, &test_schedule(&[1], 2)).unwrap();
+    assert!(psi.max_bond_dim() <= 1);
+    assert!((psi.norm() - 1.0).abs() < 1e-8);
+    assert!(run.energy <= -1.0, "even m=1 beats the Néel energy: {}", run.energy);
+    assert!(psi.total_qn().is_zero());
+}
+
+#[test]
+fn environments_fail_cleanly_on_mismatch() {
+    let mpo4 = heisenberg_j1j2(&Lattice::chain(4), 1.0, 0.0).build().unwrap();
+    let psi6 = Mps::product_state(&SpinHalf, &neel_state(6)).unwrap();
+    let exec = Executor::local();
+    // initialization walks the shorter MPO — index-compat errors surface as
+    // Err, not panics
+    let r = Environments::initialize(&exec, Algorithm::List, &psi6, &mpo4);
+    assert!(r.is_err());
+}
+
+#[test]
+fn executor_cost_reset_between_phases() {
+    let exec = Executor::local();
+    let lat = Lattice::chain(4);
+    let mpo = heisenberg_j1j2(&lat, 1.0, 0.0).build().unwrap();
+    let mut psi = Mps::product_state(&SpinHalf, &neel_state(4)).unwrap();
+    let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
+    driver.run(&mut psi, &test_schedule(&[4], 1)).unwrap();
+    assert!(exec.total_flops() > 0);
+    exec.reset_costs();
+    assert_eq!(exec.total_flops(), 0);
+    // a fresh run accumulates again
+    driver.run(&mut psi, &test_schedule(&[4], 1)).unwrap();
+    assert!(exec.total_flops() > 0);
+}
+
+#[test]
+fn zero_coupling_hamiltonian() {
+    // H = 0·ΣSzSz builds a valid (trivial) MPO; expectation is 0 and DMRG
+    // returns immediately-converged energies of 0
+    let n = 4;
+    let mut b = AutoMpo::new(SpinHalf, n);
+    for i in 0..n - 1 {
+        b.add(0.0, &[(i, "Sz"), (i + 1, "Sz")]);
+    }
+    let mpo = b.build().unwrap();
+    let psi = Mps::product_state(&SpinHalf, &neel_state(n)).unwrap();
+    assert!(psi.expectation(&mpo).unwrap().abs() < 1e-14);
+}
+
+#[test]
+fn mixed_sign_couplings() {
+    // ferromagnetic J1 < 0: the all-up product state is exact in its sector
+    let lat = Lattice::chain(4);
+    let builder = heisenberg_j1j2(&lat, -1.0, 0.0);
+    let mpo = builder.build().unwrap();
+    let psi = Mps::product_state(&SpinHalf, &[0, 0, 0, 0]).unwrap();
+    // E = J1 · (N−1)/4 = −3/4
+    assert!((psi.expectation(&mpo).unwrap() + 0.75).abs() < 1e-12);
+}
