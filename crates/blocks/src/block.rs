@@ -490,7 +490,7 @@ mod tests {
     fn random_fills_all_allowed() {
         let t = mps_like();
         assert_eq!(t.n_blocks(), 4);
-        assert_eq!(t.stored_elements(), 2 * 1 + 2 * 4 + 3 * 4 + 3 * 2);
+        assert_eq!(t.stored_elements(), 2 + 2 * 4 + 3 * 4 + 3 * 2);
     }
 
     #[test]

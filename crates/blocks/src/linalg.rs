@@ -329,7 +329,7 @@ pub fn block_svd(
             }
         }
     }
-    s_sectors.sort_by(|a, b| a.0.cmp(&b.0));
+    s_sectors.sort_by_key(|a| a.0);
 
     Ok(BlockSvd {
         u,

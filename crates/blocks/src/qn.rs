@@ -50,6 +50,7 @@ impl QN {
     }
 
     /// Fusion (component-wise sum).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: QN) -> QN {
         assert_eq!(self.n, o.n, "mixing QN arities");
         QN {
@@ -62,6 +63,7 @@ impl QN {
     }
 
     /// Inverse element.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> QN {
         QN {
             charges: [-self.charges[0], -self.charges[1]],
@@ -70,6 +72,7 @@ impl QN {
     }
 
     /// `self + (-o)`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: QN) -> QN {
         self.add(o.neg())
     }

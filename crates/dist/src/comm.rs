@@ -1,0 +1,123 @@
+//! Collective-communication volume accounting.
+//!
+//! A [`Comm`] represents a communicator over `ranks` simulated processes.
+//! Its methods do no data movement — they charge the [`CostTracker`] with
+//! the supersteps and critical-path bytes the corresponding MPI collective
+//! would cost under the α–β model (tree collectives: `⌈log₂ p⌉`
+//! supersteps).
+
+use crate::cost::CostTracker;
+use crate::exec::ExecMode;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A simulated communicator: rank count, execution mode and the shared
+/// cost tracker collectives charge into.
+#[derive(Clone)]
+pub struct Comm {
+    ranks: usize,
+    mode: ExecMode,
+    tracker: Arc<Mutex<CostTracker>>,
+}
+
+impl Comm {
+    /// Communicator over `ranks` processes charging into `tracker`.
+    pub fn new(ranks: usize, mode: ExecMode, tracker: Arc<Mutex<CostTracker>>) -> Self {
+        Self {
+            ranks: ranks.max(1),
+            mode,
+            tracker,
+        }
+    }
+
+    /// Number of participating ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The communicator's execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The shared cost tracker.
+    pub fn tracker(&self) -> &Arc<Mutex<CostTracker>> {
+        &self.tracker
+    }
+
+    /// Depth of a binomial collective tree over the ranks.
+    fn tree_depth(&self) -> u64 {
+        (usize::BITS - (self.ranks - 1).leading_zeros()) as u64
+    }
+
+    /// Point-to-point message of `bytes`: one superstep, full volume.
+    pub fn charge_p2p(&self, bytes: u64) {
+        self.tracker.lock().charge_superstep(bytes);
+    }
+
+    /// Allreduce of `words` f64 values: `⌈log₂ p⌉` supersteps, ~2·bytes on
+    /// the critical path (reduce-scatter + allgather).
+    pub fn allreduce(&self, words: u64) {
+        if self.ranks <= 1 {
+            return;
+        }
+        let bytes = 2 * 8 * words;
+        self.tracker.lock().charge_supersteps(self.tree_depth(), bytes);
+    }
+
+    /// Allgather where each rank contributes `words_per_rank` f64 values:
+    /// `⌈log₂ p⌉` supersteps, `(p−1)/p` of the gathered volume per rank.
+    pub fn allgather(&self, words_per_rank: u64) {
+        if self.ranks <= 1 {
+            return;
+        }
+        let p = self.ranks as u64;
+        let bytes = 8 * words_per_rank * (p - 1);
+        self.tracker.lock().charge_supersteps(self.tree_depth(), bytes);
+    }
+
+    /// Scatter of `words_total` f64 values from one root: `⌈log₂ p⌉`
+    /// supersteps, the root injects all but its own share.
+    pub fn scatter(&self, words_total: u64) {
+        if self.ranks <= 1 {
+            return;
+        }
+        let p = self.ranks as u64;
+        let bytes = 8 * words_total * (p - 1) / p;
+        self.tracker.lock().charge_supersteps(self.tree_depth(), bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn comm(p: usize) -> Comm {
+        let tracker = Arc::new(Mutex::new(CostTracker::new(Machine::blue_waters(16), p)));
+        Comm::new(p, ExecMode::Sequential, tracker)
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let c = comm(1);
+        c.allreduce(1000);
+        c.allgather(1000);
+        c.scatter(1000);
+        let t = c.tracker().lock();
+        assert_eq!(t.supersteps, 0);
+        assert_eq!(t.bytes_critical, 0);
+        assert_eq!(t.sim.comm, 0.0);
+    }
+
+    #[test]
+    fn tree_collectives_charge_log_supersteps() {
+        let c = comm(8);
+        c.allreduce(100);
+        assert_eq!(c.tracker().lock().supersteps, 3);
+        c.charge_p2p(64);
+        let t = c.tracker().lock();
+        assert_eq!(t.supersteps, 4);
+        assert!(t.bytes_critical > 0 && t.sim.comm > 0.0);
+    }
+}

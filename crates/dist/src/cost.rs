@@ -1,0 +1,148 @@
+//! BSP cost accounting: simulated time, supersteps, critical-path bytes.
+
+use crate::machine::Machine;
+
+/// Simulated wall time of one run, split into the Fig. 7 categories.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimTime {
+    /// Dense GEMM compute time.
+    pub gemm: f64,
+    /// Sparse contraction compute time.
+    pub sparse: f64,
+    /// TTGT transposition / packing traffic.
+    pub transpose: f64,
+    /// Communication (α supersteps + β volume).
+    pub comm: f64,
+    /// Dense SVD/QR time.
+    pub svd: f64,
+    /// Idle time from uneven tile sizes on the process grid.
+    pub imbalance: f64,
+    /// Task-mapping and bookkeeping overhead.
+    pub other: f64,
+}
+
+impl SimTime {
+    /// Total simulated seconds.
+    pub fn total(&self) -> f64 {
+        self.gemm + self.sparse + self.transpose + self.comm + self.svd + self.imbalance
+            + self.other
+    }
+
+    /// Percentage breakdown in the paper's Fig. 7 order:
+    /// `[svd, imbalance, transposition(+other), communication, gemm+sparse]`.
+    pub fn percentages(&self) -> [f64; 5] {
+        let t = self.total();
+        if t <= 0.0 {
+            return [0.0; 5];
+        }
+        [
+            100.0 * self.svd / t,
+            100.0 * self.imbalance / t,
+            100.0 * (self.transpose + self.other) / t,
+            100.0 * self.comm / t,
+            100.0 * (self.gemm + self.sparse) / t,
+        ]
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn accumulate(&mut self, other: &SimTime) {
+        self.gemm += other.gemm;
+        self.sparse += other.sparse;
+        self.transpose += other.transpose;
+        self.comm += other.comm;
+        self.svd += other.svd;
+        self.imbalance += other.imbalance;
+        self.other += other.other;
+    }
+}
+
+/// Mutable cost state shared (behind a mutex) by everything that charges
+/// simulated work: executors, [`crate::Comm`], [`crate::DistMatrix`],
+/// [`crate::tsqr`].
+#[derive(Clone, Debug)]
+pub struct CostTracker {
+    /// The machine being simulated.
+    pub machine: Machine,
+    /// Total ranks participating.
+    pub ranks: usize,
+    /// Flops executed through the runtime.
+    pub flops: u64,
+    /// BSP supersteps on the critical path.
+    pub supersteps: u64,
+    /// Bytes moved along the critical path.
+    pub bytes_critical: u64,
+    /// Simulated time breakdown.
+    pub sim: SimTime,
+}
+
+impl CostTracker {
+    /// Fresh tracker for `ranks` ranks of `machine`.
+    pub fn new(machine: Machine, ranks: usize) -> Self {
+        Self {
+            machine,
+            ranks: ranks.max(1),
+            flops: 0,
+            supersteps: 0,
+            bytes_critical: 0,
+            sim: SimTime::default(),
+        }
+    }
+
+    /// Zero all counters (the machine and rank count are kept).
+    pub fn reset(&mut self) {
+        self.flops = 0;
+        self.supersteps = 0;
+        self.bytes_critical = 0;
+        self.sim = SimTime::default();
+    }
+
+    /// Charge one BSP superstep moving `bytes` along the critical path.
+    pub fn charge_superstep(&mut self, bytes: u64) {
+        self.supersteps += 1;
+        self.bytes_critical += bytes;
+        self.sim.comm +=
+            self.machine.alpha_s + bytes as f64 * self.machine.beta_s_per_byte;
+    }
+
+    /// Charge `steps` supersteps that together move `bytes`.
+    pub fn charge_supersteps(&mut self, steps: u64, bytes: u64) {
+        self.supersteps += steps;
+        self.bytes_critical += bytes;
+        self.sim.comm += steps as f64 * self.machine.alpha_s
+            + bytes as f64 * self.machine.beta_s_per_byte;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let sim = SimTime {
+            gemm: 1.0,
+            sparse: 2.0,
+            transpose: 0.5,
+            comm: 1.5,
+            svd: 3.0,
+            imbalance: 1.0,
+            other: 1.0,
+        };
+        let p = sim.percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert_eq!(SimTime::default().percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn superstep_charging_uses_alpha_beta() {
+        let mut t = CostTracker::new(Machine::blue_waters(16), 4);
+        t.charge_superstep(9_600);
+        assert_eq!(t.supersteps, 1);
+        assert_eq!(t.bytes_critical, 9_600);
+        let expect = 1.5e-6 + 9_600.0 / 9.6e9;
+        assert!((t.sim.comm - expect).abs() < 1e-12);
+        t.reset();
+        assert_eq!(t.supersteps, 0);
+        assert_eq!(t.sim.total(), 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! The execution front-end: every distributed-capable operation in the
+//! workspace goes through an [`Executor`].
+//!
+//! Numerics are exact (the executor computes locally with deterministic
+//! kernels); the *cost* of running the operation on `p` ranks of the
+//! configured [`Machine`] is charged to the shared [`CostTracker`]: a
+//! 2-D-grid SUMMA volume per contraction, TTGT packing traffic, roofline
+//! compute time, tile-imbalance idle time and per-operation supersteps.
+
+use crate::comm::Comm;
+use crate::cost::{CostTracker, SimTime};
+use crate::kernels;
+use crate::machine::Machine;
+use crate::pool::ThreadPool;
+use crate::{process_grid, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tt_linalg::{TruncSpec, TruncatedSvd};
+use tt_tensor::einsum::ContractPlan;
+use tt_tensor::{DenseTensor, SparseTensor};
+
+/// How the executor runs its local kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Single-threaded reference execution.
+    Sequential,
+    /// Kernels row-chunked across a worker pool; results are
+    /// bitwise-identical to [`ExecMode::Sequential`].
+    Threaded,
+}
+
+/// Per-operation task-mapping overhead (seconds) — the CTF-style cost of
+/// building the contraction mapping, visible as "%map" in Fig. 7.
+const MAP_OVERHEAD_S: f64 = 2.0e-7;
+
+/// The simulated-distributed executor.
+pub struct Executor {
+    machine: Machine,
+    nodes: usize,
+    ranks: usize,
+    mode: ExecMode,
+    tracker: Arc<Mutex<CostTracker>>,
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl Executor {
+    /// Serial baseline: one rank of the free-communication local machine.
+    pub fn local() -> Self {
+        Self::with_machine(Machine::local(), 1, ExecMode::Sequential)
+    }
+
+    /// Executor over `nodes` nodes of `machine` (total ranks =
+    /// `nodes × machine.procs_per_node`) in the given mode.
+    pub fn with_machine(machine: Machine, nodes: usize, mode: ExecMode) -> Self {
+        let nodes = nodes.max(1);
+        let ranks = nodes * machine.procs_per_node.max(1);
+        let tracker = Arc::new(Mutex::new(CostTracker::new(machine.clone(), ranks)));
+        let pool = match mode {
+            ExecMode::Sequential => None,
+            ExecMode::Threaded => Some(Arc::new(ThreadPool::default_size())),
+        };
+        Self {
+            machine,
+            nodes,
+            ranks,
+            mode,
+            tracker,
+            pool,
+        }
+    }
+
+    /// The machine model being simulated.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Simulated node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total simulated ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The shared cost tracker.
+    pub fn tracker(&self) -> &Arc<Mutex<CostTracker>> {
+        &self.tracker
+    }
+
+    /// A communicator over this executor's ranks charging into its tracker.
+    pub fn comm(&self) -> Comm {
+        Comm::new(self.ranks, self.mode, Arc::clone(&self.tracker))
+    }
+
+    /// Flops executed through this executor since the last reset.
+    pub fn total_flops(&self) -> u64 {
+        self.tracker.lock().flops
+    }
+
+    /// BSP supersteps on the critical path since the last reset.
+    pub fn supersteps(&self) -> u64 {
+        self.tracker.lock().supersteps
+    }
+
+    /// Simulated time breakdown since the last reset.
+    pub fn sim_time(&self) -> SimTime {
+        self.tracker.lock().sim
+    }
+
+    /// Zero all cost counters.
+    pub fn reset_costs(&self) {
+        self.tracker.lock().reset();
+    }
+
+    fn pool(&self) -> Option<&ThreadPool> {
+        self.pool.as_deref()
+    }
+
+    /// Charge compute + imbalance + transpose + SUMMA communication for a
+    /// contraction moving `words_a`/`words_b`/`words_c` stored words with
+    /// an `m × n` fused output grid, executing `flops` flops. `sparse`
+    /// selects the sparse roofline and time bucket.
+    #[allow(clippy::too_many_arguments)]
+    fn charge_contraction(
+        &self,
+        words_a: usize,
+        words_b: usize,
+        words_c: usize,
+        m: usize,
+        n: usize,
+        flops: u64,
+        sparse: bool,
+    ) {
+        let p = self.ranks as f64;
+        let n_eff = ((flops.max(2) as f64) / 2.0).cbrt();
+        let n_loc = (n_eff / p.sqrt()).max(1.0);
+        let rate = if sparse {
+            self.machine.sparse_rate(n_loc)
+        } else {
+            self.machine.dense_rate(n_loc)
+        };
+        let t_compute = flops as f64 / (rate * p);
+
+        let mut tr = self.tracker.lock();
+        tr.flops += flops;
+        if sparse {
+            tr.sim.sparse += t_compute;
+        } else {
+            tr.sim.gemm += t_compute;
+        }
+
+        // TTGT packing: operands + result through memory twice.
+        let moved_bytes = 8.0 * 2.0 * (words_a + words_b + words_c) as f64;
+        tr.sim.transpose += moved_bytes / (self.machine.rank_mem_bw() * p);
+        tr.sim.other += MAP_OVERHEAD_S;
+
+        if self.ranks > 1 {
+            // Tile imbalance on the process grid.
+            let (pr, pc) = process_grid(self.ranks);
+            let lambda = (m.div_ceil(pr) * pr) as f64 / m.max(1) as f64
+                * ((n.div_ceil(pc) * pc) as f64 / n.max(1) as f64)
+                - 1.0;
+            tr.sim.imbalance += t_compute * lambda.max(0.0);
+
+            // SUMMA: both operand panels travel √p-reduced, the result is
+            // reduced once.
+            let words =
+                ((words_a + words_b) as f64 / p.sqrt() + words_c as f64 / p) as u64;
+            tr.charge_superstep(8 * words);
+        }
+    }
+
+    /// Distributed dense × dense contraction (einsum grammar).
+    pub fn contract(
+        &self,
+        spec: &str,
+        a: &DenseTensor<f64>,
+        b: &DenseTensor<f64>,
+    ) -> Result<DenseTensor<f64>> {
+        let plan = ContractPlan::parse(spec)?;
+        let c = kernels::dense_contract(&plan, a, b, self.pool())?;
+        let (m, k, n) = kernels::fused_dims(&plan, a.dims(), b.dims());
+        let flops = plan.flop_count(a.dims(), b.dims());
+        self.charge_contraction(m * k, k * n, m * n, m, n, flops, false);
+        Ok(c)
+    }
+
+    /// Distributed sparse × dense contraction (the *sparse-dense*
+    /// algorithm's kernel): flattened-sparse `a` against densified `b`.
+    pub fn contract_sd(
+        &self,
+        spec: &str,
+        a: &SparseTensor<f64>,
+        b: &DenseTensor<f64>,
+    ) -> Result<DenseTensor<f64>> {
+        let plan = ContractPlan::parse(spec)?;
+        let (c, flops) = kernels::sd_contract(&plan, a, b, self.pool())?;
+        let (m, k, n) = kernels::fused_dims(&plan, a.dims(), b.dims());
+        // The sparse operand moves its stored entries (offset + value),
+        // the dense operand and result their full volume.
+        self.charge_contraction(2 * a.nnz(), k * n, m * n, m, n, flops, true);
+        Ok(c)
+    }
+
+    /// Distributed sparse × sparse contraction with optional pre-computed
+    /// output sparsity `mask` (output linear offsets that may be nonzero).
+    pub fn contract_ss(
+        &self,
+        spec: &str,
+        a: &SparseTensor<f64>,
+        b: &SparseTensor<f64>,
+        mask: Option<&[u64]>,
+    ) -> Result<SparseTensor<f64>> {
+        let plan = ContractPlan::parse(spec)?;
+        let (c, flops) = kernels::ss_contract(&plan, a, b, mask, self.pool())?;
+        let (m, _k, n) = kernels::fused_dims(&plan, a.dims(), b.dims());
+        // All three tensors move only their stored entries (offset + value).
+        self.charge_contraction(2 * a.nnz(), 2 * b.nnz(), 2 * c.nnz(), m, n, flops, true);
+        Ok(c)
+    }
+
+    /// Distributed truncated SVD of a matrix (the ScaLAPACK `pdgesvd`
+    /// stand-in used under the block SVD).
+    pub fn svd_trunc(&self, a: &DenseTensor<f64>, spec: TruncSpec) -> Result<TruncatedSvd> {
+        let out = tt_linalg::svd_trunc(a, spec)?;
+        self.charge_factorization(a, 14.0);
+        Ok(out)
+    }
+
+    /// Distributed thin QR (TSQR-cost model, exact local numerics).
+    pub fn qr(&self, a: &DenseTensor<f64>) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
+        let out = tt_linalg::qr_thin(a)?;
+        self.charge_factorization(a, 4.0);
+        Ok(out)
+    }
+
+    /// Charge an `m×n` dense factorization costing `c · max(m,n) · min² `
+    /// flops: ScaLAPACK-style half-efficiency compute plus a TSQR-shaped
+    /// reduction tree (one n×n R per level).
+    fn charge_factorization(&self, a: &DenseTensor<f64>, flop_coeff: f64) {
+        let (m, n) = (a.dims()[0].max(1), a.dims().get(1).copied().unwrap_or(1).max(1));
+        let k = m.min(n);
+        let flops = (flop_coeff * (m.max(n) as f64) * (k as f64) * (k as f64)) as u64;
+        let p = self.ranks as f64;
+        let rate = self.machine.dense_rate((k as f64 / p.sqrt()).max(1.0));
+        let mut tr = self.tracker.lock();
+        tr.flops += flops;
+        tr.sim.svd += flops as f64 / (0.5 * rate * p);
+        tr.sim.other += MAP_OVERHEAD_S;
+        if self.ranks > 1 {
+            let levels = (usize::BITS - (self.ranks - 1).leading_zeros()) as u64;
+            tr.charge_supersteps(levels, levels * 8 * (k * k) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn operands(seed: u64) -> (DenseTensor<f64>, DenseTensor<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            DenseTensor::<f64>::random([24, 6, 30], &mut rng),
+            DenseTensor::<f64>::random([30, 6, 18], &mut rng),
+        )
+    }
+
+    #[test]
+    fn threaded_bitwise_equals_sequential() {
+        let (a, b) = operands(41);
+        let seq = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential);
+        let thr = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Threaded);
+        let cs = seq.contract("isj,jtk->istk", &a, &b).unwrap();
+        let ct = thr.contract("isj,jtk->istk", &a, &b).unwrap();
+        assert_eq!(cs.data(), ct.data(), "dense contraction must be bitwise equal");
+
+        let sa = SparseTensor::from_dense(&a, 0.5);
+        let sb = SparseTensor::from_dense(&b, 0.5);
+        let ds = seq.contract_sd("isj,jtk->istk", &sa, &b).unwrap();
+        let dt = thr.contract_sd("isj,jtk->istk", &sa, &b).unwrap();
+        assert_eq!(ds.data(), dt.data(), "sparse-dense must be bitwise equal");
+
+        let ss = seq.contract_ss("isj,jtk->istk", &sa, &sb, None).unwrap();
+        let st = thr.contract_ss("isj,jtk->istk", &sa, &sb, None).unwrap();
+        assert_eq!(
+            ss.to_dense().data(),
+            st.to_dense().data(),
+            "sparse-sparse must be bitwise equal"
+        );
+    }
+
+    #[test]
+    fn local_matches_plan_execute_exactly() {
+        let (a, b) = operands(42);
+        let exec = Executor::local();
+        let c = exec.contract("isj,jtk->tkis", &a, &b).unwrap();
+        let reference = tt_tensor::einsum("isj,jtk->tkis", &a, &b).unwrap();
+        assert_eq!(c.data(), reference.data());
+    }
+
+    #[test]
+    fn sim_time_monotone_in_ranks() {
+        let (a, b) = operands(43);
+        let mut last = f64::INFINITY;
+        for nodes in [1usize, 2, 4, 8] {
+            let exec =
+                Executor::with_machine(Machine::blue_waters(16), nodes, ExecMode::Sequential);
+            for _ in 0..4 {
+                exec.contract("isj,jtk->istk", &a, &b).unwrap();
+            }
+            let t = exec.sim_time().total();
+            assert!(t > 0.0);
+            assert!(
+                t <= last,
+                "sim time must not grow with ranks on a compute-bound workload: {t} > {last}"
+            );
+            last = t;
+        }
+    }
+
+    #[test]
+    fn distributed_costs_are_machine_dependent_and_nonzero() {
+        let (a, b) = operands(44);
+        let mut totals = Vec::new();
+        for machine in [Machine::blue_waters(16), Machine::stampede2(64)] {
+            let exec = Executor::with_machine(machine, 2, ExecMode::Sequential);
+            exec.contract("isj,jtk->istk", &a, &b).unwrap();
+            assert!(exec.total_flops() > 0);
+            assert!(exec.supersteps() > 0);
+            let sim = exec.sim_time();
+            assert!(sim.total() > 0.0 && sim.comm > 0.0);
+            totals.push(sim.total());
+        }
+        assert_ne!(totals[0], totals[1], "different machines, different cost");
+    }
+
+    #[test]
+    fn local_run_has_zero_comm_and_reset_works() {
+        let (a, b) = operands(45);
+        let exec = Executor::local();
+        exec.contract("isj,jtk->istk", &a, &b).unwrap();
+        let sim = exec.sim_time();
+        assert_eq!(sim.comm, 0.0);
+        assert!(sim.gemm > 0.0);
+        assert!(exec.total_flops() > 0);
+        exec.reset_costs();
+        assert_eq!(exec.total_flops(), 0);
+        assert_eq!(exec.sim_time().total(), 0.0);
+    }
+
+    #[test]
+    fn svd_and_qr_are_exact_and_charged() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let a = DenseTensor::<f64>::random([40, 12], &mut rng);
+        let exec = Executor::with_machine(Machine::stampede2(4), 1, ExecMode::Sequential);
+        let (q, r) = exec.qr(&a).unwrap();
+        let (q2, r2) = tt_linalg::qr_thin(&a).unwrap();
+        assert_eq!(q.data(), q2.data());
+        assert_eq!(r.data(), r2.data());
+        let spec = TruncSpec {
+            max_rank: 8,
+            cutoff: 0.0,
+            min_keep: 1,
+        };
+        let t = exec.svd_trunc(&a, spec).unwrap();
+        assert_eq!(t.s.len(), 8);
+        assert!(exec.sim_time().svd > 0.0);
+        assert!(exec.supersteps() > 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Deterministic, chunkable local contraction kernels.
+//!
+//! The executor's two modes must produce **bitwise-identical** results, so
+//! every kernel here partitions work by *disjoint output rows*: for a fixed
+//! output element the accumulation order never depends on how many chunks
+//! (threads) the row space was split into. Sequential execution is the
+//! single-chunk special case of the same code path.
+
+use crate::pool::ThreadPool;
+use crate::Result;
+use std::sync::Arc;
+use tt_tensor::einsum::ContractPlan;
+use tt_tensor::gemm::gemm_acc_slices;
+use tt_tensor::{DenseTensor, Shape, SparseTensor};
+
+/// Split `m` rows into at most `chunks` contiguous ranges. Always returns
+/// at least one (possibly empty) range so zero-extent outputs flow through
+/// the same chunked path instead of panicking downstream.
+fn row_ranges(m: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if m == 0 {
+        return vec![(0, 0)];
+    }
+    let chunks = chunks.clamp(1, m);
+    let per = m.div_ceil(chunks);
+    (0..m)
+        .step_by(per.max(1))
+        .map(|r0| (r0, (r0 + per).min(m)))
+        .collect()
+}
+
+/// Run `make_job(range)` over the row ranges — on the pool when one is
+/// given, inline otherwise — and return per-range results in row order.
+fn run_chunked<T: Send + 'static>(
+    pool: Option<&ThreadPool>,
+    m: usize,
+    make_job: impl Fn((usize, usize)) -> Box<dyn FnOnce() -> T + Send + 'static>,
+) -> Vec<T> {
+    match pool {
+        Some(pool) if m > 1 => {
+            let jobs = row_ranges(m, pool.threads())
+                .into_iter()
+                .map(&make_job)
+                .collect();
+            pool.run(jobs)
+        }
+        _ => row_ranges(m, 1).into_iter().map(|r| make_job(r)()).collect(),
+    }
+}
+
+/// Fused dimensions of a contraction: output rows `m`, contracted `k`,
+/// output cols `n`.
+pub(crate) fn fused_dims(plan: &ContractPlan, a_dims: &[usize], b_dims: &[usize]) -> (usize, usize, usize) {
+    let m = plan.free_a_positions().iter().map(|&i| a_dims[i]).product();
+    let k = plan.ctr_a_positions().iter().map(|&i| a_dims[i]).product();
+    let n = plan.free_b_positions().iter().map(|&j| b_dims[j]).product();
+    (m, k, n)
+}
+
+fn natural_dims(plan: &ContractPlan, a_dims: &[usize], b_dims: &[usize]) -> Vec<usize> {
+    plan.free_a_positions()
+        .iter()
+        .map(|&i| a_dims[i])
+        .chain(plan.free_b_positions().iter().map(|&j| b_dims[j]))
+        .collect()
+}
+
+/// Dense × dense contraction (TTGT), row-chunked.
+pub(crate) fn dense_contract(
+    plan: &ContractPlan,
+    a: &DenseTensor<f64>,
+    b: &DenseTensor<f64>,
+    pool: Option<&ThreadPool>,
+) -> Result<DenseTensor<f64>> {
+    plan.output_dims(a.dims(), b.dims())?; // validates shapes
+    let (m, k, n) = fused_dims(plan, a.dims(), b.dims());
+
+    let mut perm_a: Vec<usize> = plan.free_a_positions().to_vec();
+    perm_a.extend_from_slice(plan.ctr_a_positions());
+    let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
+    perm_b.extend_from_slice(plan.free_b_positions());
+
+    let a_mat: Arc<Vec<f64>> = Arc::new(a.permute(&perm_a)?.into_data());
+    let b_mat: Arc<Vec<f64>> = Arc::new(b.permute(&perm_b)?.into_data());
+
+    let chunks = run_chunked(pool, m, |(r0, r1)| {
+        let a_mat = Arc::clone(&a_mat);
+        let b_mat = Arc::clone(&b_mat);
+        Box::new(move || {
+            let rows = r1 - r0;
+            let mut c = vec![0.0f64; rows * n];
+            gemm_acc_slices(rows, k, n, &a_mat[r0 * k..r1 * k], &b_mat, &mut c);
+            c
+        })
+    });
+
+    let mut c = Vec::with_capacity(m * n);
+    for chunk in chunks {
+        c.extend_from_slice(&chunk);
+    }
+    let c = DenseTensor::from_vec(natural_dims(plan, a.dims(), b.dims()), c)?;
+    Ok(c.permute(plan.output_permutation())?)
+}
+
+/// `(fused output row, fused contracted col, value)` triples of a sparse
+/// operand, in stored-offset order.
+fn sparse_coords(
+    t: &SparseTensor<f64>,
+    row_modes: &[usize],
+    col_modes: &[usize],
+) -> Vec<Coord> {
+    let dims = t.dims();
+    let shape = t.shape().clone();
+    t.entries()
+        .map(|(off, v)| {
+            let idx = shape.unoffset(off as usize);
+            let mut row = 0u64;
+            for &mm in row_modes {
+                row = row * dims[mm] as u64 + idx[mm] as u64;
+            }
+            let mut col = 0u64;
+            for &mm in col_modes {
+                col = col * dims[mm] as u64 + idx[mm] as u64;
+            }
+            (row, col, v)
+        })
+        .collect()
+}
+
+/// A `(fused row, fused col, value)` sparse coordinate.
+type Coord = (u64, u64, f64);
+
+/// A chunk job producing `(output entries, flops executed)`.
+type SsJob = Box<dyn FnOnce() -> (Vec<(u64, f64)>, u64) + Send>;
+
+/// Decompose a row-major fused index over `axes` (`(dimension, output
+/// stride)` pairs, most-significant first) and re-fuse it with the output
+/// strides. The row and column halves of an output offset add.
+fn unfuse_to_out(fused: u64, axes: &[(u64, u64)]) -> u64 {
+    let mut rem = fused;
+    let mut off = 0u64;
+    for &(dim, stride) in axes.iter().rev() {
+        off += (rem % dim) * stride;
+        rem /= dim;
+    }
+    off
+}
+
+/// Bucket coords by output-row chunk, preserving scan order inside each
+/// bucket (the property that makes chunked accumulation bitwise-stable).
+fn bucket_by_row(
+    coords: Vec<Coord>,
+    m: usize,
+    chunks: usize,
+) -> (Vec<(usize, usize)>, Vec<Vec<Coord>>) {
+    let ranges = row_ranges(m, chunks);
+    let per = ranges[0].1 - ranges[0].0;
+    let mut buckets: Vec<Vec<(u64, u64, f64)>> = vec![Vec::new(); ranges.len()];
+    for c in coords {
+        buckets[(c.0 as usize) / per.max(1)].push(c);
+    }
+    (ranges, buckets)
+}
+
+/// Sparse × dense contraction producing a dense tensor, row-chunked.
+pub(crate) fn sd_contract(
+    plan: &ContractPlan,
+    a: &SparseTensor<f64>,
+    b: &DenseTensor<f64>,
+    pool: Option<&ThreadPool>,
+) -> Result<(DenseTensor<f64>, u64)> {
+    plan.output_dims(a.dims(), b.dims())?;
+    let (m, _k, n) = fused_dims(plan, a.dims(), b.dims());
+
+    let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
+    perm_b.extend_from_slice(plan.free_b_positions());
+    let b_mat: Arc<Vec<f64>> = Arc::new(b.permute(&perm_b)?.into_data());
+
+    let coords = sparse_coords(a, plan.free_a_positions(), plan.ctr_a_positions());
+    let flops = 2 * coords.len() as u64 * n as u64;
+    let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
+    let (ranges, buckets) = bucket_by_row(coords, m, nthreads);
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = Vec::new();
+    for ((r0, r1), bucket) in ranges.iter().copied().zip(buckets) {
+        let b_mat = Arc::clone(&b_mat);
+        jobs.push(Box::new(move || {
+            let mut c = vec![0.0f64; (r1 - r0) * n];
+            for (row, col, v) in bucket {
+                let local = (row as usize - r0) * n;
+                let brow = &b_mat[col as usize * n..(col as usize + 1) * n];
+                for (cj, &bj) in c[local..local + n].iter_mut().zip(brow) {
+                    *cj += v * bj;
+                }
+            }
+            c
+        }));
+    }
+    let chunks = match pool {
+        Some(pool) if jobs.len() > 1 => pool.run(jobs),
+        _ => jobs.into_iter().map(|j| j()).collect(),
+    };
+
+    let mut c = Vec::with_capacity(m * n);
+    for chunk in chunks {
+        c.extend_from_slice(&chunk);
+    }
+    tt_tensor::counter::add_flops(flops);
+    let c = DenseTensor::from_vec(natural_dims(plan, a.dims(), b.dims()), c)?;
+    Ok((c.permute(plan.output_permutation())?, flops))
+}
+
+/// Sparse × sparse contraction with an optional pre-computed output-
+/// sparsity mask, row-chunked and fully deterministic (ordered maps only —
+/// no hash-iteration order leaks into floating-point accumulation).
+pub(crate) fn ss_contract(
+    plan: &ContractPlan,
+    a: &SparseTensor<f64>,
+    b: &SparseTensor<f64>,
+    mask: Option<&[u64]>,
+    pool: Option<&ThreadPool>,
+) -> Result<(SparseTensor<f64>, u64)> {
+    let out_dims = plan.output_dims(a.dims(), b.dims())?;
+    let out_shape = Shape::from(out_dims);
+    let (m, _k, _n) = fused_dims(plan, a.dims(), b.dims());
+
+    // Precompute the linear map from fused (row, col) coordinates to
+    // output offsets: for each natural axis, its dimension and its stride
+    // in the (permuted) output. Row and column contributions are then
+    // independent sums — no per-product index vectors.
+    let ra = plan.free_a_positions().len();
+    let nat_dims = natural_dims(plan, a.dims(), b.dims());
+    let out_strides = out_shape.strides();
+    let mut out_stride_of_nat = vec![0u64; nat_dims.len()];
+    for (j, &p) in plan.output_permutation().iter().enumerate() {
+        out_stride_of_nat[p] = out_strides[j] as u64;
+    }
+    let axes = |range: std::ops::Range<usize>| -> Vec<(u64, u64)> {
+        range.map(|q| (nat_dims[q] as u64, out_stride_of_nat[q])).collect()
+    };
+    let row_axes: Arc<Vec<(u64, u64)>> = Arc::new(axes(0..ra));
+    let col_axes: Vec<(u64, u64)> = axes(ra..nat_dims.len());
+
+    // B grouped by contracted key with each entry's output contribution
+    // resolved up front; groups keep stored order, so accumulation is
+    // deterministic.
+    let b_coords = sparse_coords(b, plan.ctr_b_positions(), plan.free_b_positions());
+    let mut b_by_ctr: std::collections::BTreeMap<u64, Vec<(u64, f64)>> = Default::default();
+    for (ctr, free, v) in b_coords {
+        b_by_ctr
+            .entry(ctr)
+            .or_default()
+            .push((unfuse_to_out(free, &col_axes), v));
+    }
+    let b_by_ctr = Arc::new(b_by_ctr);
+
+    let mask_sorted: Option<Arc<Vec<u64>>> = mask.map(|ms| {
+        let mut v = ms.to_vec();
+        v.sort_unstable();
+        Arc::new(v)
+    });
+
+    let coords = sparse_coords(a, plan.free_a_positions(), plan.ctr_a_positions());
+    let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
+    let (_ranges, buckets) = bucket_by_row(coords, m, nthreads);
+
+    let mut jobs: Vec<SsJob> = Vec::new();
+    for bucket in buckets {
+        let b_by_ctr = Arc::clone(&b_by_ctr);
+        let row_axes = Arc::clone(&row_axes);
+        let mask_sorted = mask_sorted.clone();
+        jobs.push(Box::new(move || {
+            let mut acc: std::collections::BTreeMap<u64, f64> = Default::default();
+            let mut flops = 0u64;
+            for (row, ctr, va) in bucket {
+                let Some(b_list) = b_by_ctr.get(&ctr) else {
+                    continue;
+                };
+                flops += 2 * b_list.len() as u64;
+                let row_out = unfuse_to_out(row, &row_axes);
+                for &(col_out, vb) in b_list {
+                    let out_off = row_out + col_out;
+                    if let Some(ref ms) = mask_sorted {
+                        if ms.binary_search(&out_off).is_err() {
+                            continue;
+                        }
+                    }
+                    *acc.entry(out_off).or_insert(0.0) += va * vb;
+                }
+            }
+            (acc.into_iter().collect(), flops)
+        }));
+    }
+    let chunk_results = match pool {
+        Some(pool) if jobs.len() > 1 => pool.run(jobs),
+        _ => jobs.into_iter().map(|j| j()).collect(),
+    };
+
+    // Distinct output rows per chunk ⇒ entry sets are disjoint; the union
+    // is just a concatenation that from_entries re-sorts.
+    let mut entries = Vec::new();
+    let mut flops = 0u64;
+    for (chunk, f) in chunk_results {
+        entries.extend(chunk);
+        flops += f;
+    }
+    tt_tensor::counter::add_flops(flops);
+    Ok((SparseTensor::from_entries(out_shape, entries)?, flops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sparse(dims: &[usize], density: f64, seed: u64) -> SparseTensor<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense = DenseTensor::<f64>::from_fn(dims, |_| {
+            if rng.gen_bool(density) {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        SparseTensor::from_dense(&dense, 0.0)
+    }
+
+    #[test]
+    fn dense_kernel_matches_einsum_any_chunking() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = DenseTensor::<f64>::random([7, 3, 9], &mut rng);
+        let b = DenseTensor::<f64>::random([9, 3, 5], &mut rng);
+        let plan = ContractPlan::parse("ajk,kjc->ca").unwrap();
+        let seq = dense_contract(&plan, &a, &b, None).unwrap();
+        let pool = ThreadPool::new(3);
+        let par = dense_contract(&plan, &a, &b, Some(&pool)).unwrap();
+        assert_eq!(seq.data(), par.data(), "threaded must be bitwise identical");
+        let reference = tt_tensor::einsum("ajk,kjc->ca", &a, &b).unwrap();
+        assert_eq!(seq.data(), reference.data());
+    }
+
+    #[test]
+    fn sd_kernel_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_sparse(&[6, 4, 5], 0.4, 7);
+        let b = DenseTensor::<f64>::random([5, 4, 3], &mut rng);
+        let plan = ContractPlan::parse("ajk,kjc->ac").unwrap();
+        let (seq, flops) = sd_contract(&plan, &a, &b, None).unwrap();
+        assert!(flops > 0);
+        let pool = ThreadPool::new(4);
+        let (par, _) = sd_contract(&plan, &a, &b, Some(&pool)).unwrap();
+        assert_eq!(seq.data(), par.data());
+        let reference = tt_tensor::einsum("ajk,kjc->ac", &a.to_dense(), &b).unwrap();
+        assert!(seq.allclose(&reference, 1e-12));
+    }
+
+    #[test]
+    fn zero_extent_outputs_do_not_panic() {
+        // A zero-dimension free mode gives an empty output; the sparse
+        // kernels must flow through the chunked path instead of panicking.
+        let a = SparseTensor::<f64>::from_dense(&DenseTensor::zeros([0, 3]), 0.0);
+        let b = DenseTensor::<f64>::zeros([3, 2]);
+        let plan = ContractPlan::parse("ik,kj->ij").unwrap();
+        let (c, flops) = sd_contract(&plan, &a, &b, None).unwrap();
+        assert_eq!(c.dims(), &[0, 2]);
+        assert_eq!(flops, 0);
+        let sb = SparseTensor::<f64>::from_dense(&b, 0.0);
+        let (cs, _) = ss_contract(&plan, &a, &sb, None, None).unwrap();
+        assert_eq!(cs.dims(), &[0, 2]);
+        assert_eq!(cs.nnz(), 0);
+    }
+
+    #[test]
+    fn ss_kernel_matches_dense_reference_and_respects_mask() {
+        let a = random_sparse(&[5, 6], 0.5, 8);
+        let b = random_sparse(&[6, 4], 0.5, 9);
+        let plan = ContractPlan::parse("ik,kj->ji").unwrap();
+        let (seq, _) = ss_contract(&plan, &a, &b, None, None).unwrap();
+        let pool = ThreadPool::new(4);
+        let (par, _) = ss_contract(&plan, &a, &b, None, Some(&pool)).unwrap();
+        assert_eq!(seq.to_dense().data(), par.to_dense().data());
+        let reference = tt_tensor::einsum("ik,kj->ji", &a.to_dense(), &b.to_dense()).unwrap();
+        assert!(seq.to_dense().allclose(&reference, 1e-12));
+
+        // mask restricts the output pattern
+        let mask: Vec<u64> = (0..4).map(|i| i * 5 + i).collect();
+        let (masked, _) = ss_contract(&plan, &a, &b, Some(&mask), None).unwrap();
+        for (off, _) in masked.entries() {
+            assert!(mask.contains(&off));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! `tt-dist` — the simulated distributed-memory execution runtime.
+//!
+//! This crate plays the role that MPI + Cyclops (CTF) + ScaLAPACK play in
+//! the paper: every block-sparse contraction, SVD/QR and TSQR in the
+//! workspace is dispatched through an [`Executor`] that
+//!
+//! * computes the *exact* same numbers as the serial code (the simulated
+//!   runtime is bit-for-bit deterministic, including under
+//!   [`ExecMode::Threaded`]),
+//! * charges an α–β (latency–bandwidth) BSP cost model for the
+//!   communication the operation *would* perform on `p` ranks of a real
+//!   [`Machine`], accumulating [`SimTime`] / superstep / flop counters in a
+//!   shared [`CostTracker`].
+//!
+//! Layout:
+//!
+//! * [`Machine`] — machine models (Blue Waters, Stampede2, a laptop-scale
+//!   `local`) with flop rooflines and α/β network parameters,
+//! * [`SimTime`] / [`CostTracker`] — the Fig. 7 cost categories,
+//! * [`Comm`] — collective volume accounting (allreduce/allgather/scatter,
+//!   point-to-point), shared by [`DistMatrix`] and [`tsqr`],
+//! * [`Executor`] — `contract` / `contract_sd` / `contract_ss` /
+//!   `svd_trunc` / `qr` entry points used by `tt-blocks` and everything
+//!   above it,
+//! * [`DistMatrix`] — a block-cyclically distributed dense matrix with a
+//!   SUMMA product,
+//! * [`tsqr`] — communication-avoiding tall-skinny QR built on
+//!   [`tt_linalg::qr_thin`].
+
+mod comm;
+mod cost;
+mod exec;
+mod kernels;
+mod machine;
+mod pool;
+mod summa;
+mod tsqr;
+
+pub use comm::Comm;
+pub use cost::{CostTracker, SimTime};
+pub use exec::{ExecMode, Executor};
+pub use machine::Machine;
+pub use pool::ThreadPool;
+pub use summa::DistMatrix;
+pub use tsqr::tsqr;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from the distributed runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Error bubbled up from a local tensor kernel.
+    Tensor(tt_tensor::Error),
+    /// Error bubbled up from a dense linear-algebra routine.
+    Linalg(tt_linalg::Error),
+    /// Invalid runtime configuration or operand (rank counts, distributions).
+    Runtime(String),
+}
+
+impl From<tt_tensor::Error> for Error {
+    fn from(e: tt_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}
+
+impl From<tt_linalg::Error> for Error {
+    fn from(e: tt_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Tensor(e) => write!(f, "tensor kernel: {e}"),
+            Error::Linalg(e) => write!(f, "linear algebra: {e}"),
+            Error::Runtime(s) => write!(f, "runtime: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Factor `p` into the most-square `(rows, cols)` process grid with
+/// `rows * cols == p` — the grid SUMMA and the cost model assume.
+pub(crate) fn process_grid(p: usize) -> (usize, usize) {
+    let p = p.max(1);
+    let mut rows = (p as f64).sqrt() as usize;
+    while rows > 1 && !p.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    (rows.max(1), p / rows.max(1))
+}
+
+#[cfg(test)]
+mod grid_tests {
+    use super::process_grid;
+
+    #[test]
+    fn grids_are_factorizations() {
+        for p in 1..=64 {
+            let (r, c) = process_grid(p);
+            assert_eq!(r * c, p);
+            assert!(r <= c);
+        }
+        assert_eq!(process_grid(16), (4, 4));
+        assert_eq!(process_grid(12), (3, 4));
+        assert_eq!(process_grid(7), (1, 7));
+    }
+}

@@ -1,0 +1,131 @@
+//! Machine models: flop rooflines and α–β network parameters.
+//!
+//! The two named machines are the paper's platforms. Parameters are
+//! per-node peaks and interconnect figures from the public system specs
+//! (Blue Waters Cray XE6 / Gemini, Stampede2 KNL / Omni-Path), not
+//! calibrated fits; the roofline shape (`n / (n + n_half)`) mirrors how the
+//! paper's model derates GEMM throughput at small block dimensions.
+
+/// A distributed-memory machine model.
+///
+/// All rates are *per node*; per-rank quantities divide by
+/// [`Machine::procs_per_node`]. Setting `alpha_s` and `beta_s_per_byte` to
+/// zero (the [`Machine::local`] model) makes communication free, so a
+/// serial run reports zero communication time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Machine {
+    /// Human-readable machine name (used in report tables).
+    pub name: String,
+    /// MPI ranks (processes) per node.
+    pub procs_per_node: usize,
+    /// Peak double-precision rate of one node, GFlop/s.
+    pub node_peak_gflops: f64,
+    /// GEMM dimension at which a rank reaches half its peak rate.
+    pub gemm_half_dim: f64,
+    /// Network message latency, seconds (the BSP α).
+    pub alpha_s: f64,
+    /// Inverse injection bandwidth, seconds per byte (the BSP β).
+    pub beta_s_per_byte: f64,
+    /// Per-node memory bandwidth, GB/s (prices transpose/packing traffic).
+    pub mem_bw_gbs: f64,
+    /// Memory per node, GB (feasibility checks in the scaling studies).
+    pub mem_per_node_gb: f64,
+    /// Fraction of the dense roofline reachable by sparse kernels.
+    pub sparse_derate: f64,
+}
+
+impl Machine {
+    /// Blue Waters (Cray XE6): 2× AMD Interlagos per node, Gemini torus.
+    pub fn blue_waters(procs_per_node: usize) -> Self {
+        Self {
+            name: "BlueWaters".into(),
+            procs_per_node: procs_per_node.max(1),
+            node_peak_gflops: 313.6,
+            gemm_half_dim: 112.0,
+            alpha_s: 1.5e-6,
+            beta_s_per_byte: 1.0 / 9.6e9,
+            mem_bw_gbs: 102.0,
+            mem_per_node_gb: 64.0,
+            sparse_derate: 0.06,
+        }
+    }
+
+    /// Stampede2 (KNL): one 68-core Xeon Phi 7250 per node, Omni-Path.
+    pub fn stampede2(procs_per_node: usize) -> Self {
+        Self {
+            name: "Stampede2".into(),
+            procs_per_node: procs_per_node.max(1),
+            node_peak_gflops: 3046.4,
+            gemm_half_dim: 512.0,
+            alpha_s: 1.0e-6,
+            beta_s_per_byte: 1.0 / 12.5e9,
+            mem_bw_gbs: 90.0,
+            mem_per_node_gb: 96.0,
+            sparse_derate: 0.04,
+        }
+    }
+
+    /// A serial laptop-scale machine with free communication: the baseline
+    /// every distributed run is validated against.
+    pub fn local() -> Self {
+        Self {
+            name: "local".into(),
+            procs_per_node: 1,
+            node_peak_gflops: 50.0,
+            gemm_half_dim: 48.0,
+            alpha_s: 0.0,
+            beta_s_per_byte: 0.0,
+            mem_bw_gbs: 20.0,
+            mem_per_node_gb: 16.0,
+            sparse_derate: 0.08,
+        }
+    }
+
+    /// Peak rate of a single rank, flop/s.
+    pub fn rank_peak_flops(&self) -> f64 {
+        self.node_peak_gflops * 1e9 / self.procs_per_node as f64
+    }
+
+    /// Achievable dense GEMM rate (flop/s) of one rank at local matrix
+    /// dimension `n` — a roofline that halves at `gemm_half_dim`.
+    pub fn dense_rate(&self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        self.rank_peak_flops() * n / (n + self.gemm_half_dim)
+    }
+
+    /// Achievable sparse-kernel rate (flop/s) of one rank at local
+    /// dimension `n`; memory-bound, hence heavily derated.
+    pub fn sparse_rate(&self, n: f64) -> f64 {
+        self.dense_rate(n) * self.sparse_derate
+    }
+
+    /// Per-rank memory bandwidth, bytes/s.
+    pub fn rank_mem_bw(&self) -> f64 {
+        self.mem_bw_gbs * 1e9 / self.procs_per_node as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Machine;
+
+    #[test]
+    fn rooflines_saturate() {
+        let m = Machine::blue_waters(16);
+        assert!(m.dense_rate(8.0) < m.dense_rate(1024.0));
+        assert!(m.dense_rate(1e9) <= m.rank_peak_flops());
+        // half-peak at the half dimension
+        let half = m.dense_rate(m.gemm_half_dim);
+        assert!((half - 0.5 * m.rank_peak_flops()).abs() < 1e-3 * m.rank_peak_flops());
+        assert!(m.sparse_rate(256.0) < m.dense_rate(256.0));
+    }
+
+    #[test]
+    fn machines_differ() {
+        let bw = Machine::blue_waters(16);
+        let s2 = Machine::stampede2(64);
+        assert_ne!(bw.node_peak_gflops, s2.node_peak_gflops);
+        assert_ne!(bw.alpha_s, s2.alpha_s);
+        assert!(Machine::local().alpha_s == 0.0 && Machine::local().beta_s_per_byte == 0.0);
+    }
+}

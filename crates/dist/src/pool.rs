@@ -1,0 +1,147 @@
+//! A small persistent worker pool.
+//!
+//! [`ExecMode::Threaded`](crate::ExecMode) executors dispatch their
+//! block/row-chunked kernel work onto this pool. Workers survive panics in
+//! individual jobs, and [`ThreadPool::run`] returns results in submission
+//! order so callers can rely on deterministic assembly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size pool of worker threads consuming a shared job queue.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawn `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("tt-dist-worker-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+            threads,
+        }
+    }
+
+    /// Pool sized to the host's available parallelism (capped at 8 — the
+    /// kernels here saturate memory bandwidth well before that).
+    pub fn default_size() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `jobs` on the pool and collect their results in submission
+    /// order. Blocks until all jobs finish.
+    pub fn run<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = jobs.len();
+        let (rtx, rrx) = channel::<(usize, T)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let rtx = rtx.clone();
+            let wrapped: Job = Box::new(move || {
+                let out = job();
+                let _ = rtx.send((i, out));
+            });
+            self.tx
+                .as_ref()
+                .expect("pool alive")
+                .send(wrapped)
+                .expect("workers alive");
+        }
+        drop(rtx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, out) in rrx.iter() {
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("job completed without result (worker panicked)"))
+            .collect()
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => {
+                // A panicking job must not take the worker down with it;
+                // the submitter sees the missing result instead.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // queue closed
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ThreadPool;
+
+    #[test]
+    fn results_in_submission_order() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || i * i);
+                f
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_reuse() {
+        let pool = ThreadPool::new(2);
+        for round in 0..5 {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8)
+                .map(|i| {
+                    let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || round + i);
+                    f
+                })
+                .collect();
+            assert_eq!(pool.run(jobs).len(), 8);
+        }
+    }
+}

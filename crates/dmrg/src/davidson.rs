@@ -77,9 +77,9 @@ pub fn davidson(
         // subspace matrix M_ij = ⟨v_i | A v_j⟩ (symmetric)
         let k = basis.len();
         let mut m = DenseTensor::<f64>::zeros([k, k]);
-        for i in 0..k {
-            for j in 0..k {
-                let mij = basis[i].dot(&av[j]).map_err(wrap)?;
+        for (i, bi) in basis.iter().enumerate() {
+            for (j, avj) in av.iter().enumerate() {
+                let mij = bi.dot(avj).map_err(wrap)?;
                 m.set(&[i, j], mij);
             }
         }

@@ -215,7 +215,7 @@ pub fn hubbard_ed(
         // sign from electrons between the two sites
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let between = removed & (((1u32 << hi) - 1) & !((1u32 << (lo + 1)) - 1));
-        let sign = if between.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if between.count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
         Some((removed | (1 << a), sign))
     };
 

@@ -315,9 +315,11 @@ mod tests {
         let mut mps = Mps::product_state(&SpinHalf, &neel_state(n)).unwrap();
         let exec = Executor::local();
         let dmrg = Dmrg::new(&exec, Algorithm::List, &mpo);
-        let mut dav = DavidsonOptions::default();
-        dav.max_iter = 6;
-        dav.max_subspace = 3;
+        let dav = DavidsonOptions {
+            max_iter: 6,
+            max_subspace: 3,
+            ..Default::default()
+        };
         let schedule = Schedule {
             sweeps: (0..sweeps)
                 .map(|_| SweepParams {

@@ -157,8 +157,8 @@ mod tests {
             let av = gemm_f64(&a, &v).unwrap();
             let mut vd = v.clone();
             for i in 0..n {
-                for j in 0..n {
-                    vd.set(&[i, j], v.at(&[i, j]) * w[j]);
+                for (j, &wj) in w.iter().enumerate() {
+                    vd.set(&[i, j], v.at(&[i, j]) * wj);
                 }
             }
             assert!(av.allclose(&vd, 1e-8), "n={n}");

@@ -27,9 +27,8 @@ pub fn qr_thin(a: &DenseTensor<f64>) -> Result<(DenseTensor<f64>, DenseTensor<f6
             let col = &mut r[j * m..(j + 1) * m];
             let alpha = col[j];
             let sigma: f64 = col[j + 1..m].iter().map(|x| x * x).sum();
-            if sigma == 0.0 && alpha >= 0.0 {
-                (0.0, alpha)
-            } else if sigma == 0.0 {
+            if sigma == 0.0 {
+                // no off-diagonal mass: the column is already triangular
                 (0.0, alpha)
             } else {
                 let mu = (alpha * alpha + sigma).sqrt();

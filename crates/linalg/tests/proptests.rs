@@ -82,8 +82,8 @@ proptest! {
         let av = gemm_f64(&a, &v).unwrap();
         let mut vl = v.clone();
         for i in 0..n {
-            for j in 0..n {
-                vl.set(&[i, j], v.at(&[i, j]) * w[j]);
+            for (j, &wj) in w.iter().enumerate() {
+                vl.set(&[i, j], v.at(&[i, j]) * wj);
             }
         }
         prop_assert!(av.allclose(&vl, 1e-7));

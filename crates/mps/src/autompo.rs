@@ -95,7 +95,7 @@ pub fn expand_term<S: SiteType>(site: &S, n: usize, term: &OpTerm) -> Result<Exp
 
     // per position: parity of fermionic ops strictly to the right
     let total_fermi: usize = ops.iter().filter(|o| o.2).count();
-    if total_fermi % 2 != 0 {
+    if !total_fermi.is_multiple_of(2) {
         return Err(Error::Term("odd number of fermionic operators".into()));
     }
     let mut right_parity = vec![0usize; ops.len() + 1];
@@ -397,7 +397,7 @@ fn dims4(w: &DenseTensor<f64>) -> (usize, usize, usize, usize) {
 
 /// Remove zero columns and merge parallel columns (left→right), then the
 /// mirror pass on rows (right→left). Repeats until fixed point.
-fn deparallelize(ws: &mut Vec<DenseTensor<f64>>, charges: &mut Vec<Vec<QN>>) -> Result<()> {
+fn deparallelize(ws: &mut [DenseTensor<f64>], charges: &mut [Vec<QN>]) -> Result<()> {
     let n = ws.len();
     loop {
         let mut changed = false;

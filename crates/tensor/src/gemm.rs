@@ -239,8 +239,8 @@ mod tests {
         let x = DenseTensor::<f64>::random([9, 1], &mut rng);
         let y = gemv(&a, x.data()).unwrap();
         let y2 = gemm_f64(&a, &x).unwrap();
-        for i in 0..7 {
-            assert!((y[i] - y2.at(&[i, 0])).abs() < 1e-12);
+        for (i, &yi) in y.iter().enumerate() {
+            assert!((yi - y2.at(&[i, 0])).abs() < 1e-12);
         }
     }
 }

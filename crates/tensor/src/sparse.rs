@@ -111,7 +111,7 @@ impl<T: Scalar> SparseTensor<T> {
     /// Fraction of stored entries relative to the dense volume
     /// (the quantity plotted in the paper's Fig. 2b).
     pub fn sparsity(&self) -> f64 {
-        if self.shape.len() == 0 {
+        if self.shape.is_empty() {
             0.0
         } else {
             self.nnz() as f64 / self.shape.len() as f64

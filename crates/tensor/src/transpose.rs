@@ -45,7 +45,7 @@ pub fn permute<T: Scalar>(t: &DenseTensor<T>, perm: &[usize]) -> Result<DenseTen
     let dims = out_shape.dims().to_vec();
     let mut out = vec![T::zero(); t.len()];
 
-    if t.len() > 0 {
+    if !t.is_empty() {
         // odometer walk over output positions; input offset tracked incrementally
         let mut idx = vec![0usize; n];
         let mut in_off = 0usize;
