@@ -10,12 +10,35 @@ use tt_tensor::{einsum, gemm_f64, DenseTensor, SparseTensor};
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm");
     g.sample_size(10);
-    for n in [32usize, 64, 128] {
+    // 32/64 stay on the scalar small-block path; 128+ hit the packed
+    // register-tiled kernel
+    for n in [32usize, 64, 128, 256] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = DenseTensor::<f64>::random([n, n], &mut rng);
         let b = DenseTensor::<f64>::random([n, n], &mut rng);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| gemm_f64(&a, &b).unwrap());
+        });
+    }
+    // transposed layout: packing absorbs the transpose (no copy)
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DenseTensor::<f64>::random([256, 256], &mut rng);
+        let b = DenseTensor::<f64>::random([256, 256], &mut rng);
+        g.bench_function("at_b_256", |bench| {
+            bench.iter(|| {
+                tt_tensor::gemm(&a, tt_tensor::Layout::Transposed, &b, tt_tensor::Layout::Normal)
+                    .unwrap()
+            });
+        });
+    }
+    // fused n == 1: the gemv fast path (Davidson matvec shape)
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DenseTensor::<f64>::random([512, 512], &mut rng);
+        let x = DenseTensor::<f64>::random([512, 1], &mut rng);
+        g.bench_function("gemv_512", |bench| {
+            bench.iter(|| gemm_f64(&a, &x).unwrap());
         });
     }
     g.finish();
@@ -62,6 +85,25 @@ fn bench_sparse(c: &mut Criterion) {
     let sp2 = SparseTensor::from_dense(&dense, 0.7);
     g.bench_function("spgemm_128", |bench| {
         bench.iter(|| sp.contract_sparse("ik,kj->ij", &sp2).unwrap());
+    });
+    // row-skewed rectangular pattern through the threaded executor: the
+    // volume-balanced bucket split vs what used to be one hot bucket
+    let skew = DenseTensor::<f64>::from_fn([384, 64], |idx| {
+        if idx[0] < 8 || idx[1] == 0 {
+            (idx[0] + idx[1]) as f64 * 1e-3 - 0.2
+        } else {
+            0.0
+        }
+    });
+    let sk = SparseTensor::from_dense(&skew, 0.0);
+    let bd = DenseTensor::<f64>::random([64, 48], &mut rng);
+    let exec = tt_dist::Executor::with_machine(
+        tt_dist::Machine::local(),
+        1,
+        tt_dist::ExecMode::Threaded,
+    );
+    g.bench_function("sd_skewed_threaded", |bench| {
+        bench.iter(|| exec.contract_sd("ik,kj->ij", &sk, &bd).unwrap());
     });
     g.finish();
 }

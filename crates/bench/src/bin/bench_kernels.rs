@@ -1,0 +1,224 @@
+//! Kernel performance baseline: times the contraction hot-path kernels and
+//! writes `BENCH_kernels.json` (GFlop/s per kernel/size) so future PRs can
+//! diff perf against this one.
+//!
+//! Usage: `cargo run --release -p tt-bench --bin bench_kernels [-- --smoke]`
+//!
+//! `--smoke` shrinks sizes/reps to a few hundred milliseconds for CI; the
+//! full run includes the 512×512×512 `f64` case used as this PR's
+//! acceptance gate (packed GEMM ≥ 2× the seed scalar kernel).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tt_dist::{ExecMode, Executor, Machine};
+use tt_tensor::{DenseTensor, SparseTensor};
+
+/// The seed repo's scalar cache-blocked `(i,k,j)` GEMM — kept here verbatim
+/// as the perf reference the packed kernel is measured against.
+fn seed_gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    const MC: usize = 64;
+    const KC: usize = 128;
+    const NC: usize = 512;
+    for ib in (0..m).step_by(MC) {
+        let imax = (ib + MC).min(m);
+        for kb in (0..k).step_by(KC) {
+            let kmax = (kb + KC).min(k);
+            for jb in (0..n).step_by(NC) {
+                let jmax = (jb + NC).min(n);
+                for i in ib..imax {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let crow = &mut c[i * n + jb..i * n + jmax];
+                    for kk in kb..kmax {
+                        let aik = arow[kk];
+                        let brow = &b[kk * n + jb..kk * n + jmax];
+                        for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                            *cj += aik * bj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Entry {
+    kernel: &'static str,
+    size: String,
+    flops: f64,
+    secs: f64,
+}
+
+impl Entry {
+    fn gflops(&self) -> f64 {
+        self.flops / self.secs / 1e9
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let gemm_sizes: &[usize] = if smoke { &[64, 128] } else { &[128, 256, 512] };
+    let reps = if smoke { 3 } else { 5 };
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // --- dense GEMM: packed register-tiled vs seed scalar loop -----------
+    for &s in gemm_sizes {
+        let a = DenseTensor::<f64>::random([s, s], &mut rng);
+        let b = DenseTensor::<f64>::random([s, s], &mut rng);
+        let flops = 2.0 * (s as f64).powi(3);
+        let mut c = vec![0.0f64; s * s];
+
+        let secs = best_of(reps, || {
+            c.iter_mut().for_each(|x| *x = 0.0);
+            tt_tensor::gemm::gemm_acc_slices(s, s, s, a.data(), b.data(), &mut c);
+        });
+        entries.push(Entry {
+            kernel: "gemm_packed",
+            size: format!("{s}x{s}x{s}"),
+            flops,
+            secs,
+        });
+
+        let secs = best_of(reps, || {
+            c.iter_mut().for_each(|x| *x = 0.0);
+            seed_gemm_acc(s, s, s, a.data(), b.data(), &mut c);
+        });
+        entries.push(Entry {
+            kernel: "gemm_seed_scalar",
+            size: format!("{s}x{s}x{s}"),
+            flops,
+            secs,
+        });
+    }
+
+    // --- transposed-layout GEMM (packing absorbs the transpose) ----------
+    {
+        let s = if smoke { 128 } else { 512 };
+        let a = DenseTensor::<f64>::random([s, s], &mut rng);
+        let b = DenseTensor::<f64>::random([s, s], &mut rng);
+        let flops = 2.0 * (s as f64).powi(3);
+        let secs = best_of(reps, || {
+            tt_tensor::gemm(&a, tt_tensor::Layout::Transposed, &b, tt_tensor::Layout::Normal)
+                .unwrap();
+        });
+        entries.push(Entry {
+            kernel: "gemm_at_b",
+            size: format!("{s}x{s}x{s}"),
+            flops,
+            secs,
+        });
+    }
+
+    // --- GEMV fast path (Davidson matvec shape) --------------------------
+    {
+        let (m, k) = if smoke { (256, 256) } else { (1024, 1024) };
+        let a = DenseTensor::<f64>::random([m, k], &mut rng);
+        let x = DenseTensor::<f64>::random([k, 1], &mut rng);
+        let flops = 2.0 * m as f64 * k as f64;
+        let secs = best_of(reps * 4, || {
+            tt_tensor::gemm_f64(&a, &x).unwrap();
+        });
+        entries.push(Entry {
+            kernel: "gemv_fused_n1",
+            size: format!("{m}x{k}x1"),
+            flops,
+            secs,
+        });
+    }
+
+    // --- sparse kernels through the executor (volume-balanced split) -----
+    // A rectangular, row-skewed sparse operand: the shape that used to
+    // load-imbalance the uniform row split.
+    {
+        let (m, k, n) = if smoke { (96, 48, 24) } else { (512, 128, 64) };
+        let dense = DenseTensor::<f64>::from_fn([m, k], |idx| {
+            // quadratically front-loaded density: row 0 full, last rows empty
+            let cutoff = k - (k * idx[0] * idx[0]) / (m * m).max(1);
+            if idx[1] < cutoff {
+                (idx[0] + idx[1]) as f64 / (m + k) as f64 - 0.5
+            } else {
+                0.0
+            }
+        });
+        let sp = SparseTensor::from_dense(&dense, 0.0);
+        let b = DenseTensor::<f64>::random([k, n], &mut rng);
+        let sb = SparseTensor::from_dense(&DenseTensor::<f64>::random([k, n], &mut rng), 0.5);
+        let sd_flops = 2.0 * sp.nnz() as f64 * n as f64;
+
+        for (mode, label_sd, label_ss) in [
+            (ExecMode::Sequential, "sd_contract_seq", "ss_contract_seq"),
+            (ExecMode::Threaded, "sd_contract_threaded", "ss_contract_threaded"),
+        ] {
+            let exec = Executor::with_machine(Machine::local(), 1, mode);
+            let secs = best_of(reps, || {
+                exec.contract_sd("ik,kj->ij", &sp, &b).unwrap();
+            });
+            entries.push(Entry {
+                kernel: label_sd,
+                size: format!("{m}x{k}x{n}"),
+                flops: sd_flops,
+                secs,
+            });
+            let secs = best_of(reps, || {
+                exec.contract_ss("ik,kj->ij", &sp, &sb, None).unwrap();
+            });
+            entries.push(Entry {
+                kernel: label_ss,
+                size: format!("{m}x{k}x{n}"),
+                flops: sd_flops * 0.5, // nominal; ss work depends on overlap
+                secs,
+            });
+        }
+    }
+
+    // --- report + JSON ----------------------------------------------------
+    let mut json = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        println!(
+            "{:<22} {:>14}  {:>8.2} GFlop/s  ({:.3e} s)",
+            e.kernel,
+            e.size,
+            e.gflops(),
+            e.secs
+        );
+        json.push_str(&format!(
+            "  {{\"kernel\": \"{}\", \"size\": \"{}\", \"gflops\": {:.4}, \"seconds\": {:.6e}}}{}\n",
+            e.kernel,
+            e.size,
+            e.gflops(),
+            e.secs,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json ({} entries)", entries.len());
+
+    // the acceptance gate this PR ships under (informational at runtime)
+    if !smoke {
+        let g = |k: &str| {
+            entries
+                .iter()
+                .find(|e| e.kernel == k && e.size == "512x512x512")
+                .map(Entry::gflops)
+                .unwrap_or(0.0)
+        };
+        let (packed, seed) = (g("gemm_packed"), g("gemm_seed_scalar"));
+        println!(
+            "packed/seed speedup at 512^3: {:.2}x",
+            packed / seed.max(1e-12)
+        );
+    }
+}

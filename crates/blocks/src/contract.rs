@@ -97,6 +97,12 @@ pub fn contract(
 
 /// Paper Algorithm 2: loop over block pairs, match contracted labels,
 /// accumulate result blocks.
+///
+/// The independent per-pair GEMMs are dispatched through
+/// [`Executor::contract_batch`] — pool-parallel in `ExecMode::Threaded` —
+/// and the partial results are accumulated into output blocks afterwards
+/// in pair-enumeration order, so the floating-point accumulation order
+/// (and therefore the result, bit for bit) never depends on the mode.
 pub fn contract_list(
     exec: &Executor,
     spec: &str,
@@ -121,6 +127,10 @@ pub fn contract_list(
         b_by_ctr.entry(ctr_key).or_default().push(kb);
     }
 
+    // enumerate matching pairs in deterministic (A-stored, B-stored) order
+    let mut out_keys: Vec<crate::block::BlockKey> = Vec::new();
+    let mut pairs: Vec<(&tt_tensor::DenseTensor<f64>, &tt_tensor::DenseTensor<f64>)> =
+        Vec::new();
     for (ka, ablock) in a.blocks() {
         let ctr_key: Vec<u16> = ctr_a.iter().map(|&i| ka[i]).collect();
         let Some(bkeys) = b_by_ctr.get(&ctr_key) else {
@@ -134,16 +144,39 @@ pub fn contract_list(
                 .map(|&i| ka[i])
                 .chain(free_b.iter().map(|&j| kb[j]))
                 .collect();
-            let kc: Vec<u16> = out_perm.iter().map(|&p| natural[p]).collect();
-            let partial = exec.contract(spec, ablock, bblock)?;
-            match c.block(&kc) {
-                Some(existing) => {
-                    let mut acc = existing.clone();
-                    acc.axpy(1.0, &partial).map_err(tt_dist::Error::from)?;
-                    c.insert_block(kc, acc)?;
-                }
-                None => c.insert_block(kc, partial)?,
+            out_keys.push(out_perm.iter().map(|&p| natural[p]).collect());
+            pairs.push((ablock, bblock));
+        }
+    }
+
+    // accumulate a partial into its output block (always in pair order)
+    let absorb = |c: &mut BlockSparseTensor,
+                      kc: crate::block::BlockKey,
+                      partial: tt_tensor::DenseTensor<f64>|
+     -> Result<()> {
+        match c.block(&kc) {
+            Some(existing) => {
+                let mut acc = existing.clone();
+                acc.axpy(1.0, &partial).map_err(tt_dist::Error::from)?;
+                c.insert_block(kc, acc)?;
             }
+            None => c.insert_block(kc, partial)?,
+        }
+        Ok(())
+    };
+
+    if exec.mode() == tt_dist::ExecMode::Threaded {
+        // pair-level fan-out over the pool; partials return in pair order
+        let partials = exec.contract_batch(spec, &pairs)?;
+        for (kc, partial) in out_keys.into_iter().zip(partials) {
+            absorb(&mut c, kc, partial)?;
+        }
+    } else {
+        // sequential: stream one partial at a time (no operand copies, no
+        // materialized partial list) — bitwise identical to the batch path
+        for (kc, (ablock, bblock)) in out_keys.into_iter().zip(pairs) {
+            let partial = exec.contract(spec, ablock, bblock)?;
+            absorb(&mut c, kc, partial)?;
         }
     }
     Ok(c)

@@ -91,16 +91,17 @@ struct SectorGroup {
     rows: Vec<(Vec<u16>, usize, usize)>,
     /// col block-key parts with their dense offsets and dims
     cols: Vec<(Vec<u16>, usize, usize)>,
-    mat: DenseTensor<f64>,
 }
 
 /// Group the blocks of `t` by fused row charge and assemble per-group
-/// matrices. `row_modes`/`col_modes` partition the tensor's modes.
+/// matrices. `row_modes`/`col_modes` partition the tensor's modes. The
+/// matrices come back in a separate vector (index-aligned with the group
+/// metadata) so they can move into the executor's batch decompositions.
 fn build_groups(
     t: &BlockSparseTensor,
     row_modes: &[usize],
     col_modes: &[usize],
-) -> Result<Vec<SectorGroup>> {
+) -> Result<(Vec<SectorGroup>, Vec<DenseTensor<f64>>)> {
     let mut seen = vec![false; t.order()];
     for &m in row_modes.iter().chain(col_modes) {
         if m >= t.order() || seen[m] {
@@ -149,6 +150,7 @@ fn build_groups(
 
     // assemble matrices
     let mut groups = Vec::new();
+    let mut mats = Vec::new();
     for (g, p) in partials {
         let mut rows = Vec::new();
         let mut off = 0usize;
@@ -185,14 +187,10 @@ fn build_groups(
                 }
             }
         }
-        groups.push(SectorGroup {
-            g,
-            rows,
-            cols,
-            mat,
-        });
+        groups.push(SectorGroup { g, rows, cols });
+        mats.push(mat);
     }
-    Ok(groups)
+    Ok((groups, mats))
 }
 
 /// Truncated SVD of a block tensor matricized as `(row_modes ; col_modes)`.
@@ -207,23 +205,22 @@ pub fn block_svd(
     col_modes: &[usize],
     spec: TruncSpec,
 ) -> Result<BlockSvd> {
-    let groups = build_groups(t, row_modes, col_modes)?;
+    let (groups, mats) = build_groups(t, row_modes, col_modes)?;
     if groups.is_empty() {
         return Err(Error::Key(
             "block_svd of a tensor with no stored blocks".into(),
         ));
     }
 
-    // full SVD per group (through the executor → distributed SVD + cost)
+    // full SVD per group — the groups are independent, so the executor
+    // fans them out over its pool in Threaded mode (results and costs
+    // return in group order: deterministic either way)
     let full_spec = TruncSpec {
         max_rank: usize::MAX,
         cutoff: 0.0,
         min_keep: 1,
     };
-    let mut svds = Vec::with_capacity(groups.len());
-    for g in &groups {
-        svds.push(exec.svd_trunc(&g.mat, full_spec)?);
-    }
+    let svds = exec.svd_trunc_batch(mats, full_spec)?;
 
     // global truncation across groups
     let mut all: Vec<(f64, usize)> = Vec::new(); // (σ, group)
@@ -350,16 +347,14 @@ pub fn block_qr(
     row_modes: &[usize],
     col_modes: &[usize],
 ) -> Result<(BlockSparseTensor, BlockSparseTensor)> {
-    let groups = build_groups(t, row_modes, col_modes)?;
+    let (groups, mats) = build_groups(t, row_modes, col_modes)?;
     if groups.is_empty() {
         return Err(Error::Key(
             "block_qr of a tensor with no stored blocks".into(),
         ));
     }
-    let mut qrs = Vec::with_capacity(groups.len());
-    for g in &groups {
-        qrs.push(exec.qr(&g.mat)?);
-    }
+    // independent per-group QRs fan out over the executor's pool
+    let qrs = exec.qr_batch(mats)?;
 
     let mut bond_sectors: Vec<(QN, usize)> = Vec::new();
     for (g, (q, _)) in groups.iter().zip(&qrs) {

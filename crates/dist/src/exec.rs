@@ -192,6 +192,62 @@ impl Executor {
         Ok(c)
     }
 
+    /// Contract many independent operand pairs with one spec — the
+    /// block-pair fan-out of the list algorithm.
+    ///
+    /// In [`ExecMode::Threaded`] every pair runs as its own pool job
+    /// (each internally sequential: pair-level parallelism replaces
+    /// row-level parallelism, so per-element accumulation order is
+    /// unchanged). Results come back in submission order and costs are
+    /// charged in that same order on the caller thread, keeping both the
+    /// numerics and the cost counters bitwise-deterministic.
+    pub fn contract_batch(
+        &self,
+        spec: &str,
+        pairs: &[(&DenseTensor<f64>, &DenseTensor<f64>)],
+    ) -> Result<Vec<DenseTensor<f64>>> {
+        let plan = Arc::new(ContractPlan::parse(spec)?);
+        // validate every pair up front (fused_dims/flop_count index by
+        // plan positions and would panic on mismatched operand orders),
+        // and snapshot the cost parameters
+        let mut charges = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            plan.output_dims(a.dims(), b.dims())?;
+            let (m, k, n) = kernels::fused_dims(&plan, a.dims(), b.dims());
+            charges.push((m, k, n, plan.flop_count(a.dims(), b.dims())));
+        }
+        let results: Vec<Result<DenseTensor<f64>>> = match self.pool() {
+            Some(pool) if pairs.len() > 1 => {
+                // jobs need owned operands ('static); the clone is the
+                // price of pair-level parallelism, paid only here
+                let jobs = pairs
+                    .iter()
+                    .map(|(a, b)| {
+                        let (a, b) = ((*a).clone(), (*b).clone());
+                        let plan = Arc::clone(&plan);
+                        let job: Box<dyn FnOnce() -> Result<DenseTensor<f64>> + Send> =
+                            Box::new(move || kernels::dense_contract(&plan, &a, &b, None));
+                        job
+                    })
+                    .collect();
+                pool.run(jobs)
+            }
+            // sequential mode, or a single pair: no copies; row-level
+            // parallelism (bitwise-identical by construction) still
+            // applies if a pool is present
+            _ => pairs
+                .iter()
+                .map(|(a, b)| kernels::dense_contract(&plan, a, b, self.pool()))
+                .collect(),
+        };
+        let mut out = Vec::with_capacity(results.len());
+        for (r, (m, k, n, flops)) in results.into_iter().zip(charges) {
+            out.push(r?);
+            self.charge_contraction(m * k, k * n, m * n, m, n, flops, false);
+        }
+        Ok(out)
+    }
+
     /// Distributed sparse × dense contraction (the *sparse-dense*
     /// algorithm's kernel): flattened-sparse `a` against densified `b`.
     pub fn contract_sd(
@@ -230,22 +286,76 @@ impl Executor {
     /// stand-in used under the block SVD).
     pub fn svd_trunc(&self, a: &DenseTensor<f64>, spec: TruncSpec) -> Result<TruncatedSvd> {
         let out = tt_linalg::svd_trunc(a, spec)?;
-        self.charge_factorization(a, 14.0);
+        self.charge_factorization(a.dims(), 14.0);
         Ok(out)
     }
 
     /// Distributed thin QR (TSQR-cost model, exact local numerics).
     pub fn qr(&self, a: &DenseTensor<f64>) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
         let out = tt_linalg::qr_thin(a)?;
-        self.charge_factorization(a, 4.0);
+        self.charge_factorization(a.dims(), 4.0);
+        Ok(out)
+    }
+
+    /// Truncated SVDs of many independent matrices (the sector groups of a
+    /// block SVD). In [`ExecMode::Threaded`] the factorizations fan out
+    /// over the pool; results return in submission order and costs are
+    /// charged in that order, so totals match the serial loop exactly.
+    pub fn svd_trunc_batch(
+        &self,
+        mats: Vec<DenseTensor<f64>>,
+        spec: TruncSpec,
+    ) -> Result<Vec<TruncatedSvd>> {
+        self.factorize_batch(mats, 14.0, move |m| tt_linalg::svd_trunc(m, spec))
+    }
+
+    /// Thin QRs of many independent matrices (the sector groups of a block
+    /// QR), pool-parallel in [`ExecMode::Threaded`] with in-order results
+    /// and cost charging.
+    pub fn qr_batch(
+        &self,
+        mats: Vec<DenseTensor<f64>>,
+    ) -> Result<Vec<(DenseTensor<f64>, DenseTensor<f64>)>> {
+        self.factorize_batch(mats, 4.0, tt_linalg::qr_thin)
+    }
+
+    /// Shared driver for the factorization batches: run `f` over every
+    /// matrix (on the pool when threaded), then charge each factorization
+    /// in submission order on the caller thread.
+    fn factorize_batch<T: Send + 'static>(
+        &self,
+        mats: Vec<DenseTensor<f64>>,
+        flop_coeff: f64,
+        f: impl Fn(&DenseTensor<f64>) -> tt_linalg::Result<T> + Send + Sync + Copy + 'static,
+    ) -> Result<Vec<T>> {
+        let dims: Vec<Vec<usize>> = mats.iter().map(|m| m.dims().to_vec()).collect();
+        let results: Vec<tt_linalg::Result<T>> = match self.pool() {
+            Some(pool) if mats.len() > 1 => {
+                let jobs = mats
+                    .into_iter()
+                    .map(|m| {
+                        let job: Box<dyn FnOnce() -> tt_linalg::Result<T> + Send> =
+                            Box::new(move || f(&m));
+                        job
+                    })
+                    .collect();
+                pool.run(jobs)
+            }
+            _ => mats.iter().map(f).collect(),
+        };
+        let mut out = Vec::with_capacity(results.len());
+        for (r, d) in results.into_iter().zip(dims) {
+            out.push(r?);
+            self.charge_factorization(&d, flop_coeff);
+        }
         Ok(out)
     }
 
     /// Charge an `m×n` dense factorization costing `c · max(m,n) · min² `
     /// flops: ScaLAPACK-style half-efficiency compute plus a TSQR-shaped
     /// reduction tree (one n×n R per level).
-    fn charge_factorization(&self, a: &DenseTensor<f64>, flop_coeff: f64) {
-        let (m, n) = (a.dims()[0].max(1), a.dims().get(1).copied().unwrap_or(1).max(1));
+    fn charge_factorization(&self, dims: &[usize], flop_coeff: f64) {
+        let (m, n) = (dims[0].max(1), dims.get(1).copied().unwrap_or(1).max(1));
         let k = m.min(n);
         let flops = (flop_coeff * (m.max(n) as f64) * (k as f64) * (k as f64)) as u64;
         let p = self.ranks as f64;
@@ -356,6 +466,93 @@ mod tests {
         exec.reset_costs();
         assert_eq!(exec.total_flops(), 0);
         assert_eq!(exec.sim_time().total(), 0.0);
+    }
+
+    #[test]
+    fn contract_batch_matches_singles_bitwise_and_in_cost() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let pairs: Vec<(DenseTensor<f64>, DenseTensor<f64>)> = (0..6)
+            .map(|_| {
+                (
+                    DenseTensor::<f64>::random([9, 4, 7], &mut rng),
+                    DenseTensor::<f64>::random([7, 4, 5], &mut rng),
+                )
+            })
+            .collect();
+        let single = Executor::with_machine(Machine::blue_waters(2), 2, ExecMode::Sequential);
+        let reference: Vec<DenseTensor<f64>> = pairs
+            .iter()
+            .map(|(a, b)| single.contract("isj,jtk->istk", a, b).unwrap())
+            .collect();
+        let pair_refs: Vec<(&DenseTensor<f64>, &DenseTensor<f64>)> =
+            pairs.iter().map(|(a, b)| (a, b)).collect();
+        for mode in [ExecMode::Sequential, ExecMode::Threaded] {
+            let batch = Executor::with_machine(Machine::blue_waters(2), 2, mode);
+            let out = batch.contract_batch("isj,jtk->istk", &pair_refs).unwrap();
+            for (c, r) in out.iter().zip(&reference) {
+                assert_eq!(c.data(), r.data(), "{mode:?}");
+            }
+            // identical cost accounting regardless of mode
+            assert_eq!(batch.total_flops(), single.total_flops(), "{mode:?}");
+            assert_eq!(batch.supersteps(), single.supersteps(), "{mode:?}");
+            assert_eq!(
+                batch.sim_time().total().to_bits(),
+                single.sim_time().total().to_bits(),
+                "{mode:?}: cost charging must be order-deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn contract_batch_rejects_malformed_pairs() {
+        // an operand whose order doesn't match the spec must surface as an
+        // error, exactly like the single-pair contract() path
+        let exec = Executor::local();
+        let bad = DenseTensor::<f64>::zeros([2, 3]);
+        let ok = DenseTensor::<f64>::zeros([3, 2, 2]);
+        assert!(exec
+            .contract_batch("isj,jtk->istk", &[(&bad, &ok)])
+            .is_err());
+        // mismatched contracted dims too
+        let a = DenseTensor::<f64>::zeros([2, 2, 5]);
+        assert!(exec.contract_batch("isj,jtk->istk", &[(&a, &ok)]).is_err());
+    }
+
+    #[test]
+    fn factorization_batches_match_singles() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let mats: Vec<DenseTensor<f64>> = [(20usize, 8usize), (13, 13), (6, 17), (30, 4)]
+            .iter()
+            .map(|&(m, n)| DenseTensor::<f64>::random([m, n], &mut rng))
+            .collect();
+        let spec = TruncSpec {
+            max_rank: 6,
+            cutoff: 0.0,
+            min_keep: 1,
+        };
+        let single = Executor::with_machine(Machine::stampede2(4), 1, ExecMode::Sequential);
+        let svds_ref: Vec<_> = mats.iter().map(|m| single.svd_trunc(m, spec).unwrap()).collect();
+        let qrs_ref: Vec<_> = mats.iter().map(|m| single.qr(m).unwrap()).collect();
+        for mode in [ExecMode::Sequential, ExecMode::Threaded] {
+            let batch = Executor::with_machine(Machine::stampede2(4), 1, mode);
+            let svds = batch.svd_trunc_batch(mats.clone(), spec).unwrap();
+            for (s, r) in svds.iter().zip(&svds_ref) {
+                assert_eq!(s.s, r.s, "{mode:?}");
+                assert_eq!(s.u.data(), r.u.data(), "{mode:?}");
+                assert_eq!(s.vt.data(), r.vt.data(), "{mode:?}");
+            }
+            let qrs = batch.qr_batch(mats.clone()).unwrap();
+            for ((q, rr), (q2, r2)) in qrs.iter().zip(&qrs_ref) {
+                assert_eq!(q.data(), q2.data(), "{mode:?}");
+                assert_eq!(rr.data(), r2.data(), "{mode:?}");
+            }
+            assert_eq!(batch.total_flops(), single.total_flops(), "{mode:?}");
+            assert_eq!(
+                batch.sim_time().total().to_bits(),
+                single.sim_time().total().to_bits(),
+                "{mode:?}"
+            );
+        }
     }
 
     #[test]

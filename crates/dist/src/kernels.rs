@@ -5,12 +5,24 @@
 //! output element the accumulation order never depends on how many chunks
 //! (threads) the row space was split into. Sequential execution is the
 //! single-chunk special case of the same code path.
+//!
+//! Two load-balancing strategies coexist:
+//!
+//! * the dense kernel parallelizes **inside** the GEMM — `B` is packed
+//!   once (shared across the pool), then [`MC`]-aligned row panels of the
+//!   packed microkernel run as independent jobs;
+//! * the sparse kernels split rows by **work volume** — a prefix sum of
+//!   per-row flops picks the chunk boundaries, so a handful of dense rows
+//!   (the skewed patterns block-sparse flattening produces) no longer
+//!   serializes onto one worker the way a uniform row split did.
 
 use crate::pool::ThreadPool;
 use crate::Result;
 use std::sync::Arc;
 use tt_tensor::einsum::ContractPlan;
-use tt_tensor::gemm::gemm_acc_slices;
+use tt_tensor::gemm::{
+    gemm_acc_packed_rows, gemm_acc_slices, gemm_path, gemv_acc_rows, GemmPath, PackedB, MC,
+};
 use tt_tensor::{DenseTensor, Shape, SparseTensor};
 
 /// Split `m` rows into at most `chunks` contiguous ranges. Always returns
@@ -28,22 +40,70 @@ fn row_ranges(m: usize, chunks: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// Split `m` rows into at most `chunks` ranges whose boundaries are
+/// [`MC`]-aligned, so every chunking packs exactly the same `A` panels as
+/// the sequential single-chunk run (GEMM-level parallelism contract).
+fn mc_aligned_ranges(m: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if m == 0 {
+        return vec![(0, 0)];
+    }
+    let panels = m.div_ceil(MC);
+    let chunks = chunks.clamp(1, panels);
+    let per = panels.div_ceil(chunks);
+    (0..panels)
+        .step_by(per)
+        .map(|p0| (p0 * MC, ((p0 + per) * MC).min(m)))
+        .collect()
+}
+
+/// Split `m` rows into at most `chunks` ranges of approximately equal
+/// total `weights` (per-row work), via prefix sums. Ranges may have wildly
+/// different widths; empty ranges are possible when the distribution is
+/// extreme.
+fn volume_ranges(weights: &[u64], chunks: usize) -> Vec<(usize, usize)> {
+    let m = weights.len();
+    if m == 0 {
+        return vec![(0, 0)];
+    }
+    let chunks = chunks.clamp(1, m);
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    if chunks == 1 || total == 0 {
+        return vec![(0, m)];
+    }
+    let mut prefix: Vec<u128> = Vec::with_capacity(m + 1);
+    prefix.push(0);
+    for &w in weights {
+        prefix.push(prefix.last().unwrap() + w as u128);
+    }
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut r0 = 0usize;
+    for c in 1..=chunks {
+        let target = total * c as u128 / chunks as u128;
+        // first row index whose prefix reaches the target share
+        let r1 = if c == chunks {
+            m
+        } else {
+            prefix.partition_point(|&p| p < target).min(m).max(r0)
+        };
+        ranges.push((r0, r1));
+        r0 = r1;
+    }
+    ranges
+}
+
 /// Run `make_job(range)` over the row ranges — on the pool when one is
 /// given, inline otherwise — and return per-range results in row order.
 fn run_chunked<T: Send + 'static>(
     pool: Option<&ThreadPool>,
-    m: usize,
+    ranges: Vec<(usize, usize)>,
     make_job: impl Fn((usize, usize)) -> Box<dyn FnOnce() -> T + Send + 'static>,
 ) -> Vec<T> {
     match pool {
-        Some(pool) if m > 1 => {
-            let jobs = row_ranges(m, pool.threads())
-                .into_iter()
-                .map(&make_job)
-                .collect();
+        Some(pool) if ranges.len() > 1 => {
+            let jobs = ranges.into_iter().map(&make_job).collect();
             pool.run(jobs)
         }
-        _ => row_ranges(m, 1).into_iter().map(|r| make_job(r)()).collect(),
+        _ => ranges.into_iter().map(|r| make_job(r)()).collect(),
     }
 }
 
@@ -64,7 +124,10 @@ fn natural_dims(plan: &ContractPlan, a_dims: &[usize], b_dims: &[usize]) -> Vec<
         .collect()
 }
 
-/// Dense × dense contraction (TTGT), row-chunked.
+/// Dense × dense contraction (TTGT), parallel at the GEMM level: the
+/// kernel path comes from [`gemm_path`]`(k, n)` (invariant under row
+/// chunking), `B` is packed once and shared, and row-disjoint panels fan
+/// out over the pool.
 pub(crate) fn dense_contract(
     plan: &ContractPlan,
     a: &DenseTensor<f64>,
@@ -82,16 +145,45 @@ pub(crate) fn dense_contract(
     let a_mat: Arc<Vec<f64>> = Arc::new(a.permute(&perm_a)?.into_data());
     let b_mat: Arc<Vec<f64>> = Arc::new(b.permute(&perm_b)?.into_data());
 
-    let chunks = run_chunked(pool, m, |(r0, r1)| {
-        let a_mat = Arc::clone(&a_mat);
-        let b_mat = Arc::clone(&b_mat);
-        Box::new(move || {
-            let rows = r1 - r0;
-            let mut c = vec![0.0f64; rows * n];
-            gemm_acc_slices(rows, k, n, &a_mat[r0 * k..r1 * k], &b_mat, &mut c);
-            c
-        })
-    });
+    let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
+    let chunks = match gemm_path(k, n) {
+        GemmPath::Gemv => {
+            // Davidson matvec shape: skip the blocked machinery entirely
+            run_chunked(pool, row_ranges(m, nthreads), |(r0, r1)| {
+                let a_mat = Arc::clone(&a_mat);
+                let b_mat = Arc::clone(&b_mat);
+                Box::new(move || {
+                    let mut c = vec![0.0f64; r1 - r0];
+                    gemv_acc_rows(r0, r1, k, &a_mat, &b_mat, 1, &mut c);
+                    c
+                })
+            })
+        }
+        GemmPath::Scalar => run_chunked(pool, row_ranges(m, nthreads), |(r0, r1)| {
+            let a_mat = Arc::clone(&a_mat);
+            let b_mat = Arc::clone(&b_mat);
+            Box::new(move || {
+                let rows = r1 - r0;
+                let mut c = vec![0.0f64; rows * n];
+                gemm_acc_slices(rows, k, n, &a_mat[r0 * k..r1 * k], &b_mat, &mut c);
+                c
+            })
+        }),
+        GemmPath::Packed => {
+            // pack B once; every worker drives the microkernel over its own
+            // MC-aligned row panels against the shared packed operand
+            let pb: Arc<PackedB<f64>> = Arc::new(PackedB::pack(k, n, &b_mat, n, 1));
+            run_chunked(pool, mc_aligned_ranges(m, nthreads), |(r0, r1)| {
+                let a_mat = Arc::clone(&a_mat);
+                let pb = Arc::clone(&pb);
+                Box::new(move || {
+                    let mut c = vec![0.0f64; (r1 - r0) * n];
+                    gemm_acc_packed_rows(r0, r1, &a_mat, k, 1, &pb, &mut c);
+                    c
+                })
+            })
+        }
+    };
 
     let mut c = Vec::with_capacity(m * n);
     for chunk in chunks {
@@ -145,23 +237,40 @@ fn unfuse_to_out(fused: u64, axes: &[(u64, u64)]) -> u64 {
     off
 }
 
-/// Bucket coords by output-row chunk, preserving scan order inside each
-/// bucket (the property that makes chunked accumulation bitwise-stable).
-fn bucket_by_row(
+/// Bucket coords into work-balanced row ranges, preserving scan order
+/// inside each bucket (the property that makes chunked accumulation
+/// bitwise-stable: every output row lives in exactly one bucket, and its
+/// coords keep their stored order there).
+///
+/// `coord_work` gives each coordinate's flop weight; per-row weights are
+/// their sum. Bucket lookup binary-searches the range starts — ranges are
+/// *not* uniform in width, so the old `row / first_range_width` indexing
+/// would misbucket everything past the first boundary.
+fn bucket_by_volume(
     coords: Vec<Coord>,
     m: usize,
     chunks: usize,
+    coord_work: impl Fn(&Coord) -> u64,
 ) -> (Vec<(usize, usize)>, Vec<Vec<Coord>>) {
-    let ranges = row_ranges(m, chunks);
-    let per = ranges[0].1 - ranges[0].0;
-    let mut buckets: Vec<Vec<(u64, u64, f64)>> = vec![Vec::new(); ranges.len()];
+    let mut weights = vec![0u64; m];
+    for c in &coords {
+        weights[c.0 as usize] += coord_work(c);
+    }
+    let ranges = volume_ranges(&weights, chunks);
+    let starts: Vec<usize> = ranges.iter().map(|&(r0, _)| r0).collect();
+    let mut buckets: Vec<Vec<Coord>> = vec![Vec::new(); ranges.len()];
     for c in coords {
-        buckets[(c.0 as usize) / per.max(1)].push(c);
+        // last range whose start is <= row; empty ranges share a start
+        // with their successor, and partition_point picks the last of the
+        // run — the one that actually contains the row
+        let b = starts.partition_point(|&s| s <= c.0 as usize) - 1;
+        buckets[b].push(c);
     }
     (ranges, buckets)
 }
 
-/// Sparse × dense contraction producing a dense tensor, row-chunked.
+/// Sparse × dense contraction producing a dense tensor, row-chunked with
+/// volume-balanced (nnz·n) chunk boundaries.
 pub(crate) fn sd_contract(
     plan: &ContractPlan,
     a: &SparseTensor<f64>,
@@ -178,18 +287,26 @@ pub(crate) fn sd_contract(
     let coords = sparse_coords(a, plan.free_a_positions(), plan.ctr_a_positions());
     let flops = 2 * coords.len() as u64 * n as u64;
     let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
-    let (ranges, buckets) = bucket_by_row(coords, m, nthreads);
+    // every stored entry costs one n-wide axpy
+    let (ranges, buckets) = bucket_by_volume(coords, m, nthreads, |_| n as u64);
 
     let mut jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = Vec::new();
     for ((r0, r1), bucket) in ranges.iter().copied().zip(buckets) {
         let b_mat = Arc::clone(&b_mat);
         jobs.push(Box::new(move || {
             let mut c = vec![0.0f64; (r1 - r0) * n];
-            for (row, col, v) in bucket {
-                let local = (row as usize - r0) * n;
-                let brow = &b_mat[col as usize * n..(col as usize + 1) * n];
-                for (cj, &bj) in c[local..local + n].iter_mut().zip(brow) {
-                    *cj += v * bj;
+            if n == 1 {
+                // gemv-shaped: each entry contributes one scalar product
+                for (row, col, v) in bucket {
+                    c[row as usize - r0] += v * b_mat[col as usize];
+                }
+            } else {
+                for (row, col, v) in bucket {
+                    let local = (row as usize - r0) * n;
+                    let brow = &b_mat[col as usize * n..(col as usize + 1) * n];
+                    for (cj, &bj) in c[local..local + n].iter_mut().zip(brow) {
+                        *cj += v * bj;
+                    }
                 }
             }
             c
@@ -210,8 +327,10 @@ pub(crate) fn sd_contract(
 }
 
 /// Sparse × sparse contraction with an optional pre-computed output-
-/// sparsity mask, row-chunked and fully deterministic (ordered maps only —
-/// no hash-iteration order leaks into floating-point accumulation).
+/// sparsity mask, row-chunked with exact per-row work weights (each `A`
+/// entry is weighted by its matching `B` group size) and fully
+/// deterministic (ordered maps only — no hash-iteration order leaks into
+/// floating-point accumulation).
 pub(crate) fn ss_contract(
     plan: &ContractPlan,
     a: &SparseTensor<f64>,
@@ -261,7 +380,11 @@ pub(crate) fn ss_contract(
 
     let coords = sparse_coords(a, plan.free_a_positions(), plan.ctr_a_positions());
     let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
-    let (_ranges, buckets) = bucket_by_row(coords, m, nthreads);
+    // exact work model: an A entry costs one multiply-add per entry of its
+    // matching B group (zero when no group matches)
+    let (_ranges, buckets) = bucket_by_volume(coords, m, nthreads, |c| {
+        b_by_ctr.get(&c.1).map_or(0, |l| l.len() as u64)
+    });
 
     let mut jobs: Vec<SsJob> = Vec::new();
     for bucket in buckets {
@@ -340,6 +463,103 @@ mod tests {
     }
 
     #[test]
+    fn dense_kernel_packed_path_bitwise_across_chunkings() {
+        // large enough for GemmPath::Packed, with m spanning several MC
+        // panels: pool-parallel GEMM must equal sequential bit for bit
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = DenseTensor::<f64>::random([2 * MC + 37, 65], &mut rng);
+        let b = DenseTensor::<f64>::random([65, 70], &mut rng);
+        assert_eq!(gemm_path(65, 70), GemmPath::Packed);
+        let plan = ContractPlan::parse("ik,kj->ij").unwrap();
+        let seq = dense_contract(&plan, &a, &b, None).unwrap();
+        for threads in [2, 3, 5, 8] {
+            let pool = ThreadPool::new(threads);
+            let par = dense_contract(&plan, &a, &b, Some(&pool)).unwrap();
+            assert_eq!(seq.data(), par.data(), "threads={threads}");
+        }
+        let reference = tt_tensor::einsum("ik,kj->ij", &a, &b).unwrap();
+        assert_eq!(seq.data(), reference.data());
+    }
+
+    #[test]
+    fn dense_kernel_gemv_path_used_and_bitwise() {
+        // fused n == 1 (Davidson matvec shape)
+        let mut rng = StdRng::seed_from_u64(52);
+        let a = DenseTensor::<f64>::random([40, 30], &mut rng);
+        let x = DenseTensor::<f64>::random([30, 1], &mut rng);
+        assert_eq!(gemm_path(30, 1), GemmPath::Gemv);
+        let plan = ContractPlan::parse("ik,kj->ij").unwrap();
+        let seq = dense_contract(&plan, &a, &x, None).unwrap();
+        let pool = ThreadPool::new(4);
+        let par = dense_contract(&plan, &a, &x, Some(&pool)).unwrap();
+        assert_eq!(seq.data(), par.data());
+        let reference = tt_tensor::einsum("ik,kj->ij", &a, &x).unwrap();
+        assert_eq!(seq.data(), reference.data());
+    }
+
+    #[test]
+    fn mc_ranges_cover_and_align() {
+        for (m, chunks) in [(1, 4), (MC, 2), (3 * MC + 7, 4), (10 * MC, 3)] {
+            let ranges = mc_aligned_ranges(m, chunks);
+            assert_eq!(ranges.first().unwrap().0, 0);
+            assert_eq!(ranges.last().unwrap().1, m);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            for &(r0, _) in &ranges {
+                assert_eq!(r0 % MC, 0, "start must be MC-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn volume_ranges_balance_skewed_rows() {
+        // first row carries almost all the work; uniform splitting would
+        // put rows [0, m/2) on one chunk
+        let mut weights = vec![1u64; 64];
+        weights[0] = 10_000;
+        let ranges = volume_ranges(&weights, 4);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 64);
+        // the heavy row must be alone in its range
+        assert_eq!(ranges[0], (0, 1), "heavy row isolated: {ranges:?}");
+        // and ranges are non-uniform in width (the latent bug trigger)
+        let widths: Vec<usize> = ranges.iter().map(|&(a, b)| b - a).collect();
+        assert!(widths.windows(2).any(|w| w[0] != w[1]), "{widths:?}");
+    }
+
+    #[test]
+    fn volume_buckets_respect_nonuniform_ranges() {
+        // rows with equal nnz except one giant row → uneven ranges; every
+        // coord must land in the bucket whose range contains its row
+        let m = 32;
+        let mut coords: Vec<Coord> = Vec::new();
+        for r in 0..m as u64 {
+            coords.push((r, 0, 1.0));
+        }
+        for _ in 0..100 {
+            coords.push((3, 1, 2.0)); // row 3 is hot
+        }
+        let (ranges, buckets) = bucket_by_volume(coords, m, 4, |_| 1);
+        for (range, bucket) in ranges.iter().zip(&buckets) {
+            for c in bucket {
+                assert!(
+                    (c.0 as usize) >= range.0 && (c.0 as usize) < range.1,
+                    "coord row {} outside range {range:?}",
+                    c.0
+                );
+            }
+        }
+        // scan order within each bucket is preserved per row
+        for bucket in &buckets {
+            let rows3: Vec<f64> = bucket.iter().filter(|c| c.0 == 3).map(|c| c.2).collect();
+            if !rows3.is_empty() {
+                assert_eq!(rows3[0], 1.0, "stored-order first");
+            }
+        }
+    }
+
+    #[test]
     fn sd_kernel_matches_dense_reference() {
         let mut rng = StdRng::seed_from_u64(6);
         let a = random_sparse(&[6, 4, 5], 0.4, 7);
@@ -351,6 +571,31 @@ mod tests {
         let (par, _) = sd_contract(&plan, &a, &b, Some(&pool)).unwrap();
         assert_eq!(seq.data(), par.data());
         let reference = tt_tensor::einsum("ajk,kjc->ac", &a.to_dense(), &b).unwrap();
+        assert!(seq.allclose(&reference, 1e-12));
+    }
+
+    #[test]
+    fn sd_kernel_skewed_rows_bitwise() {
+        // highly rectangular + row-skewed sparse operand: the shape that
+        // used to land entirely in one uniform bucket
+        let dense = DenseTensor::<f64>::from_fn([80, 12], |idx| {
+            if idx[0] < 3 || idx[1] == 0 {
+                (idx[0] * 13 + idx[1]) as f64 * 0.01 - 0.3
+            } else {
+                0.0
+            }
+        });
+        let a = SparseTensor::from_dense(&dense, 0.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let b = DenseTensor::<f64>::random([12, 7], &mut rng);
+        let plan = ContractPlan::parse("ik,kj->ij").unwrap();
+        let (seq, _) = sd_contract(&plan, &a, &b, None).unwrap();
+        for threads in [2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let (par, _) = sd_contract(&plan, &a, &b, Some(&pool)).unwrap();
+            assert_eq!(seq.data(), par.data(), "threads={threads}");
+        }
+        let reference = tt_tensor::einsum("ik,kj->ij", &a.to_dense(), &b).unwrap();
         assert!(seq.allclose(&reference, 1e-12));
     }
 
@@ -387,6 +632,32 @@ mod tests {
         let (masked, _) = ss_contract(&plan, &a, &b, Some(&mask), None).unwrap();
         for (off, _) in masked.entries() {
             assert!(mask.contains(&off));
+        }
+    }
+
+    #[test]
+    fn ss_kernel_rectangular_skewed_bitwise() {
+        // tall-skinny output with clustered rows — exercises the exact
+        // per-entry work weights and non-uniform chunk boundaries
+        let dense = DenseTensor::<f64>::from_fn([120, 6], |idx| {
+            if idx[0] % 17 == 0 || idx[0] < 2 {
+                0.3 - (idx[0] + 2 * idx[1]) as f64 * 0.007
+            } else {
+                0.0
+            }
+        });
+        let a = SparseTensor::from_dense(&dense, 0.0);
+        let b = random_sparse(&[6, 9], 0.6, 11);
+        let plan = ContractPlan::parse("ik,kj->ij").unwrap();
+        let (seq, _) = ss_contract(&plan, &a, &b, None, None).unwrap();
+        for threads in [2, 5, 8] {
+            let pool = ThreadPool::new(threads);
+            let (par, _) = ss_contract(&plan, &a, &b, None, Some(&pool)).unwrap();
+            assert_eq!(
+                seq.to_dense().data(),
+                par.to_dense().data(),
+                "threads={threads}"
+            );
         }
     }
 }

@@ -1,18 +1,35 @@
-//! Tiled, cache-blocked matrix multiplication — the BLAS stand-in.
+//! Packed, register-tiled matrix multiplication — the BLAS stand-in.
 //!
 //! Every tensor contraction in the workspace bottoms out here (the paper's
-//! "GEMM/MKL" time category in Fig. 7). The kernel uses classic
-//! `(i,k,j)` loop ordering over cache blocks so the innermost loop streams
-//! both `B` and `C` rows contiguously in row-major layout, which LLVM
-//! autovectorizes. Flops are charged to the global counter
-//! ([`crate::counter`]) as `2·m·n·k`.
+//! "GEMM/MKL" time category in Fig. 7). The kernel follows the BLIS
+//! decomposition: `B` is packed once into `KC`-deep panels of `NR`-wide
+//! column strips, `A` is packed per `MC × KC` block into `MR`-tall
+//! micro-panels, and an unrolled `MR × NR` register-tiled microkernel does
+//! all the flops. The microkernel is generic over [`Scalar`] — for `f64`
+//! LLVM lowers the fixed-size accumulator to SIMD registers; `Complex64`
+//! runs the same code as the scalar fallback path.
+//!
+//! Three execution paths exist, chosen by [`gemm_path`] from `(k, n)`
+//! **only** — never from `m`. Row-disjoint chunks of the same multiply must
+//! take the same path so threaded row-partitioned execution stays
+//! bitwise-identical to sequential execution (the `tt-dist` contract):
+//!
+//! * `n == 1` — a GEMV loop (the Davidson matvec shape),
+//! * small `k·n` — a plain `(i,l,j)` scalar loop; packing overhead would
+//!   dominate on the many tiny blocks of block-sparse DMRG,
+//! * otherwise — the packed microkernel.
+//!
+//! Transposed operands are handled during packing / via strided loads
+//! ([`Layout::Transposed`] no longer materializes a transposed copy).
+//! Flops are charged to the global counter ([`crate::counter`]) as
+//! `2·m·n·k` by the public entry points.
 
 use crate::dense::DenseTensor;
 use crate::scalar::Scalar;
 use crate::{Error, Result};
 
-/// Operand layout marker (row-major is native; `Transposed` avoids an
-/// explicit transpose for the common `Aᵀ·B` patterns).
+/// Operand layout marker (row-major is native; `Transposed` reads the
+/// operand through swapped strides — no copy is made).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Layout {
     /// Use the operand as stored.
@@ -21,10 +38,284 @@ pub enum Layout {
     Transposed,
 }
 
-/// Cache blocking parameters (elements). Sized for ~32 KiB L1 / 1 MiB L2.
-const MC: usize = 64;
-const KC: usize = 128;
-const NC: usize = 512;
+/// Microkernel tile rows (register blocking).
+pub const MR: usize = 2;
+/// Microkernel tile columns (register blocking). The `2 × 16` `f64`
+/// accumulator tile occupies 8 of the 16 AVX2 vector registers, leaving
+/// room for the `A` broadcasts and `B` strip loads (a `4 × 16` tile
+/// measures ~20% slower: all 16 registers go to accumulators and the
+/// loads spill).
+pub const NR: usize = 16;
+/// Row-panel height: `A` is packed `MC × KC` at a time. Row-parallel
+/// callers should align chunk boundaries to `MC` so every chunking packs
+/// identical panels. Multiple of [`MR`].
+pub const MC: usize = 128;
+/// Depth of one packed panel (the `k`-blocking). Sized so an `MC × KC`
+/// `f64` A-block (~256 KiB) stays L2-resident.
+pub const KC: usize = 256;
+
+/// Below this `k·n` the scalar loop beats packing (threshold compares
+/// only chunking-invariant dims, keeping the path choice row-independent).
+const PACK_MIN_KN: usize = 2048;
+
+/// Which kernel a `(k, n)` multiply runs through. Deliberately independent
+/// of `m`: row-chunked parallel execution must agree with sequential.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GemmPath {
+    /// Fused output width 1: matrix–vector product.
+    Gemv,
+    /// Small problem: plain scalar loop, no packing.
+    Scalar,
+    /// Packed panels + register-tiled microkernel.
+    Packed,
+}
+
+/// Choose the execution path for a multiply with contracted dim `k` and
+/// output width `n`.
+pub fn gemm_path(k: usize, n: usize) -> GemmPath {
+    if n == 1 {
+        GemmPath::Gemv
+    } else if k * n < PACK_MIN_KN {
+        GemmPath::Scalar
+    } else {
+        GemmPath::Packed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// packing
+// ---------------------------------------------------------------------------
+
+/// `B` packed for the microkernel: for each `KC`-deep row block (in
+/// ascending `k` order), `NR`-wide column strips stored contiguously, each
+/// strip row-major `kc × NR` with zero-padding in the last partial strip.
+pub struct PackedB<T: Scalar> {
+    data: Vec<T>,
+    k: usize,
+    n: usize,
+}
+
+impl<T: Scalar> PackedB<T> {
+    /// Pack an effective `k × n` matrix whose element `(l, j)` lives at
+    /// `b[l*rs + j*cs]` (so `rs = n, cs = 1` for a row-major `B` and
+    /// `rs = 1, cs = k_storage` reads a stored matrix transposed).
+    pub fn pack(k: usize, n: usize, b: &[T], rs: usize, cs: usize) -> Self {
+        let strips = n.div_ceil(NR);
+        let mut data = Vec::with_capacity(k * strips * NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = (pc + KC).min(k) - pc;
+            for strip in 0..strips {
+                let j0 = strip * NR;
+                for l in 0..kc {
+                    let row = (pc + l) * rs;
+                    for c in 0..NR {
+                        let j = j0 + c;
+                        data.push(if j < n { b[row + j * cs] } else { T::zero() });
+                    }
+                }
+            }
+        }
+        Self { data, k, n }
+    }
+
+    /// Contracted dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The `kc × NR` strip for k-block starting at `pc` and column strip
+    /// `strip`.
+    #[inline]
+    fn strip(&self, pc: usize, kc: usize, strip: usize) -> &[T] {
+        let strips = self.n.div_ceil(NR);
+        let off = pc * strips * NR + strip * kc * NR;
+        &self.data[off..off + kc * NR]
+    }
+}
+
+/// Pack rows `[i0, i0+rows)` × cols `[p0, p0+kc)` of an effective matrix
+/// (element `(i, l)` at `a[i*rs + l*cs]`) into `MR`-tall micro-panels:
+/// panel-major, then `l`-major, then the `MR` rows (zero-padded).
+#[allow(clippy::too_many_arguments)]
+fn pack_a_block<T: Scalar>(
+    buf: &mut Vec<T>,
+    a: &[T],
+    rs: usize,
+    cs: usize,
+    i0: usize,
+    rows: usize,
+    p0: usize,
+    kc: usize,
+) {
+    buf.clear();
+    for ip in 0..rows.div_ceil(MR) {
+        for l in 0..kc {
+            let col = (p0 + l) * cs;
+            for r in 0..MR {
+                let row = ip * MR + r;
+                buf.push(if row < rows {
+                    a[(i0 + row) * rs + col]
+                } else {
+                    T::zero()
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// kernels
+// ---------------------------------------------------------------------------
+
+/// The register-tiled `MR × NR` microkernel: `acc += Ap · Bp` over a
+/// `kc`-deep packed micro-panel pair.
+///
+/// The accumulator tile is copied into a local `regs` array for the loop
+/// and written back once at the end. The copy is load-bearing: operating
+/// through the `&mut` reference directly defeats LLVM's scalar-replacement
+/// pass in some inlining contexts and the whole tile silently scalarizes
+/// (measured 5× slower); the local array is reliably promoted to vector
+/// registers.
+#[inline(always)]
+fn microkernel<T: Scalar>(kc: usize, ap: &[T], bp: &[T], acc: &mut [[T; NR]; MR]) {
+    let mut regs = *acc;
+    for l in 0..kc {
+        let av: &[T; MR] = ap[l * MR..l * MR + MR].try_into().expect("MR panel");
+        let bv: &[T; NR] = bp[l * NR..l * NR + NR].try_into().expect("NR strip");
+        for (regr, &ar) in regs.iter_mut().zip(av.iter()) {
+            for (regv, &bc) in regr.iter_mut().zip(bv.iter()) {
+                *regv += ar * bc;
+            }
+        }
+    }
+    *acc = regs;
+}
+
+/// Packed-path macro kernel for output rows `[i0, i1)`: packs `A` blocks on
+/// the fly and drives the microkernel against a pre-packed `B`. `c` holds
+/// only rows `[i0, i1)`, row-major with leading dimension `pb.n()`.
+///
+/// Per output element the accumulation order is: ascending `KC`-block, one
+/// register-summed partial per block — independent of how rows were split
+/// across calls, which is what keeps threaded execution bitwise equal to
+/// sequential.
+fn packed_rows<T: Scalar>(
+    i0: usize,
+    i1: usize,
+    a: &[T],
+    a_rs: usize,
+    a_cs: usize,
+    pb: &PackedB<T>,
+    c: &mut [T],
+) {
+    let (k, n) = (pb.k, pb.n);
+    let strips = n.div_ceil(NR);
+    let mut apack: Vec<T> = Vec::with_capacity(MC * KC);
+    for ic in (i0..i1).step_by(MC) {
+        let rows = (ic + MC).min(i1) - ic;
+        for pc in (0..k).step_by(KC) {
+            let kc = (pc + KC).min(k) - pc;
+            pack_a_block(&mut apack, a, a_rs, a_cs, ic, rows, pc, kc);
+            for s in 0..strips {
+                let j0 = s * NR;
+                let ncols = NR.min(n - j0);
+                let bp = pb.strip(pc, kc, s);
+                for ip in 0..rows.div_ceil(MR) {
+                    let ap = &apack[ip * MR * kc..(ip + 1) * MR * kc];
+                    let mut acc = [[T::zero(); NR]; MR];
+                    microkernel(kc, ap, bp, &mut acc);
+                    let rmax = MR.min(rows - ip * MR);
+                    for (r, accr) in acc.iter().enumerate().take(rmax) {
+                        let crow0 = (ic - i0 + ip * MR + r) * n + j0;
+                        for (cj, &v) in c[crow0..crow0 + ncols].iter_mut().zip(accr.iter()) {
+                            *cj += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scalar-path kernel for output rows `[i0, i1)`: plain `(i, l, j)` loop
+/// with per-element ascending-`l` accumulation (chunking-invariant). `c`
+/// holds only rows `[i0, i1)`.
+#[allow(clippy::too_many_arguments)]
+fn scalar_rows<T: Scalar>(
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    a: &[T],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[T],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [T],
+) {
+    for i in i0..i1 {
+        let crow = &mut c[(i - i0) * n..(i - i0) * n + n];
+        for l in 0..k {
+            let ail = a[i * a_rs + l * a_cs];
+            if b_cs == 1 {
+                let brow = &b[l * b_rs..l * b_rs + n];
+                for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += ail * bj;
+                }
+            } else {
+                for (j, cj) in crow.iter_mut().enumerate() {
+                    *cj += ail * b[l * b_rs + j * b_cs];
+                }
+            }
+        }
+    }
+}
+
+/// GEMV-path kernel (`n == 1`) for output rows `[i0, i1)`: one dot product
+/// per row, register-accumulated then added once to `c`.
+#[allow(clippy::too_many_arguments)]
+fn gemv_rows<T: Scalar>(
+    i0: usize,
+    i1: usize,
+    k: usize,
+    a: &[T],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[T],
+    b_rs: usize,
+    c: &mut [T],
+) {
+    for i in i0..i1 {
+        let mut acc = T::zero();
+        if a_cs == 1 {
+            let arow = &a[i * a_rs..i * a_rs + k];
+            if b_rs == 1 {
+                for (&ail, &bl) in arow.iter().zip(b.iter()) {
+                    acc += ail * bl;
+                }
+            } else {
+                for (l, &ail) in arow.iter().enumerate() {
+                    acc += ail * b[l * b_rs];
+                }
+            }
+        } else {
+            for l in 0..k {
+                acc += a[i * a_rs + l * a_cs] * b[l * b_rs];
+            }
+        }
+        c[i - i0] += acc;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// public entry points
+// ---------------------------------------------------------------------------
 
 /// `C = A · B` for row-major matrices given as flat slices.
 ///
@@ -42,30 +333,58 @@ pub fn gemm_slices<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c:
 /// `C += A · B` for row-major flat slices (accumulating form).
 pub fn gemm_acc_slices<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
     crate::counter::add_flops(2 * (m as u64) * (n as u64) * (k as u64));
-    for ib in (0..m).step_by(MC) {
-        let imax = (ib + MC).min(m);
-        for kb in (0..k).step_by(KC) {
-            let kmax = (kb + KC).min(k);
-            for jb in (0..n).step_by(NC) {
-                let jmax = (jb + NC).min(n);
-                for i in ib..imax {
-                    let arow = &a[i * k..(i + 1) * k];
-                    let crow = &mut c[i * n + jb..i * n + jmax];
-                    for kk in kb..kmax {
-                        let aik = arow[kk];
-                        let brow = &b[kk * n + jb..kk * n + jmax];
-                        for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
-                            *cj += aik * bj;
-                        }
-                    }
-                }
-            }
+    if m == 0 || n == 0 {
+        return;
+    }
+    match gemm_path(k, n) {
+        GemmPath::Gemv => gemv_rows(0, m, k, a, k, 1, b, n, c),
+        GemmPath::Scalar => scalar_rows(0, m, k, n, a, k, 1, b, n, 1, c),
+        GemmPath::Packed => {
+            let pb = PackedB::pack(k, n, b, n, 1);
+            packed_rows(0, m, a, k, 1, &pb, c);
         }
     }
 }
 
+/// `C[i0..i1, :] += A[i0..i1, :] · B` against a pre-packed `B` — the
+/// row-panel entry point parallel callers fan out over a thread pool.
+/// `i0` should be [`MC`]-aligned so every chunking packs identical `A`
+/// panels; `a` is the full effective matrix viewed through strides
+/// `(a_rs, a_cs)`; `c` holds only rows `[i0, i1)`.
+pub fn gemm_acc_packed_rows<T: Scalar>(
+    i0: usize,
+    i1: usize,
+    a: &[T],
+    a_rs: usize,
+    a_cs: usize,
+    pb: &PackedB<T>,
+    c: &mut [T],
+) {
+    crate::counter::add_flops(2 * ((i1 - i0) as u64) * (pb.n as u64) * (pb.k as u64));
+    packed_rows(i0, i1, a, a_rs, a_cs, pb, c);
+}
+
+/// `y[i0..i1] += A[i0..i1, :] · b` — the `n == 1` row-panel entry point
+/// (Davidson matvec shape). `b`'s element `l` lives at `b[l*b_rs]`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemv_acc_rows<T: Scalar>(
+    i0: usize,
+    i1: usize,
+    k: usize,
+    a: &[T],
+    b: &[T],
+    b_rs: usize,
+    c: &mut [T],
+) {
+    crate::counter::add_flops(2 * ((i1 - i0) as u64) * (k as u64));
+    gemv_rows(i0, i1, k, a, k, 1, b, b_rs, c);
+}
+
 /// General matrix multiply on [`DenseTensor`] matrices with optional
 /// transposition of either operand: `C = op(A) · op(B)`.
+///
+/// Transposed operands are read through swapped strides during packing —
+/// no transposed copy is materialized.
 pub fn gemm<T: Scalar>(
     a: &DenseTensor<T>,
     la: Layout,
@@ -79,32 +398,34 @@ pub fn gemm<T: Scalar>(
             b.order()
         )));
     }
-    // materialize transposes (TTGT style); cheap relative to the multiply
-    let at;
-    let a_eff = match la {
-        Layout::Normal => a,
-        Layout::Transposed => {
-            at = a.permute(&[1, 0])?;
-            &at
-        }
+    // effective dims and strides: element (i, l) of op(A) at a[i*rs + l*cs]
+    let (m, ka, a_rs, a_cs) = match la {
+        Layout::Normal => (a.dims()[0], a.dims()[1], a.dims()[1], 1),
+        Layout::Transposed => (a.dims()[1], a.dims()[0], 1, a.dims()[1]),
     };
-    let bt;
-    let b_eff = match lb {
-        Layout::Normal => b,
-        Layout::Transposed => {
-            bt = b.permute(&[1, 0])?;
-            &bt
-        }
+    let (kb, n, b_rs, b_cs) = match lb {
+        Layout::Normal => (b.dims()[0], b.dims()[1], b.dims()[1], 1),
+        Layout::Transposed => (b.dims()[1], b.dims()[0], 1, b.dims()[1]),
     };
-    let (m, ka) = (a_eff.dims()[0], a_eff.dims()[1]);
-    let (kb, n) = (b_eff.dims()[0], b_eff.dims()[1]);
     if ka != kb {
         return Err(Error::ShapeMismatch(format!(
             "gemm inner dims {ka} != {kb}"
         )));
     }
+    crate::counter::add_flops(2 * (m as u64) * (n as u64) * (ka as u64));
     let mut c = DenseTensor::zeros([m, n]);
-    gemm_acc_slices(m, ka, n, a_eff.data(), b_eff.data(), c.data_mut());
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    match gemm_path(ka, n) {
+        GemmPath::Gemv => gemv_rows(0, m, ka, ad, a_rs, a_cs, bd, b_rs, cd),
+        GemmPath::Scalar => scalar_rows(0, m, ka, n, ad, a_rs, a_cs, bd, b_rs, b_cs, cd),
+        GemmPath::Packed => {
+            let pb = PackedB::pack(ka, n, bd, b_rs, b_cs);
+            packed_rows(0, m, ad, a_rs, a_cs, &pb, cd);
+        }
+    }
     Ok(c)
 }
 
@@ -126,16 +447,8 @@ pub fn gemv<T: Scalar>(a: &DenseTensor<T>, x: &[T]) -> Result<Vec<T>> {
         )));
     }
     crate::counter::add_flops(2 * (m as u64) * (n as u64));
-    let data = a.data();
     let mut y = vec![T::zero(); m];
-    for i in 0..m {
-        let row = &data[i * n..(i + 1) * n];
-        let mut acc = T::zero();
-        for (&aij, &xj) in row.iter().zip(x.iter()) {
-            acc += aij * xj;
-        }
-        y[i] = acc;
-    }
+    gemv_rows(0, m, n, a.data(), n, 1, x, 1, &mut y);
     Ok(y)
 }
 
@@ -182,7 +495,17 @@ mod tests {
     #[test]
     fn blocked_matches_naive_odd_sizes() {
         let mut rng = StdRng::seed_from_u64(4);
-        for (m, k, n) in [(1, 1, 1), (3, 7, 5), (65, 129, 33), (70, 40, 90)] {
+        // shapes straddling the scalar/packed threshold and the MR/NR/MC/KC
+        // tile edges, including k > KC (multi-panel accumulation)
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 7, 5),
+            (65, 129, 33),
+            (70, 40, 90),
+            (5, 300, 33),
+            (130, 260, 17),
+            (4, 8, 2048),
+        ] {
             let a = DenseTensor::<f64>::random([m, k], &mut rng);
             let b = DenseTensor::<f64>::random([k, n], &mut rng);
             let c = gemm_f64(&a, &b).unwrap();
@@ -203,6 +526,48 @@ mod tests {
         let d = gemm(&b, Layout::Transposed, &a, Layout::Normal).unwrap();
         let bt = b.permute(&[1, 0]).unwrap();
         assert!(d.allclose(&naive(&bt, &a), 1e-12));
+    }
+
+    #[test]
+    fn transposed_layouts_packed_path() {
+        // large enough that gemm_path picks Packed: transposes must be
+        // handled during packing, for every layout combination
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = DenseTensor::<f64>::random([67, 41], &mut rng);
+        let b = DenseTensor::<f64>::random([67, 63], &mut rng);
+        assert_eq!(gemm_path(67, 63), GemmPath::Packed);
+        let at = a.permute(&[1, 0]).unwrap();
+        let bt = b.permute(&[1, 0]).unwrap();
+        // Aᵀ·B
+        let c = gemm(&a, Layout::Transposed, &b, Layout::Normal).unwrap();
+        assert!(c.allclose(&naive(&at, &b), 1e-11));
+        // Aᵀ·(Bᵀ)ᵀ — pass the materialized Bᵀ as Transposed
+        let d = gemm(&a, Layout::Transposed, &bt, Layout::Transposed).unwrap();
+        assert!(d.allclose(&naive(&at, &b), 1e-11));
+        // A·B via both-normal on the same shapes
+        let e = gemm(&at, Layout::Normal, &b, Layout::Normal).unwrap();
+        assert!(e.allclose(&naive(&at, &b), 1e-11));
+    }
+
+    #[test]
+    fn packed_rows_chunking_is_bitwise_invariant() {
+        // the row-panel entry point must give bit-identical results no
+        // matter how rows are split at MC boundaries
+        let mut rng = StdRng::seed_from_u64(52);
+        let (m, k, n) = (3 * MC + 17, 300, 70);
+        let a = DenseTensor::<f64>::random([m, k], &mut rng);
+        let b = DenseTensor::<f64>::random([k, n], &mut rng);
+        let mut whole = vec![0.0; m * n];
+        gemm_acc_slices(m, k, n, a.data(), b.data(), &mut whole);
+        let pb = PackedB::pack(k, n, b.data(), n, 1);
+        let mut chunked = Vec::with_capacity(m * n);
+        for r0 in (0..m).step_by(MC) {
+            let r1 = (r0 + MC).min(m);
+            let mut part = vec![0.0; (r1 - r0) * n];
+            gemm_acc_packed_rows(r0, r1, a.data(), k, 1, &pb, &mut part);
+            chunked.extend_from_slice(&part);
+        }
+        assert_eq!(whole, chunked, "row chunking changed bits");
     }
 
     #[test]
@@ -233,6 +598,30 @@ mod tests {
     }
 
     #[test]
+    fn complex_gemm_packed_path() {
+        use crate::Complex64 as C;
+        let mut rng = StdRng::seed_from_u64(53);
+        let a = DenseTensor::<C>::random([19, 80], &mut rng);
+        let b = DenseTensor::<C>::random([19, 40], &mut rng);
+        assert_eq!(gemm_path(19, 40), GemmPath::Scalar);
+        assert_eq!(gemm_path(80, 40), GemmPath::Packed);
+        let c = gemm(&a, Layout::Transposed, &b, Layout::Normal).unwrap();
+        // reference via the naive loop on materialized Aᵀ
+        let at = a.permute(&[1, 0]).unwrap();
+        let mut max = 0.0f64;
+        for i in 0..80 {
+            for j in 0..40 {
+                let mut s = C::new(0.0, 0.0);
+                for l in 0..19 {
+                    s += at.at(&[i, l]) * b.at(&[l, j]);
+                }
+                max = max.max((c.at(&[i, j]) - s).abs());
+            }
+        }
+        assert!(max < 1e-11, "max dev {max}");
+    }
+
+    #[test]
     fn gemv_matches_gemm() {
         let mut rng = StdRng::seed_from_u64(6);
         let a = DenseTensor::<f64>::random([7, 9], &mut rng);
@@ -241,6 +630,38 @@ mod tests {
         let y2 = gemm_f64(&a, &x).unwrap();
         for (i, &yi) in y.iter().enumerate() {
             assert!((yi - y2.at(&[i, 0])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_path_taken_for_width_one() {
+        assert_eq!(gemm_path(5000, 1), GemmPath::Gemv);
+        // and it agrees with the scalar reference
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = DenseTensor::<f64>::random([33, 700], &mut rng);
+        let x = DenseTensor::<f64>::random([700, 1], &mut rng);
+        let y = gemm_f64(&a, &x).unwrap();
+        assert!(y.allclose(&naive(&a, &x), 1e-10));
+    }
+
+    #[test]
+    fn acc_form_accumulates() {
+        // gemm_acc_slices must add into existing C on every path
+        let mut rng = StdRng::seed_from_u64(8);
+        for (k, n) in [(3, 4), (300, 33), (700, 1)] {
+            let m = 6;
+            let a = DenseTensor::<f64>::random([m, k], &mut rng);
+            let b = DenseTensor::<f64>::random([k, n], &mut rng);
+            let mut c = vec![1.0f64; m * n];
+            gemm_acc_slices(m, k, n, a.data(), b.data(), &mut c);
+            let reference = naive(&a, &b);
+            for (i, &ci) in c.iter().enumerate() {
+                assert!(
+                    (ci - 1.0 - reference.data()[i]).abs() < 1e-10,
+                    "path {:?}",
+                    gemm_path(k, n)
+                );
+            }
         }
     }
 }

@@ -31,7 +31,7 @@ pub mod transpose;
 pub use counter::{flops, reset_flops, FlopGuard};
 pub use dense::DenseTensor;
 pub use einsum::{einsum, einsum_into, ContractPlan};
-pub use gemm::{gemm, gemm_f64, Layout};
+pub use gemm::{gemm, gemm_f64, gemm_path, GemmPath, Layout, PackedB};
 pub use scalar::{Complex64, Scalar};
 pub use shape::Shape;
 pub use sparse::SparseTensor;

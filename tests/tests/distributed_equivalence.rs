@@ -3,9 +3,11 @@
 //! for every algorithm, rank count and execution mode.
 
 use dmrg::Dmrg;
-use tt_blocks::Algorithm;
+use tt_blocks::contract::contract_list;
+use tt_blocks::{block_qr, block_svd, Algorithm, Arrow, BlockSparseTensor, QnIndex, QN};
 use tt_dist::{ExecMode, Executor, Machine};
 use tt_integration::test_schedule;
+use tt_linalg::TruncSpec;
 use tt_mps::{heisenberg_j1j2, neel_state, Lattice, Mps, SpinHalf};
 
 fn run_energy(exec: &Executor, algo: Algorithm) -> f64 {
@@ -66,6 +68,96 @@ fn threaded_mode_is_bitwise_identical() {
     assert!(thr.sim_time().total() > 0.0);
     assert!(thr.supersteps() > 0);
     assert!(thr.total_flops() > 0);
+}
+
+/// A two-site-like block tensor with enough sector groups to exercise the
+/// pool fan-out in `block_svd`/`block_qr`/`contract_list`.
+fn block_fixture() -> (BlockSparseTensor, BlockSparseTensor) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let bond = |arrow, dims: &[(i32, usize)]| {
+        QnIndex::new(
+            arrow,
+            dims.iter().map(|&(q, d)| (QN::one(q), d)).collect(),
+        )
+    };
+    let mut rng = StdRng::seed_from_u64(2024);
+    let s = bond(Arrow::In, &[(1, 1), (-1, 1)]);
+    let mid = bond(Arrow::Out, &[(-2, 3), (0, 4), (2, 3)]);
+    let x = BlockSparseTensor::random(
+        vec![bond(Arrow::In, &[(-1, 2), (1, 2)]), s.clone(), mid.clone()],
+        QN::zero(1),
+        &mut rng,
+    );
+    let y = BlockSparseTensor::random(
+        vec![mid.dual(), s, bond(Arrow::Out, &[(-3, 1), (-1, 3), (1, 3), (3, 1)])],
+        QN::zero(1),
+        &mut rng,
+    );
+    (x, y)
+}
+
+#[test]
+fn pool_parallel_block_linalg_is_bitwise_identical() {
+    // block_svd and block_qr fan their independent sector groups out over
+    // the thread pool in Threaded mode; U, S, Vᵀ / Q, R must still match
+    // the sequential executor bit for bit (groups collected in order).
+    let (x, _) = block_fixture();
+    let seq = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential);
+    let thr = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Threaded);
+    let spec = TruncSpec {
+        max_rank: 6,
+        cutoff: 0.0,
+        min_keep: 1,
+    };
+    let s1 = block_svd(&seq, &x, &[0, 1], &[2], spec).unwrap();
+    let s2 = block_svd(&thr, &x, &[0, 1], &[2], spec).unwrap();
+    assert_eq!(s1.s, s2.s, "singular values must be bitwise equal");
+    assert_eq!(s1.trunc_err.to_bits(), s2.trunc_err.to_bits());
+    assert_eq!(s1.u.to_dense().data(), s2.u.to_dense().data());
+    assert_eq!(s1.vt.to_dense().data(), s2.vt.to_dense().data());
+
+    let (q1, r1) = block_qr(&seq, &x, &[0, 1], &[2]).unwrap();
+    let (q2, r2) = block_qr(&thr, &x, &[0, 1], &[2]).unwrap();
+    assert_eq!(q1.to_dense().data(), q2.to_dense().data());
+    assert_eq!(r1.to_dense().data(), r2.to_dense().data());
+}
+
+#[test]
+fn pool_parallel_contract_list_is_bitwise_identical() {
+    // the per-block-pair GEMMs run as parallel pool jobs in Threaded mode
+    // with ordered accumulation into output blocks
+    let (x, y) = block_fixture();
+    let seq = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential);
+    let thr = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Threaded);
+    let c1 = contract_list(&seq, "isj,jtk->istk", &x, &y).unwrap();
+    let c2 = contract_list(&thr, "isj,jtk->istk", &x, &y).unwrap();
+    assert_eq!(c1.to_dense().data(), c2.to_dense().data());
+    // and the cost accounting is mode-independent too
+    assert_eq!(seq.total_flops(), thr.total_flops());
+    assert_eq!(
+        seq.sim_time().total().to_bits(),
+        thr.sim_time().total().to_bits()
+    );
+}
+
+#[test]
+fn volume_balanced_sparse_kernels_bitwise_on_rectangular_blocks() {
+    // the sparse-dense / sparse-sparse algorithms flatten block tensors
+    // into skewed rectangular sparse operands — exactly the shape the
+    // volume-balanced row split exists for
+    let (x, y) = block_fixture();
+    let seq = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential);
+    let thr = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Threaded);
+    for algo in [Algorithm::SparseDense, Algorithm::SparseSparse] {
+        let c1 = tt_blocks::contract(&seq, algo, "isj,jtk->istk", &x, &y).unwrap();
+        let c2 = tt_blocks::contract(&thr, algo, "isj,jtk->istk", &x, &y).unwrap();
+        assert_eq!(
+            c1.to_dense().data(),
+            c2.to_dense().data(),
+            "{algo}: threaded must be bitwise identical"
+        );
+    }
 }
 
 #[test]
