@@ -36,11 +36,7 @@ fn operands() -> (BlockSparseTensor, BlockSparseTensor) {
         QN::zero(1),
         &mut rng,
     );
-    let b = BlockSparseTensor::random(
-        vec![mid.dual(), spin(Arrow::In), ir],
-        QN::zero(1),
-        &mut rng,
-    );
+    let b = BlockSparseTensor::random(vec![mid.dual(), spin(Arrow::In), ir], QN::zero(1), &mut rng);
     (a, b)
 }
 

@@ -34,8 +34,7 @@ fn bench_dmrg_step(c: &mut Criterion) {
                 || {
                     let mut mps = warm.mps.clone();
                     mps.canonicalize(&exec, 0).unwrap();
-                    let envs =
-                        Environments::initialize(&exec, algo, &mps, &warm.mpo).unwrap();
+                    let envs = Environments::initialize(&exec, algo, &mps, &warm.mpo).unwrap();
                     (mps, envs)
                 },
                 |(mut mps, mut envs)| {

@@ -27,8 +27,13 @@ fn bench_gemm(c: &mut Criterion) {
         let b = DenseTensor::<f64>::random([256, 256], &mut rng);
         g.bench_function("at_b_256", |bench| {
             bench.iter(|| {
-                tt_tensor::gemm(&a, tt_tensor::Layout::Transposed, &b, tt_tensor::Layout::Normal)
-                    .unwrap()
+                tt_tensor::gemm(
+                    &a,
+                    tt_tensor::Layout::Transposed,
+                    &b,
+                    tt_tensor::Layout::Normal,
+                )
+                .unwrap()
             });
         });
     }
@@ -97,16 +102,19 @@ fn bench_sparse(c: &mut Criterion) {
     });
     let sk = SparseTensor::from_dense(&skew, 0.0);
     let bd = DenseTensor::<f64>::random([64, 48], &mut rng);
-    let exec = tt_dist::Executor::with_machine(
-        tt_dist::Machine::local(),
-        1,
-        tt_dist::ExecMode::Threaded,
-    );
+    let exec =
+        tt_dist::Executor::with_machine(tt_dist::Machine::local(), 1, tt_dist::ExecMode::Threaded);
     g.bench_function("sd_skewed_threaded", |bench| {
         bench.iter(|| exec.contract_sd("ik,kj->ij", &sk, &bd).unwrap());
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_transpose, bench_einsum, bench_sparse);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_transpose,
+    bench_einsum,
+    bench_sparse
+);
 criterion_main!(benches);

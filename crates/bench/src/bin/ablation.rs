@@ -78,14 +78,25 @@ fn main() {
     );
 
     println!("=== Ablation 2: TSQR vs gathered QR (tall-skinny panel) ===\n");
-    let mut t2 = Table::new(&["method", "ranks", "supersteps", "bytes critical", "ortho err"]);
+    let mut t2 = Table::new(&[
+        "method",
+        "ranks",
+        "supersteps",
+        "bytes critical",
+        "ortho err",
+    ]);
     let mut rng = StdRng::seed_from_u64(22);
     let a_tall = DenseTensor::<f64>::random([256, 8], &mut rng);
     for p in [2usize, 4, 8] {
         let c = comm(p);
         let (q, _r) = tsqr(&a_tall, &c).unwrap();
-        let qtq = tt_tensor::gemm(&q, tt_tensor::Layout::Transposed, &q, tt_tensor::Layout::Normal)
-            .unwrap();
+        let qtq = tt_tensor::gemm(
+            &q,
+            tt_tensor::Layout::Transposed,
+            &q,
+            tt_tensor::Layout::Normal,
+        )
+        .unwrap();
         let err = qtq.max_diff(&DenseTensor::eye(8)).unwrap();
         let tr = c.tracker().lock();
         t2.row(vec![
@@ -102,8 +113,13 @@ fn main() {
         let c = comm(8);
         c.charge_p2p((256 * 8 * 8) as u64);
         let (q, _r) = tt_linalg::qr_thin(&a_tall).unwrap();
-        let qtq = tt_tensor::gemm(&q, tt_tensor::Layout::Transposed, &q, tt_tensor::Layout::Normal)
-            .unwrap();
+        let qtq = tt_tensor::gemm(
+            &q,
+            tt_tensor::Layout::Transposed,
+            &q,
+            tt_tensor::Layout::Normal,
+        )
+        .unwrap();
         let err = qtq.max_diff(&DenseTensor::eye(8)).unwrap();
         let tr = c.tracker().lock();
         t2.row(vec![

@@ -1,18 +1,37 @@
-//! Kernel performance baseline: times the contraction hot-path kernels and
-//! writes `BENCH_kernels.json` (GFlop/s per kernel/size) so future PRs can
-//! diff perf against this one.
+//! Kernel performance baseline and CI regression gate.
 //!
-//! Usage: `cargo run --release -p tt-bench --bin bench_kernels [-- --smoke]`
+//! Times the contraction hot-path kernels, writes `BENCH_kernels.json`
+//! (GFlop/s per kernel/size), and — with `--check <baseline.json>` —
+//! compares the measured numbers against a committed baseline and **fails
+//! (exit 1) if any kernel regresses more than 30% in GFlop/s**, printing a
+//! per-kernel diff table.
 //!
-//! `--smoke` shrinks sizes/reps to a few hundred milliseconds for CI; the
-//! full run includes the 512×512×512 `f64` case used as this PR's
-//! acceptance gate (packed GEMM ≥ 2× the seed scalar kernel).
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tt-bench --bin bench_kernels                # full run, writes baseline
+//! cargo run --release -p tt-bench --bin bench_kernels -- --smoke    # CI-sized run
+//! cargo run --release -p tt-bench --bin bench_kernels -- --smoke --check BENCH_kernels.json
+//! ```
+//!
+//! The full run's sizes are a superset of the smoke sizes, so a smoke run
+//! always finds its `(kernel, size)` pairs in a committed full baseline.
+//! The full run also includes the 512³ `f64` case used as PR 2's
+//! acceptance gate (packed GEMM ≥ 2× the seed scalar kernel) and the
+//! sparse *crossover* cases: the small sparse size sits below
+//! `SPARSE_PAR_MIN_FLOPS` (threaded stays on one worker — the fix for the
+//! threaded-slower-than-sequential regression this baseline recorded),
+//! the large ones sit above it and engage the pool.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use tt_dist::{ExecMode, Executor, Machine};
 use tt_tensor::{DenseTensor, SparseTensor};
+
+/// GFlop/s regression a kernel may show against the baseline before the
+/// check fails (CI runners are noisy; 30% is the agreed gate).
+const MAX_REGRESSION: f64 = 0.30;
 
 /// The seed repo's scalar cache-blocked `(i,k,j)` GEMM — kept here verbatim
 /// as the perf reference the packed kernel is measured against.
@@ -66,10 +85,161 @@ impl Entry {
     }
 }
 
+/// A `(kernel, size, gflops)` triple parsed back from a baseline file.
+struct BaselineEntry {
+    kernel: String,
+    size: String,
+    gflops: f64,
+}
+
+/// Extract the string value of `"key": "…"` from one JSON line (the
+/// baseline is this binary's own single-entry-per-line output; no general
+/// JSON parser is vendored, so parse exactly that shape).
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract the numeric value of `"key": …` from one JSON line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn load_baseline(path: &str) -> Vec<BaselineEntry> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(1);
+    });
+    text.lines()
+        .filter_map(|line| {
+            Some(BaselineEntry {
+                kernel: json_str(line, "kernel")?,
+                size: json_str(line, "size")?,
+                gflops: json_num(line, "gflops")?,
+            })
+        })
+        .collect()
+}
+
+/// Compare measured entries against the baseline. Returns `false` when any
+/// matched kernel regressed beyond [`MAX_REGRESSION`] (or nothing matched).
+fn check_against_baseline(entries: &[Entry], baseline: &[BaselineEntry]) -> bool {
+    println!(
+        "\n{:<24} {:>14} {:>12} {:>12} {:>8}  status",
+        "kernel", "size", "baseline", "measured", "delta"
+    );
+    let mut matched = 0usize;
+    let mut regressed = 0usize;
+    for e in entries {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.kernel == e.kernel && b.size == e.size)
+        else {
+            println!(
+                "{:<24} {:>14} {:>12} {:>12.2} {:>8}  new (no baseline)",
+                e.kernel,
+                e.size,
+                "-",
+                e.gflops(),
+                "-"
+            );
+            continue;
+        };
+        matched += 1;
+        let delta = e.gflops() / base.gflops - 1.0;
+        let slow = delta < -MAX_REGRESSION;
+        if slow {
+            regressed += 1;
+        }
+        println!(
+            "{:<24} {:>14} {:>12.2} {:>12.2} {:>+7.1}%  {}",
+            e.kernel,
+            e.size,
+            base.gflops,
+            e.gflops(),
+            100.0 * delta,
+            if slow { "REGRESSED" } else { "ok" }
+        );
+    }
+    if matched == 0 {
+        println!("\nno (kernel, size) pairs matched the baseline — refusing to pass");
+        return false;
+    }
+    if regressed > 0 {
+        println!(
+            "\n{regressed}/{matched} kernels regressed more than {:.0}% below baseline",
+            100.0 * MAX_REGRESSION
+        );
+        return false;
+    }
+    println!(
+        "\nall {matched} matched kernels within {:.0}% of baseline",
+        100.0 * MAX_REGRESSION
+    );
+    true
+}
+
+/// The quadratically front-loaded sparse operand every sparse bench uses:
+/// row 0 full, last rows empty — the shape that load-imbalanced the old
+/// uniform row split.
+fn skewed_sparse(m: usize, k: usize) -> SparseTensor<f64> {
+    let dense = DenseTensor::<f64>::from_fn([m, k], |idx| {
+        let cutoff = k - (k * idx[0] * idx[0]) / (m * m).max(1);
+        if idx[1] < cutoff {
+            (idx[0] + idx[1]) as f64 / (m + k) as f64 - 0.5
+        } else {
+            0.0
+        }
+    });
+    SparseTensor::from_dense(&dense, 0.0)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let gemm_sizes: &[usize] = if smoke { &[64, 128] } else { &[128, 256, 512] };
-    let reps = if smoke { 3 } else { 5 };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check_path = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--check needs a baseline path");
+            std::process::exit(1);
+        })
+    });
+
+    // full sizes are supersets of smoke sizes so a smoke --check always
+    // finds its pairs in a committed full baseline
+    let gemm_sizes: &[usize] = if smoke {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
+    let at_b_sizes: &[usize] = if smoke { &[128] } else { &[128, 512] };
+    let gemv_sizes: &[(usize, usize)] = if smoke {
+        &[(256, 256)]
+    } else {
+        &[(256, 256), (1024, 1024)]
+    };
+    // (m, k, n, reps): the small size sits below SPARSE_PAR_MIN_FLOPS
+    // (threaded stays on one worker — sub-millisecond kernels are too
+    // noisy for a 30% gate, so the smoke case is the ~3 ms 512×128×64),
+    // the larger ones sit above it and engage the pool
+    let sd_sizes: &[(usize, usize, usize, usize)] = if smoke {
+        &[(512, 128, 64, 10)]
+    } else {
+        &[(512, 128, 64, 10), (2048, 512, 256, 3)]
+    };
+    let ss_sizes: &[(usize, usize, usize, usize)] = if smoke {
+        &[(512, 128, 64, 5)]
+    } else {
+        &[(512, 128, 64, 5), (1024, 256, 128, 2)]
+    };
+    let reps = 10;
     let mut entries: Vec<Entry> = Vec::new();
     let mut rng = StdRng::seed_from_u64(7);
 
@@ -104,14 +274,18 @@ fn main() {
     }
 
     // --- transposed-layout GEMM (packing absorbs the transpose) ----------
-    {
-        let s = if smoke { 128 } else { 512 };
+    for &s in at_b_sizes {
         let a = DenseTensor::<f64>::random([s, s], &mut rng);
         let b = DenseTensor::<f64>::random([s, s], &mut rng);
         let flops = 2.0 * (s as f64).powi(3);
         let secs = best_of(reps, || {
-            tt_tensor::gemm(&a, tt_tensor::Layout::Transposed, &b, tt_tensor::Layout::Normal)
-                .unwrap();
+            tt_tensor::gemm(
+                &a,
+                tt_tensor::Layout::Transposed,
+                &b,
+                tt_tensor::Layout::Normal,
+            )
+            .unwrap();
         });
         entries.push(Entry {
             kernel: "gemm_at_b",
@@ -122,8 +296,7 @@ fn main() {
     }
 
     // --- GEMV fast path (Davidson matvec shape) --------------------------
-    {
-        let (m, k) = if smoke { (256, 256) } else { (1024, 1024) };
+    for &(m, k) in gemv_sizes {
         let a = DenseTensor::<f64>::random([m, k], &mut rng);
         let x = DenseTensor::<f64>::random([k, 1], &mut rng);
         let flops = 2.0 * m as f64 * k as f64;
@@ -138,44 +311,44 @@ fn main() {
         });
     }
 
-    // --- sparse kernels through the executor (volume-balanced split) -----
-    // A rectangular, row-skewed sparse operand: the shape that used to
-    // load-imbalance the uniform row split.
-    {
-        let (m, k, n) = if smoke { (96, 48, 24) } else { (512, 128, 64) };
-        let dense = DenseTensor::<f64>::from_fn([m, k], |idx| {
-            // quadratically front-loaded density: row 0 full, last rows empty
-            let cutoff = k - (k * idx[0] * idx[0]) / (m * m).max(1);
-            if idx[1] < cutoff {
-                (idx[0] + idx[1]) as f64 / (m + k) as f64 - 0.5
-            } else {
-                0.0
-            }
-        });
-        let sp = SparseTensor::from_dense(&dense, 0.0);
+    // --- sparse kernels through the executor -----------------------------
+    // sequential vs threaded at each size: below the work-volume threshold
+    // both run the same single-worker path; above it the threaded executor
+    // fans volume-balanced buckets over the pool (the crossover)
+    for &(m, k, n, reps) in sd_sizes {
+        let sp = skewed_sparse(m, k);
         let b = DenseTensor::<f64>::random([k, n], &mut rng);
-        let sb = SparseTensor::from_dense(&DenseTensor::<f64>::random([k, n], &mut rng), 0.5);
         let sd_flops = 2.0 * sp.nnz() as f64 * n as f64;
-
-        for (mode, label_sd, label_ss) in [
-            (ExecMode::Sequential, "sd_contract_seq", "ss_contract_seq"),
-            (ExecMode::Threaded, "sd_contract_threaded", "ss_contract_threaded"),
+        for (mode, label) in [
+            (ExecMode::Sequential, "sd_contract_seq"),
+            (ExecMode::Threaded, "sd_contract_threaded"),
         ] {
             let exec = Executor::with_machine(Machine::local(), 1, mode);
             let secs = best_of(reps, || {
                 exec.contract_sd("ik,kj->ij", &sp, &b).unwrap();
             });
             entries.push(Entry {
-                kernel: label_sd,
+                kernel: label,
                 size: format!("{m}x{k}x{n}"),
                 flops: sd_flops,
                 secs,
             });
+        }
+    }
+    for &(m, k, n, reps) in ss_sizes {
+        let sp = skewed_sparse(m, k);
+        let sb = SparseTensor::from_dense(&DenseTensor::<f64>::random([k, n], &mut rng), 0.5);
+        let sd_flops = 2.0 * sp.nnz() as f64 * n as f64;
+        for (mode, label) in [
+            (ExecMode::Sequential, "ss_contract_seq"),
+            (ExecMode::Threaded, "ss_contract_threaded"),
+        ] {
+            let exec = Executor::with_machine(Machine::local(), 1, mode);
             let secs = best_of(reps, || {
                 exec.contract_ss("ik,kj->ij", &sp, &sb, None).unwrap();
             });
             entries.push(Entry {
-                kernel: label_ss,
+                kernel: label,
                 size: format!("{m}x{k}x{n}"),
                 flops: sd_flops * 0.5, // nominal; ss work depends on overlap
                 secs,
@@ -183,16 +356,28 @@ fn main() {
         }
     }
 
-    // --- report + JSON ----------------------------------------------------
-    let mut json = String::from("[\n");
-    for (i, e) in entries.iter().enumerate() {
+    // --- report -----------------------------------------------------------
+    for e in &entries {
         println!(
-            "{:<22} {:>14}  {:>8.2} GFlop/s  ({:.3e} s)",
+            "{:<24} {:>14}  {:>8.2} GFlop/s  ({:.3e} s)",
             e.kernel,
             e.size,
             e.gflops(),
             e.secs
         );
+    }
+
+    if let Some(path) = check_path {
+        // regression-gate mode: compare, do not overwrite the baseline
+        let baseline = load_baseline(&path);
+        if !check_against_baseline(&entries, &baseline) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut json = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
             "  {{\"kernel\": \"{}\", \"size\": \"{}\", \"gflops\": {:.4}, \"seconds\": {:.6e}}}{}\n",
             e.kernel,
@@ -203,10 +388,18 @@ fn main() {
         ));
     }
     json.push_str("]\n");
-    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    println!("\nwrote BENCH_kernels.json ({} entries)", entries.len());
+    // a smoke run must never clobber the committed full baseline — its
+    // entries are a strict subset, and a subset baseline would silently
+    // shrink what the CI gate covers
+    let out = if smoke {
+        "BENCH_kernels.smoke.json"
+    } else {
+        "BENCH_kernels.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out} ({} entries)", entries.len());
 
-    // the acceptance gate this PR ships under (informational at runtime)
+    // the acceptance gate PR 2 shipped under (informational at runtime)
     if !smoke {
         let g = |k: &str| {
             entries

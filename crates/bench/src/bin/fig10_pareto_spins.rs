@@ -11,12 +11,21 @@ use tt_dist::Machine;
 
 fn main() {
     for (mname, machines) in [
-        ("BlueWaters", vec![Machine::blue_waters(16), Machine::blue_waters(32)]),
+        (
+            "BlueWaters",
+            vec![Machine::blue_waters(16), Machine::blue_waters(32)],
+        ),
         ("Stampede2", vec![Machine::stampede2(64)]),
     ] {
         println!("=== Fig. 10 ({mname}): relative time vs relative cost ===\n");
         let mut t = Table::new(&[
-            "algo", "ppn", "nodes", "m", "rel time", "rel cost", "rate speedup",
+            "algo",
+            "ppn",
+            "nodes",
+            "m",
+            "rel time",
+            "rel cost",
+            "rate speedup",
         ]);
         let mut pareto: Vec<(f64, f64, String)> = Vec::new();
         for machine in &machines {
@@ -32,8 +41,7 @@ fn main() {
                         }
                         let rel_time = run.total() / base.total();
                         let rel_cost = rel_time * nodes as f64;
-                        let rate_speedup =
-                            (run.flops / run.total()) / (base.flops / base.total());
+                        let rate_speedup = (run.flops / run.total()) / (base.flops / base.total());
                         t.row(vec![
                             algo.to_string(),
                             machine.procs_per_node.to_string(),

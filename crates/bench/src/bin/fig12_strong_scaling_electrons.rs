@@ -10,15 +10,34 @@ use tt_dist::Machine;
 fn main() {
     let m = 8192;
     println!("=== Fig. 12: electrons strong scaling, sparse-sparse, m={m} ===\n");
-    let mut t = Table::new(&["machine", "nodes", "time (s)", "speedup", "efficiency", "mem/node GB"]);
+    let mut t = Table::new(&[
+        "machine",
+        "nodes",
+        "time (s)",
+        "speedup",
+        "efficiency",
+        "mem/node GB",
+    ]);
     for (machine, nodes0, node_list) in [
         (Machine::blue_waters(16), 2usize, vec![2usize, 4, 8]),
         (Machine::stampede2(64), 4usize, vec![4usize, 8, 16]),
     ] {
-        let t0 =
-            model_step(System::Electrons, Algorithm::SparseSparse, &machine, nodes0, m).total();
+        let t0 = model_step(
+            System::Electrons,
+            Algorithm::SparseSparse,
+            &machine,
+            nodes0,
+            m,
+        )
+        .total();
         for nodes in node_list {
-            let p = model_step(System::Electrons, Algorithm::SparseSparse, &machine, nodes, m);
+            let p = model_step(
+                System::Electrons,
+                Algorithm::SparseSparse,
+                &machine,
+                nodes,
+                m,
+            );
             let speedup = t0 / p.total();
             let eff = speedup / (nodes as f64 / nodes0 as f64);
             t.row(vec![

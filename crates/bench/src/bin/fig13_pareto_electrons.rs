@@ -11,10 +11,11 @@ use tt_dist::Machine;
 
 fn main() {
     for machine in [Machine::blue_waters(16), Machine::stampede2(64)] {
-        println!("=== Fig. 13 ({}): relative time vs cost ===\n", machine.name);
-        let mut t = Table::new(&[
-            "algo", "nodes", "m", "rel time", "rel cost", "rate speedup",
-        ]);
+        println!(
+            "=== Fig. 13 ({}): relative time vs cost ===\n",
+            machine.name
+        );
+        let mut t = Table::new(&["algo", "nodes", "m", "rel time", "rel cost", "rate speedup"]);
         for &m in &PAPER_MS[1..] {
             let base = baseline_rate(System::Electrons, &machine, m);
             for algo in [Algorithm::List, Algorithm::SparseSparse] {

@@ -10,9 +10,7 @@ use tt_bench::{grow_state, System, Table, PAPER_MS};
 
 fn main() {
     println!("=== Fig. 2 (live): DMRG-grown MPS block structure ===\n");
-    let mut t = Table::new(&[
-        "system", "m", "blocks", "largest", "sparsity",
-    ]);
+    let mut t = Table::new(&["system", "m", "blocks", "largest", "sparsity"]);
     for system in [System::Spins, System::Electrons] {
         let lat = system.default_lattice();
         for m in [8usize, 16, 32, 64] {

@@ -16,10 +16,20 @@ fn main() {
     // paper's annotated node counts per m (spins BW: 16..256)
     let spin_nodes = [16usize, 16, 64, 128, 256];
     for (&m, &nodes) in PAPER_MS.iter().zip(&spin_nodes) {
-        let p = model_step(System::Spins, Algorithm::List, &Machine::blue_waters(16), nodes, m);
+        let p = model_step(
+            System::Spins,
+            Algorithm::List,
+            &Machine::blue_waters(16),
+            nodes,
+            m,
+        );
         t.row(vec![
-            "spins".into(), "list".into(), "BlueWaters".into(),
-            m.to_string(), nodes.to_string(), format!("{:.1}", p.gflops()),
+            "spins".into(),
+            "list".into(),
+            "BlueWaters".into(),
+            m.to_string(),
+            nodes.to_string(),
+            format!("{:.1}", p.gflops()),
         ]);
     }
     let elec_nodes = [1usize, 2, 4, 8, 8];
@@ -27,8 +37,12 @@ fn main() {
         for algo in [Algorithm::List, Algorithm::SparseSparse] {
             let p = model_step(System::Electrons, algo, &Machine::stampede2(64), nodes, m);
             t.row(vec![
-                "electrons".into(), algo.to_string(), "Stampede2".into(),
-                m.to_string(), nodes.to_string(), format!("{:.1}", p.gflops()),
+                "electrons".into(),
+                algo.to_string(),
+                "Stampede2".into(),
+                m.to_string(),
+                nodes.to_string(),
+                format!("{:.1}", p.gflops()),
             ]);
         }
     }
@@ -36,15 +50,30 @@ fn main() {
     let _ = t.write_csv("fig5_model");
 
     println!("\n=== Fig. 5 (live, laptop scale): measured rates ===\n");
-    let mut lt = Table::new(&["system", "algo", "ranks", "m", "flops", "sim GF/s", "wall GF/s"]);
+    let mut lt = Table::new(&[
+        "system",
+        "algo",
+        "ranks",
+        "m",
+        "flops",
+        "sim GF/s",
+        "wall GF/s",
+    ]);
     let lat = System::Spins.default_lattice();
     let warm = grow_state(System::Spins, &lat, 32);
     for (nodes, ppn) in [(1usize, 1usize), (1, 4), (2, 4)] {
-        let machine = if ppn == 1 { Machine::local() } else { Machine::blue_waters(ppn) };
+        let machine = if ppn == 1 {
+            Machine::local()
+        } else {
+            Machine::blue_waters(ppn)
+        };
         let exec = Executor::with_machine(machine, nodes, ExecMode::Sequential);
         let step = measure_middle_step(&warm, &exec, Algorithm::List);
         lt.row(vec![
-            "spins".into(), "list".into(), format!("{}", nodes * ppn), "32".into(),
+            "spins".into(),
+            "list".into(),
+            format!("{}", nodes * ppn),
+            "32".into(),
             step.flops.to_string(),
             format!("{:.3}", step.flops as f64 / step.sim.total() / 1e9),
             format!("{:.3}", step.flops as f64 / step.wall_seconds / 1e9),

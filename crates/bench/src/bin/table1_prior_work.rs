@@ -17,17 +17,94 @@ fn main() {
         "max nodes",
     ]);
     let rows: &[[&str; 6]] = &[
-        ["Heisenberg J1-J2", "this work", "U(1) DMRG", "Distributed Memory (simulated)", "32768", "256"],
-        ["Heisenberg J1-J2", "Jiang et al. [19]", "DMRG", "shared memory (NR)", "12000", "NR"],
-        ["Heisenberg J1-J2", "Wang et al. [20]", "DMRG", "shared memory (NR)", "12000", "NR"],
-        ["Triangular Hubbard", "this work", "U(1) DMRG", "Distributed Memory (simulated)", "32768", "256"],
-        ["Triangular Hubbard", "Shirakawa et al. [21]", "DMRG", "shared memory (NR)", "20000", "NR"],
-        ["Triangular Hubbard", "Szasz et al. [22]", "U(1)+k iDMRG", "Shared Memory", "11314", "1"],
-        ["Hubbard 1D chain", "Rincon et al. [23]", "U(1) DMRG", "Distributed Memory", "1000", "8"],
-        ["U-V Hubbard", "Kantian et al. [11,12]", "DMRG", "Distributed Memory", "18000", "180"],
-        ["Square Hubbard", "Yamada et al. [9,24]", "s-leg DMRG", "Distributed Shared Memory", "1200", "NR"],
-        ["Heisenberg 1D chain", "Vance et al. [10]", "U(1) iDMRG", "Distributed Memory", "2048", "64"],
-        ["Heisenberg J1", "Stoudenmire et al. [4]", "Parallel U(1) DMRG", "Real-Space Parallel", "2000", "10"],
+        [
+            "Heisenberg J1-J2",
+            "this work",
+            "U(1) DMRG",
+            "Distributed Memory (simulated)",
+            "32768",
+            "256",
+        ],
+        [
+            "Heisenberg J1-J2",
+            "Jiang et al. [19]",
+            "DMRG",
+            "shared memory (NR)",
+            "12000",
+            "NR",
+        ],
+        [
+            "Heisenberg J1-J2",
+            "Wang et al. [20]",
+            "DMRG",
+            "shared memory (NR)",
+            "12000",
+            "NR",
+        ],
+        [
+            "Triangular Hubbard",
+            "this work",
+            "U(1) DMRG",
+            "Distributed Memory (simulated)",
+            "32768",
+            "256",
+        ],
+        [
+            "Triangular Hubbard",
+            "Shirakawa et al. [21]",
+            "DMRG",
+            "shared memory (NR)",
+            "20000",
+            "NR",
+        ],
+        [
+            "Triangular Hubbard",
+            "Szasz et al. [22]",
+            "U(1)+k iDMRG",
+            "Shared Memory",
+            "11314",
+            "1",
+        ],
+        [
+            "Hubbard 1D chain",
+            "Rincon et al. [23]",
+            "U(1) DMRG",
+            "Distributed Memory",
+            "1000",
+            "8",
+        ],
+        [
+            "U-V Hubbard",
+            "Kantian et al. [11,12]",
+            "DMRG",
+            "Distributed Memory",
+            "18000",
+            "180",
+        ],
+        [
+            "Square Hubbard",
+            "Yamada et al. [9,24]",
+            "s-leg DMRG",
+            "Distributed Shared Memory",
+            "1200",
+            "NR",
+        ],
+        [
+            "Heisenberg 1D chain",
+            "Vance et al. [10]",
+            "U(1) iDMRG",
+            "Distributed Memory",
+            "2048",
+            "64",
+        ],
+        [
+            "Heisenberg J1",
+            "Stoudenmire et al. [4]",
+            "Parallel U(1) DMRG",
+            "Real-Space Parallel",
+            "2000",
+            "10",
+        ],
     ];
     for r in rows {
         t.row(r.iter().map(|s| s.to_string()).collect());

@@ -17,9 +17,7 @@
 pub mod scaling;
 pub mod workload;
 
-pub use scaling::{
-    baseline_rate, model_step, rel_efficiency, ModelPoint, PAPER_MS,
-};
+pub use scaling::{baseline_rate, model_step, rel_efficiency, ModelPoint, PAPER_MS};
 pub use workload::{grow_state, measure_middle_step, InstrumentedStep, System, WarmState};
 
 /// Simple fixed-width table printer for figure binaries.

@@ -120,8 +120,7 @@ pub fn model_step(
         System::Electrons => 36.0,
     };
     let mem = 8.0
-        * (model.davidson_memory(algo, m, k)
-            + model.environment_memory(n_sites as usize, m, k))
+        * (model.davidson_memory(algo, m, k) + model.environment_memory(n_sites as usize, m, k))
         / nodes as f64;
 
     ModelPoint {

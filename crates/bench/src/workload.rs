@@ -8,8 +8,7 @@ use dmrg::{DavidsonOptions, Dmrg, Environments, Schedule, SweepParams};
 use tt_blocks::Algorithm;
 use tt_dist::Executor;
 use tt_mps::{
-    electron_filling, heisenberg_j1j2, hubbard, neel_state, Electron, Lattice, Mpo, Mps,
-    SpinHalf,
+    electron_filling, heisenberg_j1j2, hubbard, neel_state, Electron, Lattice, Mpo, Mps, SpinHalf,
 };
 
 /// The two benchmark systems of Section V.
@@ -83,8 +82,7 @@ pub fn grow_state(system: System, lattice: &Lattice, m_target: usize) -> WarmSta
             let mut mpo = hubbard(lattice, 1.0, 8.5).build().expect("mpo");
             let _ = mpo.compress(&exec, 1e-13);
             let mps =
-                Mps::product_state(&Electron, &electron_filling(n, n / 2, n / 2))
-                    .expect("state");
+                Mps::product_state(&Electron, &electron_filling(n, n / 2, n / 2)).expect("state");
             (mpo, mps)
         }
     };
@@ -141,16 +139,11 @@ pub struct InstrumentedStep {
 
 /// Optimize the middle pair of sites once on the given executor/algorithm
 /// and report counters — the paper's per-step benchmark protocol.
-pub fn measure_middle_step(
-    warm: &WarmState,
-    exec: &Executor,
-    algo: Algorithm,
-) -> InstrumentedStep {
+pub fn measure_middle_step(warm: &WarmState, exec: &Executor, algo: Algorithm) -> InstrumentedStep {
     let mut mps = warm.mps.clone();
     let local = Executor::local();
     mps.canonicalize(&local, 0).expect("canonicalize");
-    let mut envs =
-        Environments::initialize(exec, algo, &mps, &warm.mpo).expect("environments");
+    let mut envs = Environments::initialize(exec, algo, &mps, &warm.mpo).expect("environments");
     let driver = Dmrg::new(exec, algo, &warm.mpo);
     let n = mps.n_sites();
     let params = SweepParams {

@@ -67,7 +67,10 @@ impl BlockSparseTensor {
     pub fn residual(&self, key: &[u16]) -> QN {
         let mut r = QN::zero(self.flux.n_charges());
         for (i, &s) in key.iter().enumerate() {
-            r = r.add(signed(self.indices[i].qn(s as usize), self.indices[i].arrow()));
+            r = r.add(signed(
+                self.indices[i].qn(s as usize),
+                self.indices[i].arrow(),
+            ));
         }
         r
     }
@@ -177,11 +180,7 @@ impl BlockSparseTensor {
     }
 
     /// Fill every allowed block with uniform random entries.
-    pub fn random(
-        indices: Vec<QnIndex>,
-        flux: QN,
-        rng: &mut (impl Rng + ?Sized),
-    ) -> Self {
+    pub fn random(indices: Vec<QnIndex>, flux: QN, rng: &mut (impl Rng + ?Sized)) -> Self {
         let mut t = Self::new(indices, flux);
         for key in t.allowed_keys() {
             let dims = t.block_dims(&key);
@@ -401,11 +400,7 @@ impl BlockSparseTensor {
 
     /// Frobenius norm.
     pub fn norm(&self) -> f64 {
-        self.blocks
-            .values()
-            .map(|b| b.norm2())
-            .sum::<f64>()
-            .sqrt()
+        self.blocks.values().map(|b| b.norm2()).sum::<f64>().sqrt()
     }
 
     /// Drop blocks whose largest entry is ≤ `tol`.
@@ -457,10 +452,7 @@ mod tests {
     }
 
     fn bond(arrow: Arrow, dims: &[(i32, usize)]) -> QnIndex {
-        QnIndex::new(
-            arrow,
-            dims.iter().map(|&(q, d)| (QN::one(q), d)).collect(),
-        )
+        QnIndex::new(arrow, dims.iter().map(|&(q, d)| (QN::one(q), d)).collect())
     }
 
     fn mps_like() -> BlockSparseTensor {
@@ -498,8 +490,7 @@ mod tests {
         let t = mps_like();
         let d = t.to_dense();
         assert_eq!(d.dims(), &[5, 2, 7]);
-        let back =
-            BlockSparseTensor::from_dense(t.indices().to_vec(), t.flux(), &d, 0.0).unwrap();
+        let back = BlockSparseTensor::from_dense(t.indices().to_vec(), t.flux(), &d, 0.0).unwrap();
         assert!(back.to_dense().allclose(&d, 0.0));
         assert_eq!(back.n_blocks(), t.n_blocks());
     }

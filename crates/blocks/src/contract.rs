@@ -129,8 +129,7 @@ pub fn contract_list(
 
     // enumerate matching pairs in deterministic (A-stored, B-stored) order
     let mut out_keys: Vec<crate::block::BlockKey> = Vec::new();
-    let mut pairs: Vec<(&tt_tensor::DenseTensor<f64>, &tt_tensor::DenseTensor<f64>)> =
-        Vec::new();
+    let mut pairs: Vec<(&tt_tensor::DenseTensor<f64>, &tt_tensor::DenseTensor<f64>)> = Vec::new();
     for (ka, ablock) in a.blocks() {
         let ctr_key: Vec<u16> = ctr_a.iter().map(|&i| ka[i]).collect();
         let Some(bkeys) = b_by_ctr.get(&ctr_key) else {
@@ -151,8 +150,8 @@ pub fn contract_list(
 
     // accumulate a partial into its output block (always in pair order)
     let absorb = |c: &mut BlockSparseTensor,
-                      kc: crate::block::BlockKey,
-                      partial: tt_tensor::DenseTensor<f64>|
+                  kc: crate::block::BlockKey,
+                  partial: tt_tensor::DenseTensor<f64>|
      -> Result<()> {
         match c.block(&kc) {
             Some(existing) => {
@@ -222,10 +221,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn bond(arrow: Arrow, dims: &[(i32, usize)]) -> QnIndex {
-        QnIndex::new(
-            arrow,
-            dims.iter().map(|&(q, d)| (QN::one(q), d)).collect(),
-        )
+        QnIndex::new(arrow, dims.iter().map(|&(q, d)| (QN::one(q), d)).collect())
     }
 
     fn spin(arrow: Arrow) -> QnIndex {
@@ -243,11 +239,8 @@ mod tests {
             &mut rng,
         );
         let ir = bond(Arrow::Out, &[(-3, 1), (-1, 3), (1, 3), (3, 1)]);
-        let b = BlockSparseTensor::random(
-            vec![mid.dual(), spin(Arrow::In), ir],
-            QN::zero(1),
-            &mut rng,
-        );
+        let b =
+            BlockSparseTensor::random(vec![mid.dual(), spin(Arrow::In), ir], QN::zero(1), &mut rng);
         (a, b)
     }
 
@@ -256,8 +249,7 @@ mod tests {
         let (a, b) = pair();
         let exec = Executor::local();
         let c = contract_list(&exec, "isj,jtk->istk", &a, &b).unwrap();
-        let reference =
-            tt_tensor::einsum("isj,jtk->istk", &a.to_dense(), &b.to_dense()).unwrap();
+        let reference = tt_tensor::einsum("isj,jtk->istk", &a.to_dense(), &b.to_dense()).unwrap();
         assert!(c.to_dense().allclose(&reference, 1e-11));
         // result conserves flux
         for (k, _) in c.blocks() {
@@ -291,7 +283,11 @@ mod tests {
             1,
             tt_dist::ExecMode::Sequential,
         );
-        for algo in [Algorithm::List, Algorithm::SparseDense, Algorithm::SparseSparse] {
+        for algo in [
+            Algorithm::List,
+            Algorithm::SparseDense,
+            Algorithm::SparseSparse,
+        ] {
             let c = contract(&dist, algo, spec, &a, &b).unwrap();
             assert!(c.to_dense().allclose(&reference, 1e-10), "{algo}");
         }
@@ -302,8 +298,7 @@ mod tests {
         let (a, b) = pair();
         let exec = Executor::local();
         let c = contract_list(&exec, "isj,jtk->tkis", &a, &b).unwrap();
-        let reference =
-            tt_tensor::einsum("isj,jtk->tkis", &a.to_dense(), &b.to_dense()).unwrap();
+        let reference = tt_tensor::einsum("isj,jtk->tkis", &a.to_dense(), &b.to_dense()).unwrap();
         assert!(c.to_dense().allclose(&reference, 1e-11));
     }
 

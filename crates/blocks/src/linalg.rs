@@ -119,7 +119,10 @@ fn build_groups(
     let row_charge = |key: &BlockKey| -> QN {
         let mut g = QN::zero(t.flux().n_charges());
         for &m in row_modes {
-            g = g.add(signed(t.indices()[m].qn(key[m] as usize), t.indices()[m].arrow()));
+            g = g.add(signed(
+                t.indices()[m].qn(key[m] as usize),
+                t.indices()[m].arrow(),
+            ));
         }
         g
     };
@@ -256,10 +259,7 @@ pub fn block_svd(
 
     // U: row indices + bond(Out), flux 0
     let arity = t.flux().n_charges();
-    let mut u_indices: Vec<QnIndex> = row_modes
-        .iter()
-        .map(|&m| t.indices()[m].clone())
-        .collect();
+    let mut u_indices: Vec<QnIndex> = row_modes.iter().map(|&m| t.indices()[m].clone()).collect();
     u_indices.push(bond_out);
     let mut u = BlockSparseTensor::new(u_indices, QN::zero(arity));
 
@@ -330,9 +330,7 @@ pub fn block_svd(
 
     Ok(BlockSvd {
         u,
-        s: BlockDiag {
-            sectors: s_sectors,
-        },
+        s: BlockDiag { sectors: s_sectors },
         vt,
         trunc_err,
     })
@@ -366,10 +364,7 @@ pub fn block_qr(
     let bond_in = bond_out.dual();
 
     let arity = t.flux().n_charges();
-    let mut q_indices: Vec<QnIndex> = row_modes
-        .iter()
-        .map(|&m| t.indices()[m].clone())
-        .collect();
+    let mut q_indices: Vec<QnIndex> = row_modes.iter().map(|&m| t.indices()[m].clone()).collect();
     q_indices.push(bond_out);
     let mut qt = BlockSparseTensor::new(q_indices, QN::zero(arity));
 
@@ -481,10 +476,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn bond(arrow: Arrow, dims: &[(i32, usize)]) -> QnIndex {
-        QnIndex::new(
-            arrow,
-            dims.iter().map(|&(q, d)| (QN::one(q), d)).collect(),
-        )
+        QnIndex::new(arrow, dims.iter().map(|&(q, d)| (QN::one(q), d)).collect())
     }
 
     fn two_site_like() -> BlockSparseTensor {
@@ -679,14 +671,7 @@ mod tests {
         // check flux bookkeeping explicitly
         let t = two_site_like();
         let exec = Executor::local();
-        let svd = block_svd(
-            &exec,
-            &t,
-            &[0, 1],
-            &[2, 3],
-            TruncSpec::default(),
-        )
-        .unwrap();
+        let svd = block_svd(&exec, &t, &[0, 1], &[2, 3], TruncSpec::default()).unwrap();
         assert!(svd.u.flux().is_zero());
         assert_eq!(svd.vt.flux(), t.flux());
         assert!(svd.u.indices()[2].contractable_with(&svd.vt.indices()[0]));

@@ -1,0 +1,18 @@
+//! Standalone worker process for the multi-process shared-nothing
+//! backend: connects to the hub socket named by `TT_DIST_WORKER_SOCKET`
+//! (rank from `TT_DIST_WORKER_RANK`) and serves kernel tasks until the
+//! driver shuts it down. Spawned by
+//! [`SpawnSpec::WorkerBinary`](tt_dist::SpawnSpec::WorkerBinary).
+
+fn main() {
+    #[cfg(unix)]
+    if let Err(e) = tt_dist::transport::serve_from_env() {
+        eprintln!("tt-dist-worker: {e}");
+        std::process::exit(1);
+    }
+    #[cfg(not(unix))]
+    {
+        eprintln!("tt-dist-worker requires a unix platform");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Driver-side task dispatch over a [`Transport`].
+//!
+//! A [`Cluster`] wraps a transport endpoint and gives the executor a
+//! typed request/reply interface. [`Cluster::call_all`] ships every
+//! request before collecting any reply, so with the multi-process backend
+//! the worker processes genuinely overlap; replies always come back in
+//! submission order, which is what keeps result assembly (and cost
+//! charging) bitwise-deterministic.
+
+use crate::transport::worker::{Reply, Request};
+use crate::transport::{InProcTransport, Transport};
+use crate::{Error, Result};
+
+/// A handle on `p` rank endpoints, ready to execute tasks.
+pub struct Cluster {
+    transport: Box<dyn Transport>,
+}
+
+impl Cluster {
+    /// Cluster over an arbitrary transport.
+    pub fn new(transport: Box<dyn Transport>) -> Self {
+        Self { transport }
+    }
+
+    /// Cluster over `ranks` in-process simulated ranks.
+    pub fn in_process(ranks: usize) -> Self {
+        Self::new(Box::new(InProcTransport::new(ranks)))
+    }
+
+    /// Cluster over `ranks` real worker processes.
+    #[cfg(unix)]
+    pub fn multi_process(ranks: usize, spec: &crate::transport::SpawnSpec) -> Result<Self> {
+        Ok(Self::new(Box::new(crate::transport::ProcTransport::spawn(
+            ranks, spec,
+        )?)))
+    }
+
+    /// Number of rank endpoints.
+    pub fn ranks(&self) -> usize {
+        self.transport.ranks()
+    }
+
+    /// The underlying transport (collectives, diagnostics).
+    pub fn transport_mut(&mut self) -> &mut dyn Transport {
+        &mut *self.transport
+    }
+
+    /// Execute one request on one rank and wait for its reply.
+    pub(crate) fn call(&mut self, rank: usize, req: &Request) -> Result<Reply> {
+        let tag = self.transport.next_tag();
+        self.transport.send(rank, tag, &req.encode())?;
+        self.reply(rank, tag)
+    }
+
+    /// Execute many requests — all shipped before any reply is awaited —
+    /// and return the replies in submission order.
+    pub(crate) fn call_all(&mut self, reqs: Vec<(usize, Request)>) -> Result<Vec<Reply>> {
+        let mut routes = Vec::with_capacity(reqs.len());
+        for (rank, req) in reqs {
+            let tag = self.transport.next_tag();
+            self.transport.send(rank, tag, &req.encode())?;
+            routes.push((rank, tag));
+        }
+        routes
+            .into_iter()
+            .map(|(rank, tag)| self.reply(rank, tag))
+            .collect()
+    }
+
+    fn reply(&mut self, rank: usize, tag: u64) -> Result<Reply> {
+        match Reply::decode(&self.transport.recv(rank, tag)?)? {
+            Reply::Fail(msg) => Err(Error::Transport(format!("rank {rank}: {msg}"))),
+            reply => Ok(reply),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_all_returns_in_submission_order() {
+        let mut cl = Cluster::in_process(3);
+        let reqs: Vec<(usize, Request)> = (0..9)
+            .map(|i| {
+                (
+                    i % 3,
+                    Request::Put {
+                        key: i as u64,
+                        data: vec![i as f64],
+                    },
+                )
+            })
+            .collect();
+        for rep in cl.call_all(reqs).unwrap() {
+            assert_eq!(rep, Reply::Unit);
+        }
+        let gets: Vec<(usize, Request)> = (0..9)
+            .map(|i| (i % 3, Request::Get { key: i as u64 }))
+            .collect();
+        let reps = cl.call_all(gets).unwrap();
+        for (i, rep) in reps.into_iter().enumerate() {
+            assert_eq!(rep, Reply::F64s(vec![i as f64]));
+        }
+    }
+
+    #[test]
+    fn worker_failures_surface_as_errors() {
+        let mut cl = Cluster::in_process(1);
+        assert!(cl.call(0, &Request::Get { key: 42 }).is_err());
+    }
+}

@@ -62,7 +62,9 @@ impl Comm {
             return;
         }
         let bytes = 2 * 8 * words;
-        self.tracker.lock().charge_supersteps(self.tree_depth(), bytes);
+        self.tracker
+            .lock()
+            .charge_supersteps(self.tree_depth(), bytes);
     }
 
     /// Allgather where each rank contributes `words_per_rank` f64 values:
@@ -73,7 +75,9 @@ impl Comm {
         }
         let p = self.ranks as u64;
         let bytes = 8 * words_per_rank * (p - 1);
-        self.tracker.lock().charge_supersteps(self.tree_depth(), bytes);
+        self.tracker
+            .lock()
+            .charge_supersteps(self.tree_depth(), bytes);
     }
 
     /// Scatter of `words_total` f64 values from one root: `⌈log₂ p⌉`
@@ -84,7 +88,9 @@ impl Comm {
         }
         let p = self.ranks as u64;
         let bytes = 8 * words_total * (p - 1) / p;
-        self.tracker.lock().charge_supersteps(self.tree_depth(), bytes);
+        self.tracker
+            .lock()
+            .charge_supersteps(self.tree_depth(), bytes);
     }
 }
 
@@ -119,5 +125,94 @@ mod tests {
         let t = c.tracker().lock();
         assert_eq!(t.supersteps, 4);
         assert!(t.bytes_critical > 0 && t.sim.comm > 0.0);
+    }
+
+    /// `⌈log₂ p⌉` — the tree depth every collective charges.
+    fn depth(p: usize) -> u64 {
+        (p as f64).log2().ceil() as u64
+    }
+
+    /// The α–β time `steps` supersteps moving `bytes` must cost, written
+    /// with the same expression shape as `CostTracker::charge_supersteps`
+    /// so the comparison can be exact (`to_bits`), not approximate.
+    fn alpha_beta(c: &Comm, steps: u64, bytes: u64) -> f64 {
+        let m = &c.tracker().lock().machine;
+        steps as f64 * m.alpha_s + bytes as f64 * m.beta_s_per_byte
+    }
+
+    #[test]
+    fn allreduce_charges_exact_alpha_beta_costs() {
+        for p in [2usize, 4, 7, 8, 16, 64] {
+            for words in [1u64, 17, 1000, 65536] {
+                let c = comm(p);
+                c.allreduce(words);
+                // reduce-scatter + allgather: ~2× the payload on the
+                // critical path, one tree sweep of supersteps
+                let bytes = 2 * 8 * words;
+                let t = c.tracker().lock();
+                assert_eq!(t.supersteps, depth(p), "p={p}");
+                assert_eq!(t.bytes_critical, bytes, "p={p} words={words}");
+                drop(t);
+                let expect = alpha_beta(&c, depth(p), bytes);
+                assert_eq!(
+                    c.tracker().lock().sim.comm.to_bits(),
+                    expect.to_bits(),
+                    "p={p} words={words}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_charges_exact_alpha_beta_costs() {
+        for p in [2usize, 4, 6, 32] {
+            for words_per_rank in [3u64, 128, 4096] {
+                let c = comm(p);
+                c.allgather(words_per_rank);
+                // each rank receives the other p−1 contributions
+                let bytes = 8 * words_per_rank * (p as u64 - 1);
+                let t = c.tracker().lock();
+                assert_eq!(t.supersteps, depth(p));
+                assert_eq!(t.bytes_critical, bytes);
+                drop(t);
+                let expect = alpha_beta(&c, depth(p), bytes);
+                assert_eq!(c.tracker().lock().sim.comm.to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_charges_exact_alpha_beta_costs() {
+        for p in [2usize, 5, 8, 16] {
+            for words_total in [10u64, 1024, 100_000] {
+                let c = comm(p);
+                c.scatter(words_total);
+                // the root keeps its own 1/p share
+                let bytes = 8 * words_total * (p as u64 - 1) / p as u64;
+                let t = c.tracker().lock();
+                assert_eq!(t.supersteps, depth(p));
+                assert_eq!(t.bytes_critical, bytes);
+                drop(t);
+                let expect = alpha_beta(&c, depth(p), bytes);
+                assert_eq!(c.tracker().lock().sim.comm.to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn collective_costs_scale_with_machine_parameters() {
+        // same collective, different machine → different α–β charge
+        let mk = |machine: Machine, p: usize| {
+            let tracker = Arc::new(Mutex::new(CostTracker::new(machine, p)));
+            Comm::new(p, ExecMode::Sequential, tracker)
+        };
+        let bw = mk(Machine::blue_waters(16), 8);
+        let s2 = mk(Machine::stampede2(64), 8);
+        bw.allreduce(4096);
+        s2.allreduce(4096);
+        let (tb, ts) = (bw.tracker().lock(), s2.tracker().lock());
+        assert_eq!(tb.supersteps, ts.supersteps, "same tree depth");
+        assert_eq!(tb.bytes_critical, ts.bytes_critical, "same volume");
+        assert_ne!(tb.sim.comm, ts.sim.comm, "different α/β, different time");
     }
 }

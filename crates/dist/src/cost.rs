@@ -24,7 +24,12 @@ pub struct SimTime {
 impl SimTime {
     /// Total simulated seconds.
     pub fn total(&self) -> f64 {
-        self.gemm + self.sparse + self.transpose + self.comm + self.svd + self.imbalance
+        self.gemm
+            + self.sparse
+            + self.transpose
+            + self.comm
+            + self.svd
+            + self.imbalance
             + self.other
     }
 
@@ -100,16 +105,15 @@ impl CostTracker {
     pub fn charge_superstep(&mut self, bytes: u64) {
         self.supersteps += 1;
         self.bytes_critical += bytes;
-        self.sim.comm +=
-            self.machine.alpha_s + bytes as f64 * self.machine.beta_s_per_byte;
+        self.sim.comm += self.machine.alpha_s + bytes as f64 * self.machine.beta_s_per_byte;
     }
 
     /// Charge `steps` supersteps that together move `bytes`.
     pub fn charge_supersteps(&mut self, steps: u64, bytes: u64) {
         self.supersteps += steps;
         self.bytes_critical += bytes;
-        self.sim.comm += steps as f64 * self.machine.alpha_s
-            + bytes as f64 * self.machine.beta_s_per_byte;
+        self.sim.comm +=
+            steps as f64 * self.machine.alpha_s + bytes as f64 * self.machine.beta_s_per_byte;
     }
 }
 

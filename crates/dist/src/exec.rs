@@ -7,16 +7,20 @@
 //! 2-D-grid SUMMA volume per contraction, TTGT packing traffic, roofline
 //! compute time, tile-imbalance idle time and per-operation supersteps.
 
+use crate::cluster::Cluster;
 use crate::comm::Comm;
 use crate::cost::{CostTracker, SimTime};
 use crate::kernels;
 use crate::machine::Machine;
 use crate::pool::ThreadPool;
-use crate::{process_grid, Result};
+use crate::transport::worker::{Reply, Request};
+use crate::transport::SpawnSpec;
+use crate::{process_grid, Error, Result};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tt_linalg::{TruncSpec, TruncatedSvd};
 use tt_tensor::einsum::ContractPlan;
+use tt_tensor::gemm::{gemm_path, GemmPath};
 use tt_tensor::{DenseTensor, SparseTensor};
 
 /// How the executor runs its local kernels.
@@ -29,18 +33,39 @@ pub enum ExecMode {
     Threaded,
 }
 
+/// Which execution substrate an [`Executor`] runs on.
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// The simulated single-address-space runtime (the seed behavior):
+    /// exact local kernels, optionally thread-pool parallel, with
+    /// communication only *charged*, never performed.
+    InProcess(ExecMode),
+    /// The shared-nothing runtime: `workers` real OS processes execute
+    /// the kernel chunks and the driver moves operand/result payloads
+    /// over the socket transport. Results are bitwise-identical to
+    /// [`Backend::InProcess`] with [`ExecMode::Sequential`].
+    MultiProcess {
+        /// Number of worker processes to spawn.
+        workers: usize,
+        /// How to launch them.
+        spawn: SpawnSpec,
+    },
+}
+
 /// Per-operation task-mapping overhead (seconds) — the CTF-style cost of
 /// building the contraction mapping, visible as "%map" in Fig. 7.
 const MAP_OVERHEAD_S: f64 = 2.0e-7;
 
-/// The simulated-distributed executor.
+/// The distributed executor.
 pub struct Executor {
     machine: Machine,
     nodes: usize,
     ranks: usize,
     mode: ExecMode,
+    backend: Backend,
     tracker: Arc<Mutex<CostTracker>>,
     pool: Option<Arc<ThreadPool>>,
+    cluster: Option<Mutex<Cluster>>,
 }
 
 impl Executor {
@@ -50,23 +75,59 @@ impl Executor {
     }
 
     /// Executor over `nodes` nodes of `machine` (total ranks =
-    /// `nodes × machine.procs_per_node`) in the given mode.
+    /// `nodes × machine.procs_per_node`) in the given in-process mode.
     pub fn with_machine(machine: Machine, nodes: usize, mode: ExecMode) -> Self {
+        Self::with_backend(machine, nodes, Backend::InProcess(mode))
+            .expect("in-process backend construction is infallible")
+    }
+
+    /// Executor over `nodes` simulated nodes of `machine`, running on the
+    /// given [`Backend`]. Spawning the multi-process backend can fail
+    /// (worker binary missing, socket errors).
+    pub fn with_backend(machine: Machine, nodes: usize, backend: Backend) -> Result<Self> {
         let nodes = nodes.max(1);
         let ranks = nodes * machine.procs_per_node.max(1);
         let tracker = Arc::new(Mutex::new(CostTracker::new(machine.clone(), ranks)));
-        let pool = match mode {
-            ExecMode::Sequential => None,
-            ExecMode::Threaded => Some(Arc::new(ThreadPool::default_size())),
+        let (mode, pool, cluster) = match &backend {
+            Backend::InProcess(ExecMode::Sequential) => (ExecMode::Sequential, None, None),
+            Backend::InProcess(ExecMode::Threaded) => (
+                ExecMode::Threaded,
+                Some(Arc::new(ThreadPool::default_size())),
+                None,
+            ),
+            #[cfg(unix)]
+            Backend::MultiProcess { workers, spawn } => {
+                let cl = Cluster::multi_process(*workers, spawn)?;
+                (ExecMode::Sequential, None, Some(Mutex::new(cl)))
+            }
+            #[cfg(not(unix))]
+            Backend::MultiProcess { .. } => {
+                return Err(Error::Runtime(
+                    "the multi-process backend requires a unix platform".into(),
+                ))
+            }
         };
-        Self {
+        Ok(Self {
             machine,
             nodes,
             ranks,
             mode,
+            backend,
             tracker,
             pool,
-        }
+            cluster,
+        })
+    }
+
+    /// Convenience: executor over the multi-process shared-nothing
+    /// backend with `workers` real worker processes.
+    pub fn multi_process(
+        machine: Machine,
+        nodes: usize,
+        workers: usize,
+        spawn: SpawnSpec,
+    ) -> Result<Self> {
+        Self::with_backend(machine, nodes, Backend::MultiProcess { workers, spawn })
     }
 
     /// The machine model being simulated.
@@ -87,6 +148,18 @@ impl Executor {
     /// Execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The backend this executor runs on.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Run `f` with the multi-process cluster handle, when this executor
+    /// has one (e.g. to drive [`crate::DistMatrix::summa_on`] or
+    /// [`crate::tsqr_on`] over the same worker set).
+    pub fn with_cluster<R>(&self, f: impl FnOnce(&mut Cluster) -> R) -> Option<R> {
+        self.cluster.as_ref().map(|cl| f(&mut cl.lock()))
     }
 
     /// The shared cost tracker.
@@ -171,8 +244,7 @@ impl Executor {
 
             // SUMMA: both operand panels travel √p-reduced, the result is
             // reduced once.
-            let words =
-                ((words_a + words_b) as f64 / p.sqrt() + words_c as f64 / p) as u64;
+            let words = ((words_a + words_b) as f64 / p.sqrt() + words_c as f64 / p) as u64;
             tr.charge_superstep(8 * words);
         }
     }
@@ -185,11 +257,71 @@ impl Executor {
         b: &DenseTensor<f64>,
     ) -> Result<DenseTensor<f64>> {
         let plan = ContractPlan::parse(spec)?;
-        let c = kernels::dense_contract(&plan, a, b, self.pool())?;
+        let c = if let Some(cl) = &self.cluster {
+            self.dense_over_cluster(&mut cl.lock(), &plan, a, b)?
+        } else {
+            kernels::dense_contract(&plan, a, b, self.pool())?
+        };
         let (m, k, n) = kernels::fused_dims(&plan, a.dims(), b.dims());
         let flops = plan.flop_count(a.dims(), b.dims());
         self.charge_contraction(m * k, k * n, m * n, m, n, flops, false);
         Ok(c)
+    }
+
+    /// Dense contraction over the worker processes: the driver permutes
+    /// the operands, scatters MC-aligned (packed path) or uniform row
+    /// slabs of `A` plus the full `B` to the ranks, and concatenates the
+    /// returned row panels in submission order. The decomposition is
+    /// row-disjoint with an invariant kernel path, so the result is
+    /// bitwise-identical to the sequential in-process kernel.
+    fn dense_over_cluster(
+        &self,
+        cl: &mut Cluster,
+        plan: &ContractPlan,
+        a: &DenseTensor<f64>,
+        b: &DenseTensor<f64>,
+    ) -> Result<DenseTensor<f64>> {
+        plan.output_dims(a.dims(), b.dims())?; // validates shapes
+        let (m, k, n) = kernels::fused_dims(plan, a.dims(), b.dims());
+        let mut perm_a: Vec<usize> = plan.free_a_positions().to_vec();
+        perm_a.extend_from_slice(plan.ctr_a_positions());
+        let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
+        perm_b.extend_from_slice(plan.free_b_positions());
+        let a_mat = a.permute(&perm_a)?.into_data();
+        let b_mat = b.permute(&perm_b)?.into_data();
+
+        let path = gemm_path(k, n);
+        let p = cl.ranks();
+        let ranges = match path {
+            GemmPath::Packed => kernels::mc_aligned_ranges(m, p),
+            _ => kernels::row_ranges(m, p),
+        };
+        let reqs: Vec<(usize, Request)> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(r0, r1))| {
+                (
+                    i % p,
+                    Request::DenseChunk {
+                        path,
+                        rows: r1 - r0,
+                        k,
+                        n,
+                        a: a_mat[r0 * k..r1 * k].to_vec(),
+                        b: b_mat.clone(),
+                    },
+                )
+            })
+            .collect();
+        let mut c = Vec::with_capacity(m * n);
+        for reply in cl.call_all(reqs)? {
+            c.extend_from_slice(&expect_f64s(reply)?);
+        }
+        // (worker-side kernel flop counts travel back with every reply —
+        // see the counter-delta prefix in transport::process — so the
+        // driver's global counter matches the in-process backends)
+        let c = DenseTensor::from_vec(kernels::natural_dims(plan, a.dims(), b.dims()), c)?;
+        Ok(c.permute(plan.output_permutation())?)
     }
 
     /// Contract many independent operand pairs with one spec — the
@@ -215,6 +347,37 @@ impl Executor {
             plan.output_dims(a.dims(), b.dims())?;
             let (m, k, n) = kernels::fused_dims(&plan, a.dims(), b.dims());
             charges.push((m, k, n, plan.flop_count(a.dims(), b.dims())));
+        }
+        if let Some(cl) = &self.cluster {
+            // one whole pair per rank, round-robin: pair-level parallelism
+            // across worker processes, replies in submission order
+            let mut cl = cl.lock();
+            let p = cl.ranks();
+            let reqs: Vec<(usize, Request)> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, (a, b))| {
+                    (
+                        i % p,
+                        Request::DensePair {
+                            spec: spec.to_string(),
+                            a_dims: a.dims().to_vec(),
+                            a: a.data().to_vec(),
+                            b_dims: b.dims().to_vec(),
+                            b: b.data().to_vec(),
+                        },
+                    )
+                })
+                .collect();
+            let replies = cl.call_all(reqs)?;
+            let mut out = Vec::with_capacity(replies.len());
+            for ((reply, &(a, b)), (m, k, n, flops)) in replies.into_iter().zip(pairs).zip(charges)
+            {
+                let dims = plan.output_dims(a.dims(), b.dims())?;
+                out.push(DenseTensor::from_vec(dims, expect_f64s(reply)?)?);
+                self.charge_contraction(m * k, k * n, m * n, m, n, flops, false);
+            }
+            return Ok(out);
         }
         let results: Vec<Result<DenseTensor<f64>>> = match self.pool() {
             Some(pool) if pairs.len() > 1 => {
@@ -257,12 +420,70 @@ impl Executor {
         b: &DenseTensor<f64>,
     ) -> Result<DenseTensor<f64>> {
         let plan = ContractPlan::parse(spec)?;
-        let (c, flops) = kernels::sd_contract(&plan, a, b, self.pool())?;
+        let (c, flops) = if let Some(cl) = &self.cluster {
+            self.sd_over_cluster(&mut cl.lock(), &plan, a, b)?
+        } else {
+            kernels::sd_contract(&plan, a, b, self.pool(), kernels::SPARSE_PAR_MIN_FLOPS)?
+        };
         let (m, k, n) = kernels::fused_dims(&plan, a.dims(), b.dims());
         // The sparse operand moves its stored entries (offset + value),
         // the dense operand and result their full volume.
         self.charge_contraction(2 * a.nnz(), k * n, m * n, m, n, flops, true);
         Ok(c)
+    }
+
+    /// Sparse-dense contraction over the worker processes: the driver
+    /// buckets the sparse coords by work volume (same boundaries as the
+    /// in-process kernel) and ships each bucket plus the dense operand to
+    /// a rank; row panels concatenate in submission order.
+    fn sd_over_cluster(
+        &self,
+        cl: &mut Cluster,
+        plan: &ContractPlan,
+        a: &SparseTensor<f64>,
+        b: &DenseTensor<f64>,
+    ) -> Result<(DenseTensor<f64>, u64)> {
+        plan.output_dims(a.dims(), b.dims())?;
+        let (m, _k, n) = kernels::fused_dims(plan, a.dims(), b.dims());
+        let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
+        perm_b.extend_from_slice(plan.free_b_positions());
+        let b_mat = b.permute(&perm_b)?.into_data();
+
+        let coords = kernels::sparse_coords(a, plan.free_a_positions(), plan.ctr_a_positions());
+        let flops = 2 * coords.len() as u64 * n as u64;
+        let chunks = if flops < kernels::SPARSE_PAR_MIN_FLOPS {
+            1
+        } else {
+            cl.ranks()
+        };
+        let (ranges, buckets) = kernels::bucket_by_volume(coords, m, chunks, |_| n as u64);
+        let p = cl.ranks();
+        let reqs: Vec<(usize, Request)> = ranges
+            .iter()
+            .zip(buckets)
+            .enumerate()
+            .map(|(i, (&(r0, r1), bucket))| {
+                let (rows, cols, vals) = split_coords(bucket);
+                (
+                    i % p,
+                    Request::SdChunk {
+                        r0,
+                        r1,
+                        n,
+                        rows,
+                        cols,
+                        vals,
+                        b: b_mat.clone(),
+                    },
+                )
+            })
+            .collect();
+        let mut c = Vec::with_capacity(m * n);
+        for reply in cl.call_all(reqs)? {
+            c.extend_from_slice(&expect_f64s(reply)?);
+        }
+        let c = DenseTensor::from_vec(kernels::natural_dims(plan, a.dims(), b.dims()), c)?;
+        Ok((c.permute(plan.output_permutation())?, flops))
     }
 
     /// Distributed sparse × sparse contraction with optional pre-computed
@@ -275,47 +496,199 @@ impl Executor {
         mask: Option<&[u64]>,
     ) -> Result<SparseTensor<f64>> {
         let plan = ContractPlan::parse(spec)?;
-        let (c, flops) = kernels::ss_contract(&plan, a, b, mask, self.pool())?;
+        let (c, flops) = if let Some(cl) = &self.cluster {
+            self.ss_over_cluster(&mut cl.lock(), &plan, a, b, mask)?
+        } else {
+            kernels::ss_contract(
+                &plan,
+                a,
+                b,
+                mask,
+                self.pool(),
+                kernels::SPARSE_PAR_MIN_FLOPS,
+            )?
+        };
         let (m, _k, n) = kernels::fused_dims(&plan, a.dims(), b.dims());
         // All three tensors move only their stored entries (offset + value).
         self.charge_contraction(2 * a.nnz(), 2 * b.nnz(), 2 * c.nnz(), m, n, flops, true);
         Ok(c)
     }
 
+    /// Sparse-sparse contraction over the worker processes: the grouped
+    /// `B` operand, output-axis map and mask ship once per rank alongside
+    /// that rank's volume-balanced `A` bucket; the per-bucket entry sets
+    /// are row-disjoint, so concatenating replies in submission order
+    /// reproduces the in-process result exactly.
+    fn ss_over_cluster(
+        &self,
+        cl: &mut Cluster,
+        plan: &ContractPlan,
+        a: &SparseTensor<f64>,
+        b: &SparseTensor<f64>,
+        mask: Option<&[u64]>,
+    ) -> Result<(SparseTensor<f64>, u64)> {
+        let prep = kernels::ss_prepare(plan, a, b, mask)?;
+        let kernels::SsPrep {
+            out_shape,
+            m,
+            row_axes,
+            b_by_ctr,
+            mask_sorted,
+            coords,
+        } = prep;
+
+        let coord_work = |c: &kernels::Coord| b_by_ctr.get(&c.1).map_or(0, |l| l.len() as u64);
+        let total_work: u64 = coords.iter().map(&coord_work).sum();
+        let chunks = if 2 * total_work < kernels::SPARSE_PAR_MIN_FLOPS {
+            1
+        } else {
+            cl.ranks()
+        };
+        let (_ranges, buckets) = kernels::bucket_by_volume(coords, m, chunks, coord_work);
+
+        // flatten the grouped B operand once; every rank gets a copy
+        let mut b_keys = Vec::with_capacity(b_by_ctr.len());
+        let mut b_lens = Vec::with_capacity(b_by_ctr.len());
+        let mut b_cols = Vec::new();
+        let mut b_vals = Vec::new();
+        for (key, group) in &b_by_ctr {
+            b_keys.push(*key);
+            b_lens.push(group.len() as u64);
+            for &(col, v) in group {
+                b_cols.push(col);
+                b_vals.push(v);
+            }
+        }
+        let (ax_dims, ax_strides): (Vec<u64>, Vec<u64>) = row_axes.iter().copied().unzip();
+
+        let p = cl.ranks();
+        let reqs: Vec<(usize, Request)> = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, bucket)| {
+                let (rows, ctrs, vals) = split_coords(bucket);
+                (
+                    i % p,
+                    Request::SsChunk {
+                        rows,
+                        ctrs,
+                        vals,
+                        b_keys: b_keys.clone(),
+                        b_lens: b_lens.clone(),
+                        b_cols: b_cols.clone(),
+                        b_vals: b_vals.clone(),
+                        ax_dims: ax_dims.clone(),
+                        ax_strides: ax_strides.clone(),
+                        mask: mask_sorted.clone(),
+                    },
+                )
+            })
+            .collect();
+        let mut entries = Vec::new();
+        let mut flops = 0u64;
+        for reply in cl.call_all(reqs)? {
+            match reply {
+                Reply::Entries {
+                    offs,
+                    vals,
+                    flops: f,
+                } => {
+                    entries.extend(offs.into_iter().zip(vals));
+                    flops += f;
+                }
+                other => {
+                    return Err(Error::Transport(format!(
+                        "expected sparse entries, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok((SparseTensor::from_entries(out_shape, entries)?, flops))
+    }
+
     /// Distributed truncated SVD of a matrix (the ScaLAPACK `pdgesvd`
-    /// stand-in used under the block SVD).
+    /// stand-in used under the block SVD). On the multi-process backend
+    /// the factorization executes on a worker process (same code, same
+    /// bits).
     pub fn svd_trunc(&self, a: &DenseTensor<f64>, spec: TruncSpec) -> Result<TruncatedSvd> {
-        let out = tt_linalg::svd_trunc(a, spec)?;
+        let out = match &self.cluster {
+            Some(cl) if a.order() == 2 => decode_svd(cl.lock().call(0, &svd_request(a, spec))?)?,
+            _ => tt_linalg::svd_trunc(a, spec)?,
+        };
         self.charge_factorization(a.dims(), 14.0);
         Ok(out)
     }
 
-    /// Distributed thin QR (TSQR-cost model, exact local numerics).
+    /// Distributed thin QR (TSQR-cost model, exact local numerics). On the
+    /// multi-process backend the factorization executes on a worker.
     pub fn qr(&self, a: &DenseTensor<f64>) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
-        let out = tt_linalg::qr_thin(a)?;
+        let out = match &self.cluster {
+            Some(cl) if a.order() == 2 => decode_qr(cl.lock().call(0, &qr_request(a))?)?,
+            _ => tt_linalg::qr_thin(a)?,
+        };
         self.charge_factorization(a.dims(), 4.0);
         Ok(out)
     }
 
     /// Truncated SVDs of many independent matrices (the sector groups of a
     /// block SVD). In [`ExecMode::Threaded`] the factorizations fan out
-    /// over the pool; results return in submission order and costs are
+    /// over the pool; on the multi-process backend each matrix ships to a
+    /// rank round-robin. Results return in submission order and costs are
     /// charged in that order, so totals match the serial loop exactly.
     pub fn svd_trunc_batch(
         &self,
         mats: Vec<DenseTensor<f64>>,
         spec: TruncSpec,
     ) -> Result<Vec<TruncatedSvd>> {
+        if let Some(cl) = &self.cluster {
+            if mats.iter().all(|m| m.order() == 2) {
+                let mut cl = cl.lock();
+                let p = cl.ranks();
+                let dims: Vec<Vec<usize>> = mats.iter().map(|m| m.dims().to_vec()).collect();
+                let reqs: Vec<(usize, Request)> = mats
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| (i % p, svd_request(m, spec)))
+                    .collect();
+                let replies = cl.call_all(reqs)?;
+                let mut out = Vec::with_capacity(replies.len());
+                for (reply, d) in replies.into_iter().zip(dims) {
+                    out.push(decode_svd(reply)?);
+                    self.charge_factorization(&d, 14.0);
+                }
+                return Ok(out);
+            }
+        }
         self.factorize_batch(mats, 14.0, move |m| tt_linalg::svd_trunc(m, spec))
     }
 
     /// Thin QRs of many independent matrices (the sector groups of a block
-    /// QR), pool-parallel in [`ExecMode::Threaded`] with in-order results
-    /// and cost charging.
+    /// QR), pool-parallel in [`ExecMode::Threaded`] and rank-round-robin
+    /// on the multi-process backend, with in-order results and cost
+    /// charging.
     pub fn qr_batch(
         &self,
         mats: Vec<DenseTensor<f64>>,
     ) -> Result<Vec<(DenseTensor<f64>, DenseTensor<f64>)>> {
+        if let Some(cl) = &self.cluster {
+            if mats.iter().all(|m| m.order() == 2) {
+                let mut cl = cl.lock();
+                let p = cl.ranks();
+                let dims: Vec<Vec<usize>> = mats.iter().map(|m| m.dims().to_vec()).collect();
+                let reqs: Vec<(usize, Request)> = mats
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| (i % p, qr_request(m)))
+                    .collect();
+                let replies = cl.call_all(reqs)?;
+                let mut out = Vec::with_capacity(replies.len());
+                for (reply, d) in replies.into_iter().zip(dims) {
+                    out.push(decode_qr(reply)?);
+                    self.charge_factorization(&d, 4.0);
+                }
+                return Ok(out);
+            }
+        }
         self.factorize_batch(mats, 4.0, tt_linalg::qr_thin)
     }
 
@@ -371,6 +744,91 @@ impl Executor {
     }
 }
 
+/// Unwrap a row-panel reply.
+fn expect_f64s(reply: Reply) -> Result<Vec<f64>> {
+    match reply {
+        Reply::F64s(v) => Ok(v),
+        other => Err(Error::Transport(format!(
+            "expected f64 payload, got {other:?}"
+        ))),
+    }
+}
+
+/// Split coords into the three parallel arrays the wire format carries.
+fn split_coords(coords: Vec<kernels::Coord>) -> (Vec<u64>, Vec<u64>, Vec<f64>) {
+    let mut rows = Vec::with_capacity(coords.len());
+    let mut cols = Vec::with_capacity(coords.len());
+    let mut vals = Vec::with_capacity(coords.len());
+    for (r, c, v) in coords {
+        rows.push(r);
+        cols.push(c);
+        vals.push(v);
+    }
+    (rows, cols, vals)
+}
+
+/// Build the worker request for a truncated SVD of matrix `a`.
+fn svd_request(a: &DenseTensor<f64>, spec: TruncSpec) -> Request {
+    Request::SvdTrunc {
+        rows: a.dims()[0],
+        cols: a.dims()[1],
+        a: a.data().to_vec(),
+        max_rank: spec.max_rank as u64,
+        cutoff: spec.cutoff,
+        min_keep: spec.min_keep as u64,
+    }
+}
+
+/// Build the worker request for a thin QR of matrix `a`.
+fn qr_request(a: &DenseTensor<f64>) -> Request {
+    Request::QrThin {
+        rows: a.dims()[0],
+        cols: a.dims()[1],
+        a: a.data().to_vec(),
+    }
+}
+
+/// Rebuild a [`TruncatedSvd`] from its wire reply.
+fn decode_svd(reply: Reply) -> Result<TruncatedSvd> {
+    match reply {
+        Reply::Svd {
+            u_rows,
+            rank,
+            vt_cols,
+            u,
+            s,
+            vt,
+            trunc_err,
+            n_discarded,
+        } => Ok(TruncatedSvd {
+            u: DenseTensor::from_vec([u_rows, rank], u)?,
+            s,
+            vt: DenseTensor::from_vec([rank, vt_cols], vt)?,
+            trunc_err,
+            n_discarded: n_discarded as usize,
+        }),
+        other => Err(Error::Transport(format!("expected SVD, got {other:?}"))),
+    }
+}
+
+/// Rebuild a `(Q, R)` pair from its wire reply.
+fn decode_qr(reply: Reply) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
+    match reply {
+        Reply::Factors {
+            q_rows,
+            q_cols,
+            q,
+            r_rows,
+            r_cols,
+            r,
+        } => Ok((
+            DenseTensor::from_vec([q_rows, q_cols], q)?,
+            DenseTensor::from_vec([r_rows, r_cols], r)?,
+        )),
+        other => Err(Error::Transport(format!("expected QR, got {other:?}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,7 +850,11 @@ mod tests {
         let thr = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Threaded);
         let cs = seq.contract("isj,jtk->istk", &a, &b).unwrap();
         let ct = thr.contract("isj,jtk->istk", &a, &b).unwrap();
-        assert_eq!(cs.data(), ct.data(), "dense contraction must be bitwise equal");
+        assert_eq!(
+            cs.data(),
+            ct.data(),
+            "dense contraction must be bitwise equal"
+        );
 
         let sa = SparseTensor::from_dense(&a, 0.5);
         let sb = SparseTensor::from_dense(&b, 0.5);
@@ -531,7 +993,10 @@ mod tests {
             min_keep: 1,
         };
         let single = Executor::with_machine(Machine::stampede2(4), 1, ExecMode::Sequential);
-        let svds_ref: Vec<_> = mats.iter().map(|m| single.svd_trunc(m, spec).unwrap()).collect();
+        let svds_ref: Vec<_> = mats
+            .iter()
+            .map(|m| single.svd_trunc(m, spec).unwrap())
+            .collect();
         let qrs_ref: Vec<_> = mats.iter().map(|m| single.qr(m).unwrap()).collect();
         for mode in [ExecMode::Sequential, ExecMode::Threaded] {
             let batch = Executor::with_machine(Machine::stampede2(4), 1, mode);
@@ -553,6 +1018,113 @@ mod tests {
                 "{mode:?}"
             );
         }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn multi_process_backend_bitwise_matches_sequential() {
+        let spawn = SpawnSpec::SelfExec(vec!["spawned_worker_entry".into()]);
+        let seq = Executor::with_machine(Machine::blue_waters(2), 2, ExecMode::Sequential);
+        let mp = Executor::multi_process(Machine::blue_waters(2), 2, 2, spawn).unwrap();
+        assert!(matches!(
+            mp.backend(),
+            Backend::MultiProcess { workers: 2, .. }
+        ));
+
+        let (a, b) = operands(49);
+        let cs = seq.contract("isj,jtk->istk", &a, &b).unwrap();
+        let cm = mp.contract("isj,jtk->istk", &a, &b).unwrap();
+        assert_eq!(
+            cs.data(),
+            cm.data(),
+            "dense over processes must be bitwise equal"
+        );
+
+        let sa = SparseTensor::from_dense(&a, 0.5);
+        let sb = SparseTensor::from_dense(&b, 0.5);
+        let ds = seq.contract_sd("isj,jtk->istk", &sa, &b).unwrap();
+        let dm = mp.contract_sd("isj,jtk->istk", &sa, &b).unwrap();
+        assert_eq!(ds.data(), dm.data(), "sparse-dense over processes");
+
+        let ss = seq.contract_ss("isj,jtk->istk", &sa, &sb, None).unwrap();
+        let sm = mp.contract_ss("isj,jtk->istk", &sa, &sb, None).unwrap();
+        assert_eq!(ss.to_dense().data(), sm.to_dense().data(), "sparse-sparse");
+
+        let mat = DenseTensor::from_vec([a.len() / 6, 6], a.data().to_vec()).unwrap();
+        let spec = TruncSpec {
+            max_rank: 4,
+            cutoff: 0.0,
+            min_keep: 1,
+        };
+        let ts = seq.svd_trunc(&mat, spec).unwrap();
+        let tm = mp.svd_trunc(&mat, spec).unwrap();
+        assert_eq!(ts.s, tm.s);
+        assert_eq!(ts.u.data(), tm.u.data());
+        assert_eq!(ts.vt.data(), tm.vt.data());
+        assert_eq!(ts.trunc_err.to_bits(), tm.trunc_err.to_bits());
+        let (qs, rs) = seq.qr(&mat).unwrap();
+        let (qm, rm) = mp.qr(&mat).unwrap();
+        assert_eq!(qs.data(), qm.data());
+        assert_eq!(rs.data(), rm.data());
+
+        // identical cost accounting: same machine model, same charges
+        assert_eq!(seq.total_flops(), mp.total_flops());
+        assert_eq!(seq.supersteps(), mp.supersteps());
+        assert_eq!(
+            seq.sim_time().total().to_bits(),
+            mp.sim_time().total().to_bits(),
+            "cost charging must be backend-independent"
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn multi_process_contract_batch_matches_sequential() {
+        let spawn = SpawnSpec::SelfExec(vec!["spawned_worker_entry".into()]);
+        let mp = Executor::multi_process(Machine::blue_waters(2), 1, 3, spawn).unwrap();
+        let seq = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential);
+        let mut rng = StdRng::seed_from_u64(50);
+        let pairs: Vec<(DenseTensor<f64>, DenseTensor<f64>)> = (0..5)
+            .map(|_| {
+                (
+                    DenseTensor::<f64>::random([8, 3, 6], &mut rng),
+                    DenseTensor::<f64>::random([6, 3, 4], &mut rng),
+                )
+            })
+            .collect();
+        let pair_refs: Vec<(&DenseTensor<f64>, &DenseTensor<f64>)> =
+            pairs.iter().map(|(a, b)| (a, b)).collect();
+        let out_seq = seq.contract_batch("isj,jtk->istk", &pair_refs).unwrap();
+        let out_mp = mp.contract_batch("isj,jtk->istk", &pair_refs).unwrap();
+        for (s, m) in out_seq.iter().zip(&out_mp) {
+            assert_eq!(s.data(), m.data());
+        }
+        let mats: Vec<DenseTensor<f64>> = (0..4)
+            .map(|i| DenseTensor::<f64>::random([10 + i, 5], &mut rng))
+            .collect();
+        let spec = TruncSpec {
+            max_rank: 3,
+            cutoff: 0.0,
+            min_keep: 1,
+        };
+        let svd_seq = seq.svd_trunc_batch(mats.clone(), spec).unwrap();
+        let svd_mp = mp.svd_trunc_batch(mats.clone(), spec).unwrap();
+        for (s, m) in svd_seq.iter().zip(&svd_mp) {
+            assert_eq!(s.s, m.s);
+            assert_eq!(s.u.data(), m.u.data());
+            assert_eq!(s.vt.data(), m.vt.data());
+        }
+        let qr_seq = seq.qr_batch(mats.clone()).unwrap();
+        let qr_mp = mp.qr_batch(mats).unwrap();
+        for ((q1, r1), (q2, r2)) in qr_seq.iter().zip(&qr_mp) {
+            assert_eq!(q1.data(), q2.data());
+            assert_eq!(r1.data(), r2.data());
+        }
+        assert_eq!(seq.total_flops(), mp.total_flops());
+        assert_eq!(
+            seq.sim_time().total().to_bits(),
+            mp.sim_time().total().to_bits()
+        );
     }
 
     #[test]

@@ -25,10 +25,17 @@ use tt_tensor::gemm::{
 };
 use tt_tensor::{DenseTensor, Shape, SparseTensor};
 
+/// Work volume (flops) below which the sparse kernels stay on a single
+/// worker: at small sizes the pool dispatch overhead (job boxing, channel
+/// wakeups, shared-queue contention) costs more than the kernel itself —
+/// `BENCH_kernels.json` measured `sd_contract_threaded` at 512×128×64
+/// (~5.6 MFlop) *slower* than sequential before this gate existed.
+pub(crate) const SPARSE_PAR_MIN_FLOPS: u64 = 16_000_000;
+
 /// Split `m` rows into at most `chunks` contiguous ranges. Always returns
 /// at least one (possibly empty) range so zero-extent outputs flow through
 /// the same chunked path instead of panicking downstream.
-fn row_ranges(m: usize, chunks: usize) -> Vec<(usize, usize)> {
+pub(crate) fn row_ranges(m: usize, chunks: usize) -> Vec<(usize, usize)> {
     if m == 0 {
         return vec![(0, 0)];
     }
@@ -43,7 +50,7 @@ fn row_ranges(m: usize, chunks: usize) -> Vec<(usize, usize)> {
 /// Split `m` rows into at most `chunks` ranges whose boundaries are
 /// [`MC`]-aligned, so every chunking packs exactly the same `A` panels as
 /// the sequential single-chunk run (GEMM-level parallelism contract).
-fn mc_aligned_ranges(m: usize, chunks: usize) -> Vec<(usize, usize)> {
+pub(crate) fn mc_aligned_ranges(m: usize, chunks: usize) -> Vec<(usize, usize)> {
     if m == 0 {
         return vec![(0, 0)];
     }
@@ -109,14 +116,18 @@ fn run_chunked<T: Send + 'static>(
 
 /// Fused dimensions of a contraction: output rows `m`, contracted `k`,
 /// output cols `n`.
-pub(crate) fn fused_dims(plan: &ContractPlan, a_dims: &[usize], b_dims: &[usize]) -> (usize, usize, usize) {
+pub(crate) fn fused_dims(
+    plan: &ContractPlan,
+    a_dims: &[usize],
+    b_dims: &[usize],
+) -> (usize, usize, usize) {
     let m = plan.free_a_positions().iter().map(|&i| a_dims[i]).product();
     let k = plan.ctr_a_positions().iter().map(|&i| a_dims[i]).product();
     let n = plan.free_b_positions().iter().map(|&j| b_dims[j]).product();
     (m, k, n)
 }
 
-fn natural_dims(plan: &ContractPlan, a_dims: &[usize], b_dims: &[usize]) -> Vec<usize> {
+pub(crate) fn natural_dims(plan: &ContractPlan, a_dims: &[usize], b_dims: &[usize]) -> Vec<usize> {
     plan.free_a_positions()
         .iter()
         .map(|&i| a_dims[i])
@@ -193,9 +204,47 @@ pub(crate) fn dense_contract(
     Ok(c.permute(plan.output_permutation())?)
 }
 
+/// One dense chunk computed from a *local* row slab: the shared-nothing
+/// form of the per-range jobs in [`dense_contract`], used by the
+/// multi-process worker. `a_slab` holds `rows` rows of the permuted `A`
+/// matrix and `b_mat` the full permuted `B`; for the packed path the
+/// worker packs `B` itself (identical `PackedB` contents every time, so
+/// results stay bitwise-equal to the in-process kernels — provided the
+/// slab's first row is [`MC`]-aligned in the global matrix, which keeps
+/// the `A`-panel blocking identical).
+pub(crate) fn dense_chunk(
+    path: GemmPath,
+    rows: usize,
+    k: usize,
+    n: usize,
+    a_slab: &[f64],
+    b_mat: &[f64],
+) -> Vec<f64> {
+    match path {
+        GemmPath::Gemv => {
+            let mut c = vec![0.0f64; rows];
+            gemv_acc_rows(0, rows, k, a_slab, b_mat, 1, &mut c);
+            c
+        }
+        GemmPath::Scalar => {
+            let mut c = vec![0.0f64; rows * n];
+            gemm_acc_slices(rows, k, n, a_slab, b_mat, &mut c);
+            c
+        }
+        GemmPath::Packed => {
+            let mut c = vec![0.0f64; rows * n];
+            if rows > 0 {
+                let pb = PackedB::pack(k, n, b_mat, n, 1);
+                gemm_acc_packed_rows(0, rows, a_slab, k, 1, &pb, &mut c);
+            }
+            c
+        }
+    }
+}
+
 /// `(fused output row, fused contracted col, value)` triples of a sparse
 /// operand, in stored-offset order.
-fn sparse_coords(
+pub(crate) fn sparse_coords(
     t: &SparseTensor<f64>,
     row_modes: &[usize],
     col_modes: &[usize],
@@ -219,7 +268,7 @@ fn sparse_coords(
 }
 
 /// A `(fused row, fused col, value)` sparse coordinate.
-type Coord = (u64, u64, f64);
+pub(crate) type Coord = (u64, u64, f64);
 
 /// A chunk job producing `(output entries, flops executed)`.
 type SsJob = Box<dyn FnOnce() -> (Vec<(u64, f64)>, u64) + Send>;
@@ -246,7 +295,7 @@ fn unfuse_to_out(fused: u64, axes: &[(u64, u64)]) -> u64 {
 /// their sum. Bucket lookup binary-searches the range starts — ranges are
 /// *not* uniform in width, so the old `row / first_range_width` indexing
 /// would misbucket everything past the first boundary.
-fn bucket_by_volume(
+pub(crate) fn bucket_by_volume(
     coords: Vec<Coord>,
     m: usize,
     chunks: usize,
@@ -269,13 +318,48 @@ fn bucket_by_volume(
     (ranges, buckets)
 }
 
+/// One sparse-dense chunk: accumulate `bucket`'s entries (all with fused
+/// rows in `[r0, r1)`) against dense `b_mat` into the chunk's local rows.
+/// Shared by the pool jobs and the multi-process worker — the accumulation
+/// order per output element is the stored-entry order either way. Charges
+/// the global flop counter here (not in the wrapper) so the count lands
+/// in whichever process actually ran the chunk; the transport propagates
+/// worker-side counts back to the driver.
+pub(crate) fn sd_chunk(
+    r0: usize,
+    r1: usize,
+    n: usize,
+    bucket: &[Coord],
+    b_mat: &[f64],
+) -> Vec<f64> {
+    tt_tensor::counter::add_flops(2 * bucket.len() as u64 * n as u64);
+    let mut c = vec![0.0f64; (r1 - r0) * n];
+    if n == 1 {
+        // gemv-shaped: each entry contributes one scalar product
+        for &(row, col, v) in bucket {
+            c[row as usize - r0] += v * b_mat[col as usize];
+        }
+    } else {
+        for &(row, col, v) in bucket {
+            let local = (row as usize - r0) * n;
+            let brow = &b_mat[col as usize * n..(col as usize + 1) * n];
+            for (cj, &bj) in c[local..local + n].iter_mut().zip(brow) {
+                *cj += v * bj;
+            }
+        }
+    }
+    c
+}
+
 /// Sparse × dense contraction producing a dense tensor, row-chunked with
-/// volume-balanced (nnz·n) chunk boundaries.
+/// volume-balanced (nnz·n) chunk boundaries. Work below `min_par_flops`
+/// stays on one worker (pool dispatch would cost more than it saves).
 pub(crate) fn sd_contract(
     plan: &ContractPlan,
     a: &SparseTensor<f64>,
     b: &DenseTensor<f64>,
     pool: Option<&ThreadPool>,
+    min_par_flops: u64,
 ) -> Result<(DenseTensor<f64>, u64)> {
     plan.output_dims(a.dims(), b.dims())?;
     let (m, _k, n) = fused_dims(plan, a.dims(), b.dims());
@@ -287,30 +371,14 @@ pub(crate) fn sd_contract(
     let coords = sparse_coords(a, plan.free_a_positions(), plan.ctr_a_positions());
     let flops = 2 * coords.len() as u64 * n as u64;
     let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
+    let chunks = if flops < min_par_flops { 1 } else { nthreads };
     // every stored entry costs one n-wide axpy
-    let (ranges, buckets) = bucket_by_volume(coords, m, nthreads, |_| n as u64);
+    let (ranges, buckets) = bucket_by_volume(coords, m, chunks, |_| n as u64);
 
     let mut jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = Vec::new();
     for ((r0, r1), bucket) in ranges.iter().copied().zip(buckets) {
         let b_mat = Arc::clone(&b_mat);
-        jobs.push(Box::new(move || {
-            let mut c = vec![0.0f64; (r1 - r0) * n];
-            if n == 1 {
-                // gemv-shaped: each entry contributes one scalar product
-                for (row, col, v) in bucket {
-                    c[row as usize - r0] += v * b_mat[col as usize];
-                }
-            } else {
-                for (row, col, v) in bucket {
-                    let local = (row as usize - r0) * n;
-                    let brow = &b_mat[col as usize * n..(col as usize + 1) * n];
-                    for (cj, &bj) in c[local..local + n].iter_mut().zip(brow) {
-                        *cj += v * bj;
-                    }
-                }
-            }
-            c
-        }));
+        jobs.push(Box::new(move || sd_chunk(r0, r1, n, &bucket, &b_mat)));
     }
     let chunks = match pool {
         Some(pool) if jobs.len() > 1 => pool.run(jobs),
@@ -321,23 +389,36 @@ pub(crate) fn sd_contract(
     for chunk in chunks {
         c.extend_from_slice(&chunk);
     }
-    tt_tensor::counter::add_flops(flops);
     let c = DenseTensor::from_vec(natural_dims(plan, a.dims(), b.dims()), c)?;
     Ok((c.permute(plan.output_permutation())?, flops))
 }
 
-/// Sparse × sparse contraction with an optional pre-computed output-
-/// sparsity mask, row-chunked with exact per-row work weights (each `A`
-/// entry is weighted by its matching `B` group size) and fully
-/// deterministic (ordered maps only — no hash-iteration order leaks into
-/// floating-point accumulation).
-pub(crate) fn ss_contract(
+/// Driver-side preparation for a sparse × sparse contraction: everything
+/// the per-chunk jobs consume, computed once. Shared by the in-process
+/// kernel and the multi-process executor (which ships the pieces to its
+/// workers over the transport).
+pub(crate) struct SsPrep {
+    /// Output tensor shape (already permuted to the spec's output order).
+    pub(crate) out_shape: Shape,
+    /// Fused output row count.
+    pub(crate) m: usize,
+    /// `(dimension, output stride)` pairs for the fused row index.
+    pub(crate) row_axes: Vec<(u64, u64)>,
+    /// `B` entries grouped by contracted key, output offsets resolved.
+    pub(crate) b_by_ctr: std::collections::BTreeMap<u64, Vec<(u64, f64)>>,
+    /// Sorted output-sparsity mask, when given.
+    pub(crate) mask_sorted: Option<Vec<u64>>,
+    /// `A`'s `(fused row, contracted key, value)` coords in stored order.
+    pub(crate) coords: Vec<Coord>,
+}
+
+/// Build the shared [`SsPrep`] state for `a ·spec· b`.
+pub(crate) fn ss_prepare(
     plan: &ContractPlan,
     a: &SparseTensor<f64>,
     b: &SparseTensor<f64>,
     mask: Option<&[u64]>,
-    pool: Option<&ThreadPool>,
-) -> Result<(SparseTensor<f64>, u64)> {
+) -> Result<SsPrep> {
     let out_dims = plan.output_dims(a.dims(), b.dims())?;
     let out_shape = Shape::from(out_dims);
     let (m, _k, _n) = fused_dims(plan, a.dims(), b.dims());
@@ -354,9 +435,11 @@ pub(crate) fn ss_contract(
         out_stride_of_nat[p] = out_strides[j] as u64;
     }
     let axes = |range: std::ops::Range<usize>| -> Vec<(u64, u64)> {
-        range.map(|q| (nat_dims[q] as u64, out_stride_of_nat[q])).collect()
+        range
+            .map(|q| (nat_dims[q] as u64, out_stride_of_nat[q]))
+            .collect()
     };
-    let row_axes: Arc<Vec<(u64, u64)>> = Arc::new(axes(0..ra));
+    let row_axes = axes(0..ra);
     let col_axes: Vec<(u64, u64)> = axes(ra..nat_dims.len());
 
     // B grouped by contracted key with each entry's output contribution
@@ -370,21 +453,96 @@ pub(crate) fn ss_contract(
             .or_default()
             .push((unfuse_to_out(free, &col_axes), v));
     }
-    let b_by_ctr = Arc::new(b_by_ctr);
 
-    let mask_sorted: Option<Arc<Vec<u64>>> = mask.map(|ms| {
+    let mask_sorted = mask.map(|ms| {
         let mut v = ms.to_vec();
         v.sort_unstable();
-        Arc::new(v)
+        v
     });
 
     let coords = sparse_coords(a, plan.free_a_positions(), plan.ctr_a_positions());
+    Ok(SsPrep {
+        out_shape,
+        m,
+        row_axes,
+        b_by_ctr,
+        mask_sorted,
+        coords,
+    })
+}
+
+/// One sparse-sparse chunk: accumulate `bucket`'s `A` entries against the
+/// grouped `B` operand into `(output offset, value)` entries, returning
+/// the flops actually executed. Shared by the pool jobs and the
+/// multi-process worker; the ordered map keeps accumulation deterministic.
+pub(crate) fn ss_chunk(
+    bucket: &[Coord],
+    b_by_ctr: &std::collections::BTreeMap<u64, Vec<(u64, f64)>>,
+    row_axes: &[(u64, u64)],
+    mask_sorted: Option<&[u64]>,
+) -> (Vec<(u64, f64)>, u64) {
+    let mut acc: std::collections::BTreeMap<u64, f64> = Default::default();
+    let mut flops = 0u64;
+    for &(row, ctr, va) in bucket {
+        let Some(b_list) = b_by_ctr.get(&ctr) else {
+            continue;
+        };
+        flops += 2 * b_list.len() as u64;
+        let row_out = unfuse_to_out(row, row_axes);
+        for &(col_out, vb) in b_list {
+            let out_off = row_out + col_out;
+            if let Some(ms) = mask_sorted {
+                if ms.binary_search(&out_off).is_err() {
+                    continue;
+                }
+            }
+            *acc.entry(out_off).or_insert(0.0) += va * vb;
+        }
+    }
+    // charge the flop counter in the process that ran the chunk (the
+    // transport propagates worker-side counts back to the driver)
+    tt_tensor::counter::add_flops(flops);
+    (acc.into_iter().collect(), flops)
+}
+
+/// Sparse × sparse contraction with an optional pre-computed output-
+/// sparsity mask, row-chunked with exact per-row work weights (each `A`
+/// entry is weighted by its matching `B` group size) and fully
+/// deterministic (ordered maps only — no hash-iteration order leaks into
+/// floating-point accumulation). Work below `min_par_flops` stays on one
+/// worker.
+pub(crate) fn ss_contract(
+    plan: &ContractPlan,
+    a: &SparseTensor<f64>,
+    b: &SparseTensor<f64>,
+    mask: Option<&[u64]>,
+    pool: Option<&ThreadPool>,
+    min_par_flops: u64,
+) -> Result<(SparseTensor<f64>, u64)> {
+    let prep = ss_prepare(plan, a, b, mask)?;
+    let SsPrep {
+        out_shape,
+        m,
+        row_axes,
+        b_by_ctr,
+        mask_sorted,
+        coords,
+    } = prep;
+    let row_axes = Arc::new(row_axes);
+    let b_by_ctr = Arc::new(b_by_ctr);
+    let mask_sorted = mask_sorted.map(Arc::new);
+
     let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
     // exact work model: an A entry costs one multiply-add per entry of its
     // matching B group (zero when no group matches)
-    let (_ranges, buckets) = bucket_by_volume(coords, m, nthreads, |c| {
-        b_by_ctr.get(&c.1).map_or(0, |l| l.len() as u64)
-    });
+    let coord_work = |c: &Coord| b_by_ctr.get(&c.1).map_or(0, |l| l.len() as u64);
+    let total_work: u64 = coords.iter().map(&coord_work).sum();
+    let chunks = if 2 * total_work < min_par_flops {
+        1
+    } else {
+        nthreads
+    };
+    let (_ranges, buckets) = bucket_by_volume(coords, m, chunks, coord_work);
 
     let mut jobs: Vec<SsJob> = Vec::new();
     for bucket in buckets {
@@ -392,25 +550,12 @@ pub(crate) fn ss_contract(
         let row_axes = Arc::clone(&row_axes);
         let mask_sorted = mask_sorted.clone();
         jobs.push(Box::new(move || {
-            let mut acc: std::collections::BTreeMap<u64, f64> = Default::default();
-            let mut flops = 0u64;
-            for (row, ctr, va) in bucket {
-                let Some(b_list) = b_by_ctr.get(&ctr) else {
-                    continue;
-                };
-                flops += 2 * b_list.len() as u64;
-                let row_out = unfuse_to_out(row, &row_axes);
-                for &(col_out, vb) in b_list {
-                    let out_off = row_out + col_out;
-                    if let Some(ref ms) = mask_sorted {
-                        if ms.binary_search(&out_off).is_err() {
-                            continue;
-                        }
-                    }
-                    *acc.entry(out_off).or_insert(0.0) += va * vb;
-                }
-            }
-            (acc.into_iter().collect(), flops)
+            ss_chunk(
+                &bucket,
+                &b_by_ctr,
+                &row_axes,
+                mask_sorted.as_ref().map(|m| m.as_slice()),
+            )
         }));
     }
     let chunk_results = match pool {
@@ -426,7 +571,6 @@ pub(crate) fn ss_contract(
         entries.extend(chunk);
         flops += f;
     }
-    tt_tensor::counter::add_flops(flops);
     Ok((SparseTensor::from_entries(out_shape, entries)?, flops))
 }
 
@@ -565,10 +709,10 @@ mod tests {
         let a = random_sparse(&[6, 4, 5], 0.4, 7);
         let b = DenseTensor::<f64>::random([5, 4, 3], &mut rng);
         let plan = ContractPlan::parse("ajk,kjc->ac").unwrap();
-        let (seq, flops) = sd_contract(&plan, &a, &b, None).unwrap();
+        let (seq, flops) = sd_contract(&plan, &a, &b, None, 0).unwrap();
         assert!(flops > 0);
         let pool = ThreadPool::new(4);
-        let (par, _) = sd_contract(&plan, &a, &b, Some(&pool)).unwrap();
+        let (par, _) = sd_contract(&plan, &a, &b, Some(&pool), 0).unwrap();
         assert_eq!(seq.data(), par.data());
         let reference = tt_tensor::einsum("ajk,kjc->ac", &a.to_dense(), &b).unwrap();
         assert!(seq.allclose(&reference, 1e-12));
@@ -589,10 +733,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let b = DenseTensor::<f64>::random([12, 7], &mut rng);
         let plan = ContractPlan::parse("ik,kj->ij").unwrap();
-        let (seq, _) = sd_contract(&plan, &a, &b, None).unwrap();
+        let (seq, _) = sd_contract(&plan, &a, &b, None, 0).unwrap();
         for threads in [2, 3, 8] {
             let pool = ThreadPool::new(threads);
-            let (par, _) = sd_contract(&plan, &a, &b, Some(&pool)).unwrap();
+            let (par, _) = sd_contract(&plan, &a, &b, Some(&pool), 0).unwrap();
             assert_eq!(seq.data(), par.data(), "threads={threads}");
         }
         let reference = tt_tensor::einsum("ik,kj->ij", &a.to_dense(), &b).unwrap();
@@ -606,11 +750,11 @@ mod tests {
         let a = SparseTensor::<f64>::from_dense(&DenseTensor::zeros([0, 3]), 0.0);
         let b = DenseTensor::<f64>::zeros([3, 2]);
         let plan = ContractPlan::parse("ik,kj->ij").unwrap();
-        let (c, flops) = sd_contract(&plan, &a, &b, None).unwrap();
+        let (c, flops) = sd_contract(&plan, &a, &b, None, 0).unwrap();
         assert_eq!(c.dims(), &[0, 2]);
         assert_eq!(flops, 0);
         let sb = SparseTensor::<f64>::from_dense(&b, 0.0);
-        let (cs, _) = ss_contract(&plan, &a, &sb, None, None).unwrap();
+        let (cs, _) = ss_contract(&plan, &a, &sb, None, None, 0).unwrap();
         assert_eq!(cs.dims(), &[0, 2]);
         assert_eq!(cs.nnz(), 0);
     }
@@ -620,16 +764,16 @@ mod tests {
         let a = random_sparse(&[5, 6], 0.5, 8);
         let b = random_sparse(&[6, 4], 0.5, 9);
         let plan = ContractPlan::parse("ik,kj->ji").unwrap();
-        let (seq, _) = ss_contract(&plan, &a, &b, None, None).unwrap();
+        let (seq, _) = ss_contract(&plan, &a, &b, None, None, 0).unwrap();
         let pool = ThreadPool::new(4);
-        let (par, _) = ss_contract(&plan, &a, &b, None, Some(&pool)).unwrap();
+        let (par, _) = ss_contract(&plan, &a, &b, None, Some(&pool), 0).unwrap();
         assert_eq!(seq.to_dense().data(), par.to_dense().data());
         let reference = tt_tensor::einsum("ik,kj->ji", &a.to_dense(), &b.to_dense()).unwrap();
         assert!(seq.to_dense().allclose(&reference, 1e-12));
 
         // mask restricts the output pattern
         let mask: Vec<u64> = (0..4).map(|i| i * 5 + i).collect();
-        let (masked, _) = ss_contract(&plan, &a, &b, Some(&mask), None).unwrap();
+        let (masked, _) = ss_contract(&plan, &a, &b, Some(&mask), None, 0).unwrap();
         for (off, _) in masked.entries() {
             assert!(mask.contains(&off));
         }
@@ -649,10 +793,10 @@ mod tests {
         let a = SparseTensor::from_dense(&dense, 0.0);
         let b = random_sparse(&[6, 9], 0.6, 11);
         let plan = ContractPlan::parse("ik,kj->ij").unwrap();
-        let (seq, _) = ss_contract(&plan, &a, &b, None, None).unwrap();
+        let (seq, _) = ss_contract(&plan, &a, &b, None, None, 0).unwrap();
         for threads in [2, 5, 8] {
             let pool = ThreadPool::new(threads);
-            let (par, _) = ss_contract(&plan, &a, &b, None, Some(&pool)).unwrap();
+            let (par, _) = ss_contract(&plan, &a, &b, None, Some(&pool), 0).unwrap();
             assert_eq!(
                 seq.to_dense().data(),
                 par.to_dense().data(),

@@ -27,6 +27,7 @@
 //! * [`tsqr`] — communication-avoiding tall-skinny QR built on
 //!   [`tt_linalg::qr_thin`].
 
+mod cluster;
 mod comm;
 mod cost;
 mod exec;
@@ -34,15 +35,20 @@ mod kernels;
 mod machine;
 mod pool;
 mod summa;
+pub mod transport;
 mod tsqr;
 
+pub use cluster::Cluster;
 pub use comm::Comm;
 pub use cost::{CostTracker, SimTime};
-pub use exec::{ExecMode, Executor};
+pub use exec::{Backend, ExecMode, Executor};
 pub use machine::Machine;
 pub use pool::ThreadPool;
 pub use summa::DistMatrix;
-pub use tsqr::tsqr;
+#[cfg(unix)]
+pub use transport::ProcTransport;
+pub use transport::{maybe_serve, InProcTransport, SpawnSpec, Transport};
+pub use tsqr::{tsqr, tsqr_on};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -56,6 +62,9 @@ pub enum Error {
     Linalg(tt_linalg::Error),
     /// Invalid runtime configuration or operand (rank counts, distributions).
     Runtime(String),
+    /// Transport-layer failure: spawn, socket, framing, or a task that
+    /// failed on a worker process.
+    Transport(String),
 }
 
 impl From<tt_tensor::Error> for Error {
@@ -76,6 +85,7 @@ impl std::fmt::Display for Error {
             Error::Tensor(e) => write!(f, "tensor kernel: {e}"),
             Error::Linalg(e) => write!(f, "linear algebra: {e}"),
             Error::Runtime(s) => write!(f, "runtime: {s}"),
+            Error::Transport(s) => write!(f, "transport: {s}"),
         }
     }
 }

@@ -1,0 +1,108 @@
+//! The in-process transport backend: `p` simulated ranks in one address
+//! space.
+//!
+//! Each rank is a [`WorkerState`](super::worker::WorkerState) owned
+//! directly by the transport; [`Transport::send`] executes the request
+//! synchronously and queues the reply, so there is no concurrency and no
+//! data actually crosses an address-space boundary. Messages still
+//! round-trip through the little-endian wire codec — the exact same bytes
+//! the multi-process backend puts on its sockets — which keeps one codec
+//! path exercised everywhere (and is exact for `f64`/`Complex64` bit
+//! patterns).
+
+use super::worker::{Request, WorkerState};
+use super::Transport;
+use crate::{Error, Result};
+use std::collections::{HashMap, VecDeque};
+
+/// In-process implementation of [`Transport`].
+pub struct InProcTransport {
+    workers: Vec<WorkerState>,
+    outbox: Vec<HashMap<u64, VecDeque<Vec<u8>>>>,
+    next_tag: u64,
+}
+
+impl InProcTransport {
+    /// Transport over `ranks` in-process simulated ranks.
+    pub fn new(ranks: usize) -> Self {
+        let ranks = ranks.max(1);
+        Self {
+            workers: (0..ranks).map(|_| WorkerState::new()).collect(),
+            outbox: vec![HashMap::new(); ranks],
+            next_tag: 1,
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn ranks(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn next_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+
+    fn send(&mut self, to: usize, tag: u64, msg: &[u8]) -> Result<()> {
+        if to >= self.workers.len() {
+            return Err(Error::Transport(format!("no rank {to}")));
+        }
+        let req = Request::decode(msg)?;
+        if let Some(reply) = self.workers[to].handle(req) {
+            self.outbox[to]
+                .entry(tag)
+                .or_default()
+                .push_back(reply.encode());
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>> {
+        if from >= self.workers.len() {
+            return Err(Error::Transport(format!("no rank {from}")));
+        }
+        self.outbox[from]
+            .get_mut(&tag)
+            .and_then(|q| q.pop_front())
+            .ok_or_else(|| Error::Transport(format!("no reply from rank {from} under tag {tag}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::worker::Reply;
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut t = InProcTransport::new(3);
+        assert_eq!(t.ranks(), 3);
+        for r in 0..3 {
+            let tag = t.next_tag();
+            t.send(
+                r,
+                tag,
+                &Request::Put {
+                    key: 1,
+                    data: vec![r as f64],
+                }
+                .encode(),
+            )
+            .unwrap();
+            assert_eq!(
+                Reply::decode(&t.recv(r, tag).unwrap()).unwrap(),
+                Reply::Unit
+            );
+            let tag = t.next_tag();
+            t.send(r, tag, &Request::Get { key: 1 }.encode()).unwrap();
+            assert_eq!(
+                Reply::decode(&t.recv(r, tag).unwrap()).unwrap(),
+                Reply::F64s(vec![r as f64])
+            );
+        }
+        assert!(t.recv(0, 999).is_err(), "unknown tag must error");
+        assert!(t.send(7, 1, &Request::Ping.encode()).is_err());
+    }
+}

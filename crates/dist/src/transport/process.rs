@@ -1,0 +1,530 @@
+//! The multi-process shared-nothing transport backend.
+//!
+//! [`ProcTransport::spawn`] launches `p` real OS worker processes, each
+//! with its own address space, connected to this (driver) process over a
+//! Unix-domain socket. Requests and replies travel as hand-rolled
+//! little-endian frames ([`super::wire`]); tensor payloads round-trip
+//! exactly, so results assembled from worker replies are bitwise-identical
+//! to the in-process backend.
+//!
+//! Workers are spawned two ways ([`SpawnSpec`]):
+//!
+//! * [`SpawnSpec::WorkerBinary`] — run the `tt-dist-worker` binary that
+//!   ships with this crate (looked up next to the current executable, or
+//!   via `TT_DIST_WORKER_EXE`);
+//! * [`SpawnSpec::SelfExec`] — re-execute the *current* executable with
+//!   the given extra arguments. The host must call
+//!   [`super::maybe_serve`] before doing anything else; test binaries
+//!   expose a `#[test] fn spawned_worker_entry()` that calls it and pass
+//!   `["spawned_worker_entry"]` as the filter argument.
+
+#![cfg(unix)]
+
+use super::wire::{read_frame, write_frame, Dec};
+use super::worker::{Request, ENV_RANK, ENV_SOCKET};
+use super::{SpawnSpec, Transport};
+use crate::{Error, Result};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long to wait for all spawned workers to connect back.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long to wait for workers to exit after a shutdown request.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+static SPAWN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// One worker connection. The stream is kept **non-blocking** and every
+/// wait loops through [`Link::pump`], so the driver keeps draining worker
+/// replies even while it is still shipping requests. This is what makes
+/// [`crate::Cluster::call_all`]'s send-everything-then-collect pattern
+/// safe with large payloads: with blocking writes on both sides, a worker
+/// blocked writing a big reply and a driver blocked writing the next big
+/// request to the same (full) socket would deadlock permanently.
+struct Link {
+    stream: UnixStream,
+    /// Bytes read off the socket that don't yet form a complete frame.
+    rdbuf: Vec<u8>,
+    /// Complete frames by tag, counter deltas already applied.
+    pending: HashMap<u64, VecDeque<Vec<u8>>>,
+}
+
+impl Link {
+    /// Drain whatever the socket currently holds into `pending` without
+    /// blocking. Returns whether any bytes arrived.
+    fn pump(&mut self, rank: usize) -> Result<bool> {
+        let mut progress = false;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(Error::Transport(format!(
+                        "rank {rank} closed the connection"
+                    )))
+                }
+                Ok(n) => {
+                    self.rdbuf.extend_from_slice(&buf[..n]);
+                    progress = true;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::Transport(format!("rank {rank} read: {e}"))),
+            }
+        }
+        // peel complete `[tag][len][payload]` frames out of rdbuf
+        while self.rdbuf.len() >= 16 {
+            let len = u64::from_le_bytes(self.rdbuf[8..16].try_into().unwrap()) as usize;
+            if self.rdbuf.len() < 16 + len {
+                break;
+            }
+            let tag = u64::from_le_bytes(self.rdbuf[..8].try_into().unwrap());
+            let payload = self.rdbuf[16..16 + len].to_vec();
+            self.rdbuf.drain(..16 + len);
+            // strip the worker's counter-delta prefix and replay it into
+            // this process's global counters (exactly once per frame)
+            let mut d = Dec::new(&payload);
+            let flops = d.u64()?;
+            let mem = d.u64()?;
+            tt_tensor::counter::add_flops(flops);
+            tt_tensor::counter::add_mem_traffic(mem);
+            self.pending
+                .entry(tag)
+                .or_default()
+                .push_back(payload[16..].to_vec());
+        }
+        Ok(progress)
+    }
+
+    /// Write one frame, pumping incoming replies whenever the socket's
+    /// send buffer is full (the deadlock-avoidance half of the contract).
+    fn write_pumping(&mut self, rank: usize, tag: u64, msg: &[u8]) -> Result<()> {
+        let mut frame = Vec::with_capacity(16 + msg.len());
+        frame.extend_from_slice(&tag.to_le_bytes());
+        frame.extend_from_slice(&(msg.len() as u64).to_le_bytes());
+        frame.extend_from_slice(msg);
+        let mut off = 0usize;
+        while off < frame.len() {
+            match self.stream.write(&frame[off..]) {
+                Ok(0) => return Err(Error::Transport(format!("rank {rank} write returned 0"))),
+                Ok(n) => off += n,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if !self.pump(rank)? {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::Transport(format!("rank {rank} write: {e}"))),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Multi-process implementation of [`Transport`].
+pub struct ProcTransport {
+    links: Vec<Link>,
+    children: Vec<Child>,
+    dir: PathBuf,
+    next_tag: u64,
+}
+
+fn worker_exe() -> Result<PathBuf> {
+    if let Ok(exe) = std::env::var("TT_DIST_WORKER_EXE") {
+        let p = PathBuf::from(exe);
+        if p.exists() {
+            return Ok(p);
+        }
+        return Err(Error::Transport(format!(
+            "TT_DIST_WORKER_EXE points at missing file {}",
+            p.display()
+        )));
+    }
+    let me = std::env::current_exe().map_err(|e| Error::Transport(format!("current_exe: {e}")))?;
+    let mut candidates = Vec::new();
+    if let Some(dir) = me.parent() {
+        candidates.push(dir.join("tt-dist-worker"));
+        // test binaries live in target/<profile>/deps/
+        if let Some(up) = dir.parent() {
+            candidates.push(up.join("tt-dist-worker"));
+        }
+    }
+    candidates.into_iter().find(|p| p.exists()).ok_or_else(|| {
+        Error::Transport(
+            "tt-dist-worker binary not found next to the current executable; \
+             build it with `cargo build -p tt-dist --bin tt-dist-worker` or \
+             use SpawnSpec::SelfExec"
+                .into(),
+        )
+    })
+}
+
+impl ProcTransport {
+    /// Spawn `ranks` worker processes and wait for them all to connect.
+    pub fn spawn(ranks: usize, spec: &SpawnSpec) -> Result<Self> {
+        let ranks = ranks.max(1);
+        let dir = std::env::temp_dir().join(format!(
+            "tt-dist-{}-{}",
+            std::process::id(),
+            SPAWN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::Transport(format!("create {}: {e}", dir.display())))?;
+        let sock = dir.join("hub.sock");
+        let listener = UnixListener::bind(&sock)
+            .map_err(|e| Error::Transport(format!("bind {}: {e}", sock.display())))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Transport(format!("listener nonblocking: {e}")))?;
+
+        let mut children = Vec::with_capacity(ranks);
+        for rank in 0..ranks {
+            let mut cmd = match spec {
+                SpawnSpec::WorkerBinary => Command::new(worker_exe()?),
+                SpawnSpec::SelfExec(args) => {
+                    let me = std::env::current_exe()
+                        .map_err(|e| Error::Transport(format!("current_exe: {e}")))?;
+                    let mut c = Command::new(me);
+                    c.args(args);
+                    c
+                }
+            };
+            let child = cmd
+                .env(ENV_SOCKET, &sock)
+                .env(ENV_RANK, rank.to_string())
+                .stdin(Stdio::null())
+                // test-harness hosts print their own banner on stdout,
+                // which is not part of the protocol (the socket is) —
+                // silence it; diagnostics go to the inherited stderr
+                .stdout(Stdio::null())
+                .spawn()
+                .map_err(|e| Error::Transport(format!("spawn worker {rank}: {e}")))?;
+            children.push(child);
+        }
+
+        // accept connections until every rank said hello
+        let mut slots: Vec<Option<Link>> = (0..ranks).map(|_| None).collect();
+        let mut connected = 0;
+        let deadline = Instant::now() + CONNECT_TIMEOUT;
+        while connected < ranks {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| Error::Transport(format!("stream blocking mode: {e}")))?;
+                    let (tag, hello) = read_frame(&mut stream)?;
+                    if tag != 0 {
+                        return Err(Error::Transport("worker hello had nonzero tag".into()));
+                    }
+                    let rank = super::wire::Dec::new(&hello).u64()? as usize;
+                    if rank >= ranks || slots[rank].is_some() {
+                        return Err(Error::Transport(format!("bad hello rank {rank}")));
+                    }
+                    // all further traffic goes through the pumping
+                    // non-blocking reader/writer (see Link)
+                    stream
+                        .set_nonblocking(true)
+                        .map_err(|e| Error::Transport(format!("stream nonblocking mode: {e}")))?;
+                    slots[rank] = Some(Link {
+                        stream,
+                        rdbuf: Vec::new(),
+                        pending: HashMap::new(),
+                    });
+                    connected += 1;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    for (rank, child) in children.iter_mut().enumerate() {
+                        if let Ok(Some(status)) = child.try_wait() {
+                            return Err(Error::Transport(format!(
+                                "worker {rank} exited before connecting ({status})"
+                            )));
+                        }
+                    }
+                    if Instant::now() > deadline {
+                        return Err(Error::Transport(format!(
+                            "workers failed to connect within {CONNECT_TIMEOUT:?} \
+                             ({connected}/{ranks} connected)"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(Error::Transport(format!("accept: {e}"))),
+            }
+        }
+        let links = slots
+            .into_iter()
+            .map(|s| s.expect("all connected"))
+            .collect();
+        Ok(Self {
+            links,
+            children,
+            dir,
+            next_tag: 1,
+        })
+    }
+
+    /// Process ids of the live worker children (diagnostics/tests).
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.children.iter().map(|c| c.id()).collect()
+    }
+}
+
+impl Transport for ProcTransport {
+    fn ranks(&self) -> usize {
+        self.links.len()
+    }
+
+    fn next_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+
+    fn send(&mut self, to: usize, tag: u64, msg: &[u8]) -> Result<()> {
+        let link = self
+            .links
+            .get_mut(to)
+            .ok_or_else(|| Error::Transport(format!("no rank {to}")))?;
+        link.write_pumping(to, tag, msg)
+    }
+
+    fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>> {
+        let link = self
+            .links
+            .get_mut(from)
+            .ok_or_else(|| Error::Transport(format!("no rank {from}")))?;
+        loop {
+            if let Some(q) = link.pending.get_mut(&tag) {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+            }
+            if !link.pump(from)? {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+impl Drop for ProcTransport {
+    fn drop(&mut self) {
+        let shutdown = Request::Shutdown.encode();
+        for link in &mut self.links {
+            // best-effort (non-blocking stream may refuse); closing the
+            // sockets below makes workers exit on EOF regardless
+            let _ = write_frame(&mut link.stream, u64::MAX, &shutdown);
+        }
+        self.links.clear();
+        let deadline = Instant::now() + SHUTDOWN_GRACE;
+        for child in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() > deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                    Err(_) => break,
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::worker::Reply;
+    use super::*;
+
+    /// Self-exec hook: when the lib test binary is re-executed as a
+    /// worker, this "test" becomes the serve loop (no-op otherwise).
+    #[test]
+    fn spawned_worker_entry() {
+        super::super::maybe_serve();
+    }
+
+    fn spec() -> SpawnSpec {
+        SpawnSpec::SelfExec(vec!["spawned_worker_entry".into()])
+    }
+
+    #[test]
+    fn real_processes_roundtrip_store_and_kernels() {
+        let mut t = ProcTransport::spawn(2, &spec()).unwrap();
+        assert_eq!(t.ranks(), 2);
+        let my_pid = std::process::id();
+        for pid in t.worker_pids() {
+            assert_ne!(pid, my_pid, "workers must be separate OS processes");
+        }
+        // per-rank stores are genuinely disjoint address spaces
+        for r in 0..2 {
+            let tag = t.next_tag();
+            t.send(
+                r,
+                tag,
+                &Request::Put {
+                    key: 7,
+                    data: vec![r as f64 + 0.5],
+                }
+                .encode(),
+            )
+            .unwrap();
+            assert_eq!(
+                Reply::decode(&t.recv(r, tag).unwrap()).unwrap(),
+                Reply::Unit
+            );
+        }
+        for r in 0..2 {
+            let tag = t.next_tag();
+            t.send(r, tag, &Request::Get { key: 7 }.encode()).unwrap();
+            assert_eq!(
+                Reply::decode(&t.recv(r, tag).unwrap()).unwrap(),
+                Reply::F64s(vec![r as f64 + 0.5])
+            );
+        }
+        // complex payloads cross the socket bitwise
+        let c = vec![tt_tensor::Complex64::new(1.0 / 3.0, -0.0)];
+        let tag = t.next_tag();
+        t.send(
+            0,
+            tag,
+            &Request::PutC64 {
+                key: 1,
+                data: c.clone(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        t.recv(0, tag).unwrap();
+        let tag = t.next_tag();
+        t.send(0, tag, &Request::GetC64 { key: 1 }.encode())
+            .unwrap();
+        let Reply::C64s(back) = Reply::decode(&t.recv(0, tag).unwrap()).unwrap() else {
+            panic!("expected complex payload");
+        };
+        assert_eq!(back[0].re.to_bits(), c[0].re.to_bits());
+        assert_eq!(back[0].im.to_bits(), c[0].im.to_bits());
+    }
+
+    #[test]
+    fn large_pipelined_payloads_do_not_deadlock() {
+        // Regression test for the call_all deadlock: ship several large
+        // requests to one rank *before* reading any reply, interleaved
+        // with requests whose replies are large. With blocking writes on
+        // both ends, the worker blocks writing reply 2 (~1.6 MB ≫ the
+        // socket buffer) while the driver blocks writing request 3 — the
+        // pumping writer must drain replies to make progress.
+        let mut t = ProcTransport::spawn(1, &spec()).unwrap();
+        let big: Vec<f64> = (0..200_000).map(|i| i as f64 * 0.5).collect();
+        let mut tags = Vec::new();
+        for round in 0..3u64 {
+            let put = t.next_tag();
+            t.send(
+                0,
+                put,
+                &Request::Put {
+                    key: round,
+                    data: big.clone(),
+                }
+                .encode(),
+            )
+            .unwrap();
+            let get = t.next_tag();
+            t.send(0, get, &Request::Get { key: round }.encode())
+                .unwrap();
+            tags.push((put, get));
+        }
+        for (put, get) in tags {
+            assert_eq!(
+                Reply::decode(&t.recv(0, put).unwrap()).unwrap(),
+                Reply::Unit
+            );
+            let Reply::F64s(back) = Reply::decode(&t.recv(0, get).unwrap()).unwrap() else {
+                panic!("expected payload");
+            };
+            assert_eq!(back.len(), big.len());
+            assert_eq!(back[123_456].to_bits(), big[123_456].to_bits());
+        }
+    }
+
+    #[test]
+    fn worker_flop_counts_propagate_to_the_driver() {
+        // a DenseChunk runs its GEMM in the worker process; the reply's
+        // counter-delta prefix must land in this process's global counter
+        // (lower bound, not equality: other tests share the global
+        // counter and libtest runs them concurrently)
+        let mut t = ProcTransport::spawn(1, &spec()).unwrap();
+        let (rows, k, n) = (64usize, 64usize, 64usize);
+        let guard = tt_tensor::FlopGuard::start();
+        let tag = t.next_tag();
+        t.send(
+            0,
+            tag,
+            &Request::DenseChunk {
+                path: tt_tensor::gemm::GemmPath::Scalar,
+                rows,
+                k,
+                n,
+                a: vec![1.0; rows * k],
+                b: vec![1.0; k * n],
+            }
+            .encode(),
+        )
+        .unwrap();
+        t.recv(0, tag).unwrap();
+        assert!(guard.elapsed() >= 2 * (rows * k * n) as u64);
+    }
+
+    #[test]
+    fn out_of_order_replies_are_buffered_by_tag() {
+        let mut t = ProcTransport::spawn(1, &spec()).unwrap();
+        let t1 = t.next_tag();
+        let t2 = t.next_tag();
+        t.send(
+            0,
+            t1,
+            &Request::Put {
+                key: 1,
+                data: vec![1.0],
+            }
+            .encode(),
+        )
+        .unwrap();
+        t.send(
+            0,
+            t2,
+            &Request::Put {
+                key: 2,
+                data: vec![2.0],
+            }
+            .encode(),
+        )
+        .unwrap();
+        // receive the second reply first: the first must be stashed
+        assert_eq!(Reply::decode(&t.recv(0, t2).unwrap()).unwrap(), Reply::Unit);
+        assert_eq!(Reply::decode(&t.recv(0, t1).unwrap()).unwrap(), Reply::Unit);
+    }
+
+    #[test]
+    fn worker_task_failure_does_not_kill_the_process() {
+        let mut t = ProcTransport::spawn(1, &spec()).unwrap();
+        let tag = t.next_tag();
+        t.send(0, tag, &Request::Get { key: 404 }.encode()).unwrap();
+        assert!(matches!(
+            Reply::decode(&t.recv(0, tag).unwrap()).unwrap(),
+            Reply::Fail(_)
+        ));
+        let tag = t.next_tag();
+        t.send(0, tag, &Request::Ping.encode()).unwrap();
+        assert_eq!(
+            Reply::decode(&t.recv(0, tag).unwrap()).unwrap(),
+            Reply::Pong
+        );
+    }
+}

@@ -1,0 +1,1002 @@
+//! The rank-side task protocol.
+//!
+//! A worker (one rank of the shared-nothing backend) is a small kernel
+//! server: it holds a keyed store of resident buffers and executes the
+//! same deterministic chunk kernels as the in-process executor —
+//! [`crate::kernels::dense_chunk`], [`crate::kernels::sd_chunk`],
+//! [`crate::kernels::ss_chunk`], whole-matrix factorizations and resident
+//! SUMMA slab updates. Because both backends run *exactly* this code over
+//! *exactly* the same work decomposition, multi-process results are
+//! bitwise-identical to the in-process Sequential executor.
+//!
+//! The same [`WorkerState`] is driven two ways:
+//!
+//! * in-process: [`super::InProcTransport`] calls [`WorkerState::handle`]
+//!   directly (one address space, no sockets);
+//! * multi-process: [`worker_loop`] drives it from framed requests on a
+//!   Unix-domain socket, inside a separate OS process spawned by
+//!   [`super::ProcTransport`].
+
+use super::wire::{read_frame, write_frame, Dec, Enc};
+use crate::kernels;
+use crate::{Error, Result};
+use std::collections::{BTreeMap, HashMap};
+use tt_linalg::TruncSpec;
+use tt_tensor::einsum::ContractPlan;
+use tt_tensor::gemm::GemmPath;
+use tt_tensor::{Complex64, DenseTensor};
+
+/// Environment variable carrying the hub socket path to spawned workers.
+pub const ENV_SOCKET: &str = "TT_DIST_WORKER_SOCKET";
+/// Environment variable carrying the worker's rank id.
+pub const ENV_RANK: &str = "TT_DIST_WORKER_RANK";
+
+/// A request shipped to one rank.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Request {
+    /// Liveness / barrier probe.
+    Ping,
+    /// Store an `f64` buffer under `key`.
+    Put { key: u64, data: Vec<f64> },
+    /// Fetch the `f64` buffer under `key`.
+    Get { key: u64 },
+    /// Drop the buffers under `key` (both scalar types).
+    Free { key: u64 },
+    /// Store a [`Complex64`] buffer under `key`.
+    PutC64 { key: u64, data: Vec<Complex64> },
+    /// Fetch the [`Complex64`] buffer under `key`.
+    GetC64 { key: u64 },
+    /// One row-slab of a dense TTGT contraction (`a` holds `rows` rows of
+    /// the permuted A, `b` the full permuted B).
+    DenseChunk {
+        path: GemmPath,
+        rows: usize,
+        k: usize,
+        n: usize,
+        a: Vec<f64>,
+        b: Vec<f64>,
+    },
+    /// One whole dense contraction (the block-pair fan-out of the list
+    /// algorithm ships each pair to a rank).
+    DensePair {
+        spec: String,
+        a_dims: Vec<usize>,
+        a: Vec<f64>,
+        b_dims: Vec<usize>,
+        b: Vec<f64>,
+    },
+    /// One volume-balanced sparse-dense bucket over rows `[r0, r1)`.
+    SdChunk {
+        r0: usize,
+        r1: usize,
+        n: usize,
+        rows: Vec<u64>,
+        cols: Vec<u64>,
+        vals: Vec<f64>,
+        b: Vec<f64>,
+    },
+    /// One volume-balanced sparse-sparse bucket; `b_keys`/`b_lens` +
+    /// flattened `b_cols`/`b_vals` carry the grouped B operand.
+    SsChunk {
+        rows: Vec<u64>,
+        ctrs: Vec<u64>,
+        vals: Vec<f64>,
+        b_keys: Vec<u64>,
+        b_lens: Vec<u64>,
+        b_cols: Vec<u64>,
+        b_vals: Vec<f64>,
+        ax_dims: Vec<u64>,
+        ax_strides: Vec<u64>,
+        mask: Option<Vec<u64>>,
+    },
+    /// Thin QR of a resident-free `rows × cols` matrix.
+    QrThin {
+        rows: usize,
+        cols: usize,
+        a: Vec<f64>,
+    },
+    /// Truncated SVD of a `rows × cols` matrix.
+    SvdTrunc {
+        rows: usize,
+        cols: usize,
+        a: Vec<f64>,
+        max_rank: u64,
+        cutoff: f64,
+        min_keep: u64,
+    },
+    /// Allocate a zeroed resident SUMMA slab (`rows × n`) under `key`.
+    SummaInit { key: u64, rows: usize, n: usize },
+    /// Accumulate one `k`-panel product into the resident slab: the
+    /// `rows × w` A-slab panel times the `w × n` B panel.
+    SummaPanel {
+        key: u64,
+        rows: usize,
+        w: usize,
+        n: usize,
+        a: Vec<f64>,
+        b: Vec<f64>,
+    },
+    /// Terminate the worker loop.
+    Shutdown,
+}
+
+/// A reply from one rank.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Reply {
+    /// Barrier acknowledgement.
+    Pong,
+    /// Success with no payload.
+    Unit,
+    /// An `f64` buffer.
+    F64s(Vec<f64>),
+    /// A [`Complex64`] buffer.
+    C64s(Vec<Complex64>),
+    /// Sparse output entries plus the flops the chunk executed.
+    Entries {
+        offs: Vec<u64>,
+        vals: Vec<f64>,
+        flops: u64,
+    },
+    /// A `(Q, R)` factor pair with explicit dimensions.
+    Factors {
+        q_rows: usize,
+        q_cols: usize,
+        q: Vec<f64>,
+        r_rows: usize,
+        r_cols: usize,
+        r: Vec<f64>,
+    },
+    /// A truncated SVD.
+    Svd {
+        u_rows: usize,
+        rank: usize,
+        vt_cols: usize,
+        u: Vec<f64>,
+        s: Vec<f64>,
+        vt: Vec<f64>,
+        trunc_err: f64,
+        n_discarded: u64,
+    },
+    /// The task failed on the worker; the driver surfaces the message.
+    Fail(String),
+}
+
+fn path_to_u8(p: GemmPath) -> u8 {
+    match p {
+        GemmPath::Gemv => 0,
+        GemmPath::Scalar => 1,
+        GemmPath::Packed => 2,
+    }
+}
+
+fn path_from_u8(v: u8) -> Result<GemmPath> {
+    match v {
+        0 => Ok(GemmPath::Gemv),
+        1 => Ok(GemmPath::Scalar),
+        2 => Ok(GemmPath::Packed),
+        _ => Err(Error::Transport(format!("bad gemm path tag {v}"))),
+    }
+}
+
+fn put_usizes(e: &mut Enc, v: &[usize]) {
+    e.put_usize(v.len());
+    for &x in v {
+        e.put_usize(x);
+    }
+}
+
+fn get_usizes(d: &mut Dec) -> Result<Vec<usize>> {
+    let n = d.usize()?;
+    (0..n).map(|_| d.usize()).collect()
+}
+
+impl Request {
+    /// Encode to the wire format.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Request::Ping => e.put_u8(0),
+            Request::Put { key, data } => {
+                e.put_u8(1);
+                e.put_u64(*key);
+                e.put_f64s(data);
+            }
+            Request::Get { key } => {
+                e.put_u8(2);
+                e.put_u64(*key);
+            }
+            Request::Free { key } => {
+                e.put_u8(3);
+                e.put_u64(*key);
+            }
+            Request::PutC64 { key, data } => {
+                e.put_u8(4);
+                e.put_u64(*key);
+                e.put_c64s(data);
+            }
+            Request::GetC64 { key } => {
+                e.put_u8(5);
+                e.put_u64(*key);
+            }
+            Request::DenseChunk {
+                path,
+                rows,
+                k,
+                n,
+                a,
+                b,
+            } => {
+                e.put_u8(6);
+                e.put_u8(path_to_u8(*path));
+                e.put_usize(*rows);
+                e.put_usize(*k);
+                e.put_usize(*n);
+                e.put_f64s(a);
+                e.put_f64s(b);
+            }
+            Request::DensePair {
+                spec,
+                a_dims,
+                a,
+                b_dims,
+                b,
+            } => {
+                e.put_u8(7);
+                e.put_str(spec);
+                put_usizes(&mut e, a_dims);
+                e.put_f64s(a);
+                put_usizes(&mut e, b_dims);
+                e.put_f64s(b);
+            }
+            Request::SdChunk {
+                r0,
+                r1,
+                n,
+                rows,
+                cols,
+                vals,
+                b,
+            } => {
+                e.put_u8(8);
+                e.put_usize(*r0);
+                e.put_usize(*r1);
+                e.put_usize(*n);
+                e.put_u64s(rows);
+                e.put_u64s(cols);
+                e.put_f64s(vals);
+                e.put_f64s(b);
+            }
+            Request::SsChunk {
+                rows,
+                ctrs,
+                vals,
+                b_keys,
+                b_lens,
+                b_cols,
+                b_vals,
+                ax_dims,
+                ax_strides,
+                mask,
+            } => {
+                e.put_u8(9);
+                e.put_u64s(rows);
+                e.put_u64s(ctrs);
+                e.put_f64s(vals);
+                e.put_u64s(b_keys);
+                e.put_u64s(b_lens);
+                e.put_u64s(b_cols);
+                e.put_f64s(b_vals);
+                e.put_u64s(ax_dims);
+                e.put_u64s(ax_strides);
+                e.put_bool(mask.is_some());
+                if let Some(m) = mask {
+                    e.put_u64s(m);
+                }
+            }
+            Request::QrThin { rows, cols, a } => {
+                e.put_u8(10);
+                e.put_usize(*rows);
+                e.put_usize(*cols);
+                e.put_f64s(a);
+            }
+            Request::SvdTrunc {
+                rows,
+                cols,
+                a,
+                max_rank,
+                cutoff,
+                min_keep,
+            } => {
+                e.put_u8(11);
+                e.put_usize(*rows);
+                e.put_usize(*cols);
+                e.put_f64s(a);
+                e.put_u64(*max_rank);
+                e.put_f64(*cutoff);
+                e.put_u64(*min_keep);
+            }
+            Request::SummaInit { key, rows, n } => {
+                e.put_u8(12);
+                e.put_u64(*key);
+                e.put_usize(*rows);
+                e.put_usize(*n);
+            }
+            Request::SummaPanel {
+                key,
+                rows,
+                w,
+                n,
+                a,
+                b,
+            } => {
+                e.put_u8(13);
+                e.put_u64(*key);
+                e.put_usize(*rows);
+                e.put_usize(*w);
+                e.put_usize(*n);
+                e.put_f64s(a);
+                e.put_f64s(b);
+            }
+            Request::Shutdown => e.put_u8(14),
+        }
+        e.finish()
+    }
+
+    /// Decode from the wire format.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(bytes);
+        let req = match d.u8()? {
+            0 => Request::Ping,
+            1 => Request::Put {
+                key: d.u64()?,
+                data: d.f64s()?,
+            },
+            2 => Request::Get { key: d.u64()? },
+            3 => Request::Free { key: d.u64()? },
+            4 => Request::PutC64 {
+                key: d.u64()?,
+                data: d.c64s()?,
+            },
+            5 => Request::GetC64 { key: d.u64()? },
+            6 => Request::DenseChunk {
+                path: path_from_u8(d.u8()?)?,
+                rows: d.usize()?,
+                k: d.usize()?,
+                n: d.usize()?,
+                a: d.f64s()?,
+                b: d.f64s()?,
+            },
+            7 => Request::DensePair {
+                spec: d.str()?,
+                a_dims: get_usizes(&mut d)?,
+                a: d.f64s()?,
+                b_dims: get_usizes(&mut d)?,
+                b: d.f64s()?,
+            },
+            8 => Request::SdChunk {
+                r0: d.usize()?,
+                r1: d.usize()?,
+                n: d.usize()?,
+                rows: d.u64s()?,
+                cols: d.u64s()?,
+                vals: d.f64s()?,
+                b: d.f64s()?,
+            },
+            9 => Request::SsChunk {
+                rows: d.u64s()?,
+                ctrs: d.u64s()?,
+                vals: d.f64s()?,
+                b_keys: d.u64s()?,
+                b_lens: d.u64s()?,
+                b_cols: d.u64s()?,
+                b_vals: d.f64s()?,
+                ax_dims: d.u64s()?,
+                ax_strides: d.u64s()?,
+                mask: if d.bool()? { Some(d.u64s()?) } else { None },
+            },
+            10 => Request::QrThin {
+                rows: d.usize()?,
+                cols: d.usize()?,
+                a: d.f64s()?,
+            },
+            11 => Request::SvdTrunc {
+                rows: d.usize()?,
+                cols: d.usize()?,
+                a: d.f64s()?,
+                max_rank: d.u64()?,
+                cutoff: d.f64()?,
+                min_keep: d.u64()?,
+            },
+            12 => Request::SummaInit {
+                key: d.u64()?,
+                rows: d.usize()?,
+                n: d.usize()?,
+            },
+            13 => Request::SummaPanel {
+                key: d.u64()?,
+                rows: d.usize()?,
+                w: d.usize()?,
+                n: d.usize()?,
+                a: d.f64s()?,
+                b: d.f64s()?,
+            },
+            14 => Request::Shutdown,
+            op => return Err(Error::Transport(format!("unknown request opcode {op}"))),
+        };
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Encode to the wire format.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Reply::Pong => e.put_u8(0),
+            Reply::Unit => e.put_u8(1),
+            Reply::F64s(v) => {
+                e.put_u8(2);
+                e.put_f64s(v);
+            }
+            Reply::C64s(v) => {
+                e.put_u8(3);
+                e.put_c64s(v);
+            }
+            Reply::Entries { offs, vals, flops } => {
+                e.put_u8(4);
+                e.put_u64s(offs);
+                e.put_f64s(vals);
+                e.put_u64(*flops);
+            }
+            Reply::Factors {
+                q_rows,
+                q_cols,
+                q,
+                r_rows,
+                r_cols,
+                r,
+            } => {
+                e.put_u8(5);
+                e.put_usize(*q_rows);
+                e.put_usize(*q_cols);
+                e.put_f64s(q);
+                e.put_usize(*r_rows);
+                e.put_usize(*r_cols);
+                e.put_f64s(r);
+            }
+            Reply::Svd {
+                u_rows,
+                rank,
+                vt_cols,
+                u,
+                s,
+                vt,
+                trunc_err,
+                n_discarded,
+            } => {
+                e.put_u8(6);
+                e.put_usize(*u_rows);
+                e.put_usize(*rank);
+                e.put_usize(*vt_cols);
+                e.put_f64s(u);
+                e.put_f64s(s);
+                e.put_f64s(vt);
+                e.put_f64(*trunc_err);
+                e.put_u64(*n_discarded);
+            }
+            Reply::Fail(msg) => {
+                e.put_u8(7);
+                e.put_str(msg);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decode from the wire format.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(bytes);
+        let rep = match d.u8()? {
+            0 => Reply::Pong,
+            1 => Reply::Unit,
+            2 => Reply::F64s(d.f64s()?),
+            3 => Reply::C64s(d.c64s()?),
+            4 => Reply::Entries {
+                offs: d.u64s()?,
+                vals: d.f64s()?,
+                flops: d.u64()?,
+            },
+            5 => Reply::Factors {
+                q_rows: d.usize()?,
+                q_cols: d.usize()?,
+                q: d.f64s()?,
+                r_rows: d.usize()?,
+                r_cols: d.usize()?,
+                r: d.f64s()?,
+            },
+            6 => Reply::Svd {
+                u_rows: d.usize()?,
+                rank: d.usize()?,
+                vt_cols: d.usize()?,
+                u: d.f64s()?,
+                s: d.f64s()?,
+                vt: d.f64s()?,
+                trunc_err: d.f64()?,
+                n_discarded: d.u64()?,
+            },
+            7 => Reply::Fail(d.str()?),
+            op => return Err(Error::Transport(format!("unknown reply opcode {op}"))),
+        };
+        Ok(rep)
+    }
+}
+
+/// One rank's resident state: keyed buffer stores.
+#[derive(Default)]
+pub(crate) struct WorkerState {
+    store: HashMap<u64, Vec<f64>>,
+    store_c64: HashMap<u64, Vec<Complex64>>,
+}
+
+impl WorkerState {
+    /// Fresh state with empty stores.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execute one request. Returns `None` only for [`Request::Shutdown`];
+    /// every other request produces exactly one reply (failures become
+    /// [`Reply::Fail`], so a worker never dies on a bad task).
+    pub(crate) fn handle(&mut self, req: Request) -> Option<Reply> {
+        if matches!(req, Request::Shutdown) {
+            return None;
+        }
+        Some(self.run(req).unwrap_or_else(|e| Reply::Fail(e.to_string())))
+    }
+
+    fn get_f64(&self, key: u64) -> Result<&Vec<f64>> {
+        self.store
+            .get(&key)
+            .ok_or_else(|| Error::Transport(format!("no buffer under key {key}")))
+    }
+
+    fn run(&mut self, req: Request) -> Result<Reply> {
+        match req {
+            Request::Shutdown => unreachable!("handled in handle()"),
+            Request::Ping => Ok(Reply::Pong),
+            Request::Put { key, data } => {
+                self.store.insert(key, data);
+                Ok(Reply::Unit)
+            }
+            Request::Get { key } => Ok(Reply::F64s(self.get_f64(key)?.clone())),
+            Request::Free { key } => {
+                self.store.remove(&key);
+                self.store_c64.remove(&key);
+                Ok(Reply::Unit)
+            }
+            Request::PutC64 { key, data } => {
+                self.store_c64.insert(key, data);
+                Ok(Reply::Unit)
+            }
+            Request::GetC64 { key } => self
+                .store_c64
+                .get(&key)
+                .map(|v| Reply::C64s(v.clone()))
+                .ok_or_else(|| Error::Transport(format!("no complex buffer under key {key}"))),
+            Request::DenseChunk {
+                path,
+                rows,
+                k,
+                n,
+                a,
+                b,
+            } => {
+                if a.len() != rows * k || b.len() != k * n {
+                    return Err(Error::Transport("dense chunk operand size mismatch".into()));
+                }
+                Ok(Reply::F64s(kernels::dense_chunk(path, rows, k, n, &a, &b)))
+            }
+            Request::DensePair {
+                spec,
+                a_dims,
+                a,
+                b_dims,
+                b,
+            } => {
+                let plan = ContractPlan::parse(&spec)?;
+                let ta = DenseTensor::from_vec(a_dims, a)?;
+                let tb = DenseTensor::from_vec(b_dims, b)?;
+                let c = kernels::dense_contract(&plan, &ta, &tb, None)?;
+                Ok(Reply::F64s(c.into_data()))
+            }
+            Request::SdChunk {
+                r0,
+                r1,
+                n,
+                rows,
+                cols,
+                vals,
+                b,
+            } => {
+                let bucket: Vec<kernels::Coord> = rows
+                    .into_iter()
+                    .zip(cols)
+                    .zip(vals)
+                    .map(|((r, c), v)| (r, c, v))
+                    .collect();
+                Ok(Reply::F64s(kernels::sd_chunk(r0, r1, n, &bucket, &b)))
+            }
+            Request::SsChunk {
+                rows,
+                ctrs,
+                vals,
+                b_keys,
+                b_lens,
+                b_cols,
+                b_vals,
+                ax_dims,
+                ax_strides,
+                mask,
+            } => {
+                let bucket: Vec<kernels::Coord> = rows
+                    .into_iter()
+                    .zip(ctrs)
+                    .zip(vals)
+                    .map(|((r, c), v)| (r, c, v))
+                    .collect();
+                let mut b_by_ctr: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+                let mut off = 0usize;
+                for (key, len) in b_keys.iter().zip(&b_lens) {
+                    let len = *len as usize;
+                    if off + len > b_cols.len() || b_cols.len() != b_vals.len() {
+                        return Err(Error::Transport("ss chunk group table mismatch".into()));
+                    }
+                    let group = b_cols[off..off + len]
+                        .iter()
+                        .copied()
+                        .zip(b_vals[off..off + len].iter().copied())
+                        .collect();
+                    b_by_ctr.insert(*key, group);
+                    off += len;
+                }
+                let row_axes: Vec<(u64, u64)> = ax_dims.into_iter().zip(ax_strides).collect();
+                let (entries, flops) =
+                    kernels::ss_chunk(&bucket, &b_by_ctr, &row_axes, mask.as_deref());
+                let (offs, vals) = entries.into_iter().unzip();
+                Ok(Reply::Entries { offs, vals, flops })
+            }
+            Request::QrThin { rows, cols, a } => {
+                let (q, r) = tt_linalg::qr_thin(&DenseTensor::from_vec([rows, cols], a)?)?;
+                Ok(Reply::Factors {
+                    q_rows: q.dims()[0],
+                    q_cols: q.dims()[1],
+                    q: q.into_data(),
+                    r_rows: r.dims()[0],
+                    r_cols: r.dims()[1],
+                    r: r.into_data(),
+                })
+            }
+            Request::SvdTrunc {
+                rows,
+                cols,
+                a,
+                max_rank,
+                cutoff,
+                min_keep,
+            } => {
+                let spec = TruncSpec {
+                    max_rank: max_rank as usize,
+                    cutoff,
+                    min_keep: min_keep as usize,
+                };
+                let t = tt_linalg::svd_trunc(&DenseTensor::from_vec([rows, cols], a)?, spec)?;
+                Ok(Reply::Svd {
+                    u_rows: t.u.dims()[0],
+                    rank: t.s.len(),
+                    vt_cols: t.vt.dims()[1],
+                    u: t.u.into_data(),
+                    s: t.s,
+                    vt: t.vt.into_data(),
+                    trunc_err: t.trunc_err,
+                    n_discarded: t.n_discarded as u64,
+                })
+            }
+            Request::SummaInit { key, rows, n } => {
+                self.store.insert(key, vec![0.0f64; rows * n]);
+                Ok(Reply::Unit)
+            }
+            Request::SummaPanel {
+                key,
+                rows,
+                w,
+                n,
+                a,
+                b,
+            } => {
+                if a.len() != rows * w || b.len() != w * n {
+                    return Err(Error::Transport("summa panel size mismatch".into()));
+                }
+                let slab = self
+                    .store
+                    .get_mut(&key)
+                    .ok_or_else(|| Error::Transport(format!("no summa slab under key {key}")))?;
+                if slab.len() != rows * n {
+                    return Err(Error::Transport("summa slab shape mismatch".into()));
+                }
+                tt_tensor::gemm::gemm_acc_slices(rows, w, n, &a, &b, slab);
+                Ok(Reply::Unit)
+            }
+        }
+    }
+}
+
+/// Drive a [`WorkerState`] from framed requests on `stream` until a
+/// [`Request::Shutdown`] arrives or the peer disconnects. Task panics are
+/// caught and surfaced as [`Reply::Fail`]; the worker stays alive.
+#[cfg(unix)]
+pub fn worker_loop(mut stream: std::os::unix::net::UnixStream) -> Result<()> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut state = WorkerState::new();
+    loop {
+        let (tag, payload) = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // driver gone: a clean shutdown from the worker's perspective
+            Err(_) => return Ok(()),
+        };
+        // Every reply frame is prefixed with the flop/memory counter
+        // deltas this task added in *this* process; the driver-side
+        // transport replays them into its own global counters, so
+        // `tt_tensor::counter` totals match the in-process backends
+        // exactly (kernels charge in whichever process runs them).
+        let flops0 = tt_tensor::counter::flops();
+        let mem0 = tt_tensor::counter::mem_traffic();
+        let reply = match Request::decode(&payload) {
+            Ok(req) => match catch_unwind(AssertUnwindSafe(|| state.handle(req))) {
+                Ok(Some(r)) => r,
+                Ok(None) => return Ok(()), // Shutdown
+                Err(_) => Reply::Fail("worker task panicked".into()),
+            },
+            Err(e) => Reply::Fail(e.to_string()),
+        };
+        let mut framed = Enc::new();
+        framed.put_u64(tt_tensor::counter::flops().wrapping_sub(flops0));
+        framed.put_u64(tt_tensor::counter::mem_traffic().wrapping_sub(mem0));
+        let mut payload = framed.finish();
+        payload.extend_from_slice(&reply.encode());
+        write_frame(&mut stream, tag, &payload)?;
+    }
+}
+
+/// Connect to the hub socket named by the environment and serve tasks
+/// until shutdown. Returns an error if the worker environment variables
+/// are missing or the connection fails.
+#[cfg(unix)]
+pub fn serve_from_env() -> Result<()> {
+    let path =
+        std::env::var(ENV_SOCKET).map_err(|_| Error::Transport(format!("{ENV_SOCKET} not set")))?;
+    let rank: u64 = std::env::var(ENV_RANK)
+        .ok()
+        .and_then(|r| r.parse().ok())
+        .ok_or_else(|| Error::Transport(format!("{ENV_RANK} not set")))?;
+    let mut stream = std::os::unix::net::UnixStream::connect(&path)
+        .map_err(|e| Error::Transport(format!("connect {path}: {e}")))?;
+    // hello frame: tag 0, payload = rank
+    let mut e = Enc::new();
+    e.put_u64(rank);
+    write_frame(&mut stream, 0, &e.finish())?;
+    worker_loop(stream)
+}
+
+/// Worker entry hook for host binaries that spawn the multi-process
+/// backend by re-executing themselves ([`super::SpawnSpec::SelfExec`]):
+/// call this before doing anything else in `main` (or from a `#[test]`
+/// named `spawned_worker_entry` in test binaries). When the worker
+/// environment variables are absent this is a no-op; when present, the
+/// process serves tasks and **exits** instead of returning.
+pub fn maybe_serve() {
+    if std::env::var(ENV_SOCKET).is_err() {
+        return;
+    }
+    #[cfg(unix)]
+    match serve_from_env() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("tt-dist worker failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        eprintln!("tt-dist worker requested on a non-unix platform");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_and_replies_roundtrip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Put {
+                key: 9,
+                data: vec![1.5, -2.25],
+            },
+            Request::Get { key: 9 },
+            Request::Free { key: 9 },
+            Request::PutC64 {
+                key: 1,
+                data: vec![Complex64::new(0.1, -0.2)],
+            },
+            Request::GetC64 { key: 1 },
+            Request::DenseChunk {
+                path: GemmPath::Packed,
+                rows: 2,
+                k: 3,
+                n: 2,
+                a: vec![1.0; 6],
+                b: vec![2.0; 6],
+            },
+            Request::DensePair {
+                spec: "ik,kj->ij".into(),
+                a_dims: vec![2, 3],
+                a: vec![0.5; 6],
+                b_dims: vec![3, 2],
+                b: vec![0.25; 6],
+            },
+            Request::SdChunk {
+                r0: 1,
+                r1: 4,
+                n: 2,
+                rows: vec![1, 3],
+                cols: vec![0, 2],
+                vals: vec![0.5, -0.5],
+                b: vec![1.0; 6],
+            },
+            Request::SsChunk {
+                rows: vec![0],
+                ctrs: vec![2],
+                vals: vec![3.0],
+                b_keys: vec![2],
+                b_lens: vec![1],
+                b_cols: vec![4],
+                b_vals: vec![5.0],
+                ax_dims: vec![7],
+                ax_strides: vec![1],
+                mask: Some(vec![4]),
+            },
+            Request::QrThin {
+                rows: 2,
+                cols: 2,
+                a: vec![1.0, 0.0, 0.0, 1.0],
+            },
+            Request::SvdTrunc {
+                rows: 2,
+                cols: 2,
+                a: vec![1.0, 0.0, 0.0, 1.0],
+                max_rank: u64::MAX,
+                cutoff: 1e-12,
+                min_keep: 1,
+            },
+            Request::SummaInit {
+                key: 3,
+                rows: 4,
+                n: 2,
+            },
+            Request::SummaPanel {
+                key: 3,
+                rows: 4,
+                w: 1,
+                n: 2,
+                a: vec![1.0; 4],
+                b: vec![2.0; 2],
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let back = Request::decode(&req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
+        let reps = vec![
+            Reply::Pong,
+            Reply::Unit,
+            Reply::F64s(vec![1.0, -0.0]),
+            Reply::C64s(vec![Complex64::I]),
+            Reply::Entries {
+                offs: vec![3, 7],
+                vals: vec![0.5, 0.25],
+                flops: 12,
+            },
+            Reply::Factors {
+                q_rows: 2,
+                q_cols: 1,
+                q: vec![1.0, 0.0],
+                r_rows: 1,
+                r_cols: 1,
+                r: vec![2.0],
+            },
+            Reply::Svd {
+                u_rows: 2,
+                rank: 1,
+                vt_cols: 2,
+                u: vec![1.0, 0.0],
+                s: vec![2.0],
+                vt: vec![0.0, 1.0],
+                trunc_err: 1e-16,
+                n_discarded: 1,
+            },
+            Reply::Fail("boom".into()),
+        ];
+        for rep in reps {
+            let back = Reply::decode(&rep.encode()).unwrap();
+            assert_eq!(back, rep);
+        }
+    }
+
+    #[test]
+    fn worker_state_store_and_summa_lifecycle() {
+        let mut w = WorkerState::new();
+        assert_eq!(w.handle(Request::Ping), Some(Reply::Pong));
+        assert_eq!(
+            w.handle(Request::Put {
+                key: 5,
+                data: vec![1.0, 2.0]
+            }),
+            Some(Reply::Unit)
+        );
+        assert_eq!(
+            w.handle(Request::Get { key: 5 }),
+            Some(Reply::F64s(vec![1.0, 2.0]))
+        );
+        // summa: C = A·B accumulated over two 1-wide panels
+        w.handle(Request::SummaInit {
+            key: 8,
+            rows: 2,
+            n: 2,
+        });
+        for kk in 0..2usize {
+            let a: Vec<f64> = (0..2).map(|i| (i * 2 + kk) as f64).collect();
+            let b: Vec<f64> = (0..2).map(|j| (kk * 2 + j) as f64).collect();
+            assert_eq!(
+                w.handle(Request::SummaPanel {
+                    key: 8,
+                    rows: 2,
+                    w: 1,
+                    n: 2,
+                    a,
+                    b
+                }),
+                Some(Reply::Unit)
+            );
+        }
+        let Some(Reply::F64s(c)) = w.handle(Request::Get { key: 8 }) else {
+            panic!("expected slab");
+        };
+        // [[0,1],[2,3]] · [[0,1],[2,3]] = [[2,3],[6,11]]
+        assert_eq!(c, vec![2.0, 3.0, 6.0, 11.0]);
+        assert_eq!(w.handle(Request::Free { key: 8 }), Some(Reply::Unit));
+        assert!(matches!(
+            w.handle(Request::Get { key: 8 }),
+            Some(Reply::Fail(_))
+        ));
+        assert_eq!(w.handle(Request::Shutdown), None);
+    }
+
+    #[test]
+    fn bad_tasks_fail_without_killing_the_worker() {
+        let mut w = WorkerState::new();
+        assert!(matches!(
+            w.handle(Request::DenseChunk {
+                path: GemmPath::Scalar,
+                rows: 2,
+                k: 2,
+                n: 2,
+                a: vec![0.0; 3], // wrong size
+                b: vec![0.0; 4],
+            }),
+            Some(Reply::Fail(_))
+        ));
+        assert_eq!(w.handle(Request::Ping), Some(Reply::Pong));
+    }
+}

@@ -7,8 +7,10 @@
 //! which is what makes TSQR latency-optimal compared to gathering the
 //! whole panel.
 
+use crate::cluster::Cluster;
 use crate::comm::Comm;
-use crate::Result;
+use crate::transport::worker::{Reply, Request};
+use crate::{Error, Result};
 use tt_linalg::qr_thin;
 use tt_tensor::gemm::gemm_acc_slices;
 use tt_tensor::DenseTensor;
@@ -42,9 +44,74 @@ pub fn tsqr(a: &DenseTensor<f64>, comm: &Comm) -> Result<(DenseTensor<f64>, Dens
         factors.push(qr_thin(&slab)?);
         r0 = r1;
     }
+    merge_tree(factors, n, comm)
+}
 
-    // Pairwise merge up the tree; one superstep per level, critical path
-    // carries one R factor (≤ n×n words).
+/// TSQR with the slab factorizations executed on a [`Cluster`]'s worker
+/// ranks (one `qr_thin` task per slab, round-robin) and the `R`-merge tree
+/// run on the driver. Slab boundaries and merge order are identical to
+/// [`tsqr`], so the factors are bitwise-identical to the in-process run.
+pub fn tsqr_on(
+    a: &DenseTensor<f64>,
+    comm: &Comm,
+    cluster: &mut Cluster,
+) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
+    if a.order() != 2 {
+        return Err(crate::Error::Runtime(format!(
+            "tsqr wants a matrix, got order {}",
+            a.order()
+        )));
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let p = comm.ranks().clamp(1, m.max(1));
+    let rows_per = m.div_ceil(p);
+    let data = a.data();
+    let workers = cluster.ranks();
+    let mut reqs: Vec<(usize, Request)> = Vec::new();
+    let mut r0 = 0usize;
+    while r0 < m {
+        let r1 = (r0 + rows_per).min(m);
+        reqs.push((
+            reqs.len() % workers,
+            Request::QrThin {
+                rows: r1 - r0,
+                cols: n,
+                a: data[r0 * n..r1 * n].to_vec(),
+            },
+        ));
+        r0 = r1;
+    }
+    let mut factors = Vec::with_capacity(reqs.len());
+    for reply in cluster.call_all(reqs)? {
+        match reply {
+            Reply::Factors {
+                q_rows,
+                q_cols,
+                q,
+                r_rows,
+                r_cols,
+                r,
+            } => factors.push((
+                DenseTensor::from_vec([q_rows, q_cols], q)?,
+                DenseTensor::from_vec([r_rows, r_cols], r)?,
+            )),
+            other => {
+                return Err(Error::Transport(format!(
+                    "expected slab factors, got {other:?}"
+                )))
+            }
+        }
+    }
+    merge_tree(factors, n, comm)
+}
+
+/// Merge slab `(Q, R)` factors pairwise up the binary tree; one superstep
+/// per level, critical path carries one `R` factor (≤ `n×n` words).
+fn merge_tree(
+    mut factors: Vec<(DenseTensor<f64>, DenseTensor<f64>)>,
+    n: usize,
+    comm: &Comm,
+) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
     while factors.len() > 1 {
         let mut next = Vec::with_capacity(factors.len().div_ceil(2));
         let mut max_r_words = 0usize;
@@ -151,6 +218,40 @@ mod tests {
         assert_eq!(q.data(), q2.data());
         assert_eq!(r.data(), r2.data());
         assert_eq!(c.tracker().lock().supersteps, 0);
+    }
+
+    #[test]
+    fn tsqr_on_cluster_is_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let a = DenseTensor::<f64>::random([96, 7], &mut rng);
+        for p in [1usize, 2, 4, 5] {
+            let c_ref = comm(p);
+            let (q_ref, r_ref) = tsqr(&a, &c_ref).unwrap();
+            let mut cl = crate::Cluster::in_process(3);
+            let c = comm(p);
+            let (q, r) = tsqr_on(&a, &c, &mut cl).unwrap();
+            assert_eq!(q.data(), q_ref.data(), "p={p}");
+            assert_eq!(r.data(), r_ref.data(), "p={p}");
+            assert_eq!(
+                c.tracker().lock().supersteps,
+                c_ref.tracker().lock().supersteps
+            );
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn tsqr_on_real_processes_is_bitwise() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let a = DenseTensor::<f64>::random([64, 5], &mut rng);
+        let c_ref = comm(4);
+        let (q_ref, r_ref) = tsqr(&a, &c_ref).unwrap();
+        let spawn = crate::transport::SpawnSpec::SelfExec(vec!["spawned_worker_entry".into()]);
+        let mut cl = crate::Cluster::multi_process(2, &spawn).unwrap();
+        let c = comm(4);
+        let (q, r) = tsqr_on(&a, &c, &mut cl).unwrap();
+        assert_eq!(q.data(), q_ref.data());
+        assert_eq!(r.data(), r_ref.data());
     }
 
     #[test]

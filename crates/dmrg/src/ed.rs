@@ -45,11 +45,7 @@ pub fn sector_basis<S: SiteType>(site: &S, n: usize, sector: QN) -> SectorBasis 
             states.push(code);
         }
     }
-    let index = states
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, i))
-        .collect();
+    let index = states.iter().enumerate().map(|(i, &s)| (s, i)).collect();
     SectorBasis {
         states,
         index,
@@ -215,7 +211,11 @@ pub fn hubbard_ed(
         // sign from electrons between the two sites
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let between = removed & (((1u32 << hi) - 1) & !((1u32 << (lo + 1)) - 1));
-        let sign = if between.count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if between.count_ones().is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         Some((removed | (1 << a), sign))
     };
 
@@ -316,10 +316,8 @@ mod tests {
         // term ED vs direct second-quantized bitstring ED
         let lat = Lattice::chain(4);
         let terms = hubbard(&lat, 1.0, 4.0).expanded().unwrap();
-        let e_terms =
-            ground_state_energy(&tt_mps::Electron, 4, &terms, QN::two(2, 2)).unwrap();
-        let bonds: Vec<(usize, usize)> =
-            lat.bonds_of(tt_mps::BondKind::Nearest).collect();
+        let e_terms = ground_state_energy(&tt_mps::Electron, 4, &terms, QN::two(2, 2)).unwrap();
+        let bonds: Vec<(usize, usize)> = lat.bonds_of(tt_mps::BondKind::Nearest).collect();
         let e_bits = hubbard_ed(4, &bonds, 1.0, 4.0, 2, 2).unwrap();
         assert!(
             (e_terms - e_bits).abs() < 1e-7,
@@ -333,10 +331,8 @@ mod tests {
         // skip sites in the 1-D ordering)
         let lat = Lattice::triangular_cylinder_xc(2, 2);
         let terms = hubbard(&lat, 1.0, 8.5).expanded().unwrap();
-        let e_terms =
-            ground_state_energy(&tt_mps::Electron, 4, &terms, QN::two(2, 2)).unwrap();
-        let bonds: Vec<(usize, usize)> =
-            lat.bonds_of(tt_mps::BondKind::Nearest).collect();
+        let e_terms = ground_state_energy(&tt_mps::Electron, 4, &terms, QN::two(2, 2)).unwrap();
+        let bonds: Vec<(usize, usize)> = lat.bonds_of(tt_mps::BondKind::Nearest).collect();
         let e_bits = hubbard_ed(4, &bonds, 1.0, 8.5, 2, 2).unwrap();
         assert!(
             (e_terms - e_bits).abs() < 1e-7,

@@ -101,12 +101,7 @@ pub struct Environments {
 impl Environments {
     /// Initialize for a two-site sweep starting at sites `(0, 1)`: builds
     /// `left[0]` and all `right[j]` for `j ≥ 1`.
-    pub fn initialize(
-        exec: &Executor,
-        algo: Algorithm,
-        mps: &Mps,
-        mpo: &Mpo,
-    ) -> Result<Self> {
+    pub fn initialize(exec: &Executor, algo: Algorithm, mps: &Mps, mpo: &Mpo) -> Result<Self> {
         let n = mps.n_sites();
         if mpo.n_sites() != n {
             return Err(Error::Env(format!(
@@ -224,8 +219,7 @@ mod tests {
         let (mps, mpo) = setup(4);
         let exec = Executor::local();
         let l = left_edge(&mps, &mpo).unwrap();
-        let l_list =
-            extend_left(&exec, Algorithm::List, &l, mps.tensor(0), mpo.tensor(0)).unwrap();
+        let l_list = extend_left(&exec, Algorithm::List, &l, mps.tensor(0), mpo.tensor(0)).unwrap();
         let l_sd = extend_left(
             &exec,
             Algorithm::SparseDense,

@@ -34,14 +34,11 @@ impl EffectiveHam<'_> {
     /// Apply `K` to a two-site tensor `x(jl In, σ₁ In, σ₂ In, jr Out)`.
     pub fn apply(&self, x: &BlockSparseTensor) -> Result<BlockSparseTensor> {
         // t1(b,k,q,w,f) = L(b,k,c) · x(c,q,w,f)
-        let t1 = contract(self.exec, self.algo, "bkc,cqwf->bkqwf", self.left, x)
-            .map_err(wrap)?;
+        let t1 = contract(self.exec, self.algo, "bkc,cqwf->bkqwf", self.left, x).map_err(wrap)?;
         // t2(b,p,g,w,f) = W1(k,p,q,g) · t1
-        let t2 = contract(self.exec, self.algo, "kpqg,bkqwf->bpgwf", self.w1, &t1)
-            .map_err(wrap)?;
+        let t2 = contract(self.exec, self.algo, "kpqg,bkqwf->bpgwf", self.w1, &t1).map_err(wrap)?;
         // t3(b,p,s,h,f) = W2(g,s,w,h) · t2
-        let t3 = contract(self.exec, self.algo, "gswh,bpgwf->bpshf", self.w2, &t2)
-            .map_err(wrap)?;
+        let t3 = contract(self.exec, self.algo, "gswh,bpgwf->bpshf", self.w2, &t2).map_err(wrap)?;
         // y(b,p,s,r) = R(r,h,f) · t3
         contract(self.exec, self.algo, "rhf,bpshf->bpsr", self.right, &t3).map_err(wrap)
     }
@@ -119,16 +116,8 @@ mod tests {
             right: envs.right[1].as_ref().unwrap(),
         };
         let mut rng = StdRng::seed_from_u64(7);
-        let x = tt_blocks::BlockSparseTensor::random(
-            x0.indices().to_vec(),
-            x0.flux(),
-            &mut rng,
-        );
-        let y = tt_blocks::BlockSparseTensor::random(
-            x0.indices().to_vec(),
-            x0.flux(),
-            &mut rng,
-        );
+        let x = tt_blocks::BlockSparseTensor::random(x0.indices().to_vec(), x0.flux(), &mut rng);
+        let y = tt_blocks::BlockSparseTensor::random(x0.indices().to_vec(), x0.flux(), &mut rng);
         let kx = heff.apply(&x).unwrap();
         let ky = heff.apply(&y).unwrap();
         let a = y.dot(&kx).unwrap();

@@ -17,7 +17,8 @@ pub fn site_expectation<S: SiteType>(
     let mut b = AutoMpo::new(site_type.clone(), n);
     b.add(1.0, &[(site, op)]);
     let mpo = b.build().map_err(|e| Error::Sweep(e.to_string()))?;
-    mps.expectation(&mpo).map_err(|e| Error::Sweep(e.to_string()))
+    mps.expectation(&mpo)
+        .map_err(|e| Error::Sweep(e.to_string()))
 }
 
 /// Two-point correlation `⟨Op_i Op_j⟩` of named operators.
@@ -31,12 +32,15 @@ pub fn correlation<S: SiteType>(
 ) -> Result<f64> {
     let n = mps.n_sites();
     if i >= n || j >= n || i == j {
-        return Err(Error::Sweep("correlation needs distinct in-range sites".into()));
+        return Err(Error::Sweep(
+            "correlation needs distinct in-range sites".into(),
+        ));
     }
     let mut b = AutoMpo::new(site_type.clone(), n);
     b.add(1.0, &[(i, op_i), (j, op_j)]);
     let mpo = b.build().map_err(|e| Error::Sweep(e.to_string()))?;
-    mps.expectation(&mpo).map_err(|e| Error::Sweep(e.to_string()))
+    mps.expectation(&mpo)
+        .map_err(|e| Error::Sweep(e.to_string()))
 }
 
 /// Static spin structure factor
@@ -66,7 +70,8 @@ pub fn structure_factor<S: SiteType>(
                 let mut b = AutoMpo::new(site_type.clone(), n);
                 b.add(1.0, &[(i, op), (i, op)]);
                 let mpo = b.build().map_err(|e| Error::Sweep(e.to_string()))?;
-                mps.expectation(&mpo).map_err(|e| Error::Sweep(e.to_string()))?
+                mps.expectation(&mpo)
+                    .map_err(|e| Error::Sweep(e.to_string()))?
             } else {
                 correlation(mps, site_type, i, op, j, op)?
             };
@@ -84,7 +89,8 @@ pub fn total_expectation<S: SiteType>(mps: &Mps, site_type: &S, op: &str) -> Res
         b.add(1.0, &[(i, op)]);
     }
     let mpo = b.build().map_err(|e| Error::Sweep(e.to_string()))?;
-    mps.expectation(&mpo).map_err(|e| Error::Sweep(e.to_string()))
+    mps.expectation(&mpo)
+        .map_err(|e| Error::Sweep(e.to_string()))
 }
 
 #[cfg(test)]
@@ -114,9 +120,7 @@ mod tests {
         let psi = Mps::product_state(&Electron, &[1, 2, 3, 0]).unwrap();
         assert!((total_expectation(&psi, &Electron, "Nup").unwrap() - 2.0).abs() < 1e-12);
         assert!((total_expectation(&psi, &Electron, "Ndn").unwrap() - 2.0).abs() < 1e-12);
-        assert!(
-            (site_expectation(&psi, &Electron, 2, "Nupdn").unwrap() - 1.0).abs() < 1e-12
-        );
+        assert!((site_expectation(&psi, &Electron, 2, "Nupdn").unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]

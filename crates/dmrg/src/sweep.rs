@@ -227,15 +227,14 @@ impl<'a> Dmrg<'a> {
         // blocks so sectors absent from x regain weight before the split
         if params.noise > 0.0 {
             use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(
-                params.davidson.seed ^ (j as u64) << 8,
-            );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(params.davidson.seed ^ (j as u64) << 8);
             let mut pert =
                 tt_blocks::BlockSparseTensor::random(x.indices().to_vec(), x.flux(), &mut rng);
             let pn = pert.norm();
             if pn > 0.0 {
                 pert.scale_mut(params.noise * x.norm() / pn);
-                x.axpy(1.0, &pert).map_err(|e| Error::Sweep(e.to_string()))?;
+                x.axpy(1.0, &pert)
+                    .map_err(|e| Error::Sweep(e.to_string()))?;
             }
         }
 
@@ -336,22 +335,54 @@ mod tests {
         (run.energy, e_ed)
     }
 
+    /// Self-exec worker hook for the multi-process backend test below:
+    /// when this test binary is re-executed as a worker this becomes the
+    /// serve loop; in a normal run it is a no-op pass.
+    #[test]
+    fn spawned_worker_entry() {
+        tt_dist::maybe_serve();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sweep_over_multi_process_backend_is_bitwise_identical() {
+        // the driver code is backend-agnostic: the same Dmrg::run over the
+        // shared-nothing multi-process executor must reproduce the local
+        // sequential energies bit for bit
+        let lat = Lattice::chain(6);
+        let mpo = heisenberg_j1j2(&lat, 1.0, 0.0).build().unwrap();
+        let schedule = Schedule::ramp(&[8, 16], 1, 1e-12);
+        let run = |exec: &Executor| {
+            let mut mps = Mps::product_state(&SpinHalf, &neel_state(6)).unwrap();
+            Dmrg::new(exec, Algorithm::List, &mpo)
+                .run(&mut mps, &schedule)
+                .unwrap()
+        };
+        let local = run(&Executor::local());
+        let mp_exec = Executor::multi_process(
+            tt_dist::Machine::local(),
+            1,
+            2,
+            tt_dist::SpawnSpec::SelfExec(vec!["spawned_worker_entry".into()]),
+        )
+        .unwrap();
+        let mp = run(&mp_exec);
+        assert_eq!(local.energy.to_bits(), mp.energy.to_bits());
+        for (a, b) in local.energies().iter().zip(mp.energies()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "per-sweep energies");
+        }
+    }
+
     #[test]
     fn heisenberg_chain_n4_matches_ed() {
         let (e_dmrg, e_ed) = solve_chain(4, 4, 16);
-        assert!(
-            (e_dmrg - e_ed).abs() < 1e-8,
-            "DMRG {e_dmrg} vs ED {e_ed}"
-        );
+        assert!((e_dmrg - e_ed).abs() < 1e-8, "DMRG {e_dmrg} vs ED {e_ed}");
     }
 
     #[test]
     fn heisenberg_chain_n8_matches_ed() {
         let (e_dmrg, e_ed) = solve_chain(8, 6, 32);
-        assert!(
-            (e_dmrg - e_ed).abs() < 1e-7,
-            "DMRG {e_dmrg} vs ED {e_ed}"
-        );
+        assert!((e_dmrg - e_ed).abs() < 1e-7, "DMRG {e_dmrg} vs ED {e_ed}");
     }
 
     #[test]

@@ -144,9 +144,8 @@ mod tests {
     fn diagonal_operator() {
         // A = diag(0..n), smallest eigenvalue 0 with eigenvector e_0
         let n = 50;
-        let apply = |v: &[f64]| -> Vec<f64> {
-            v.iter().enumerate().map(|(i, x)| i as f64 * x).collect()
-        };
+        let apply =
+            |v: &[f64]| -> Vec<f64> { v.iter().enumerate().map(|(i, x)| i as f64 * x).collect() };
         let mut rng = StdRng::seed_from_u64(31);
         let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
         let (lam, x) = lanczos_smallest(apply, &x0, LanczosOptions::default()).unwrap();
@@ -180,9 +179,8 @@ mod tests {
     fn degenerate_ground_state() {
         // A = diag(1,1,2,...) — degenerate minimum still converges
         let diag = [1.0, 1.0, 2.0, 3.0, 4.0, 5.0];
-        let apply = |v: &[f64]| -> Vec<f64> {
-            v.iter().zip(diag.iter()).map(|(x, d)| d * x).collect()
-        };
+        let apply =
+            |v: &[f64]| -> Vec<f64> { v.iter().zip(diag.iter()).map(|(x, d)| d * x).collect() };
         let x0 = vec![1.0; 6];
         let (lam, _) = lanczos_smallest(apply, &x0, LanczosOptions::default()).unwrap();
         assert!((lam - 1.0).abs() < 1e-9);

@@ -142,7 +142,10 @@ mod tests {
             tt_tensor::Layout::Normal,
         )
         .unwrap();
-        assert!(qtq.allclose(&DenseTensor::eye(k), 1e-10), "Q not orthonormal");
+        assert!(
+            qtq.allclose(&DenseTensor::eye(k), 1e-10),
+            "Q not orthonormal"
+        );
         // R upper triangular
         for i in 0..k {
             for j in 0..i.min(n) {

@@ -176,7 +176,10 @@ fn svd_square_jacobi(a: &DenseTensor<f64>) -> Result<SvdResult> {
     let mut order: Vec<usize> = (0..n).collect();
     let mut sigma = vec![0.0f64; n];
     for j in 0..n {
-        sigma[j] = (0..m).map(|i| w[i + j * m] * w[i + j * m]).sum::<f64>().sqrt();
+        sigma[j] = (0..m)
+            .map(|i| w[i + j * m] * w[i + j * m])
+            .sum::<f64>()
+            .sqrt();
     }
     order.sort_by(|&x, &y| sigma[y].partial_cmp(&sigma[x]).expect("no NaN"));
 
@@ -283,11 +286,8 @@ mod tests {
     #[test]
     fn known_singular_values() {
         // diag(3, 2, 1) embedded in 3x3
-        let a = DenseTensor::from_vec(
-            [3, 3],
-            vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0],
-        )
-        .unwrap();
+        let a = DenseTensor::from_vec([3, 3], vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
+            .unwrap();
         let r = svd(&a).unwrap();
         assert!((r.s[0] - 3.0).abs() < 1e-12);
         assert!((r.s[1] - 2.0).abs() < 1e-12);
@@ -325,8 +325,15 @@ mod tests {
         let expect_err: f64 = full.s[4..].iter().map(|x| x * x).sum();
         assert!((t.trunc_err - expect_err).abs() < 1e-9);
         // cutoff larger than everything keeps min_keep
-        let t2 = svd_trunc(&a, TruncSpec { max_rank: usize::MAX, cutoff: 1e9, min_keep: 1 })
-            .unwrap();
+        let t2 = svd_trunc(
+            &a,
+            TruncSpec {
+                max_rank: usize::MAX,
+                cutoff: 1e9,
+                min_keep: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(t2.s.len(), 1);
     }
 

@@ -432,8 +432,7 @@ fn deparallelize(ws: &mut [DenseTensor<f64>], charges: &mut [Vec<QN>]) -> Result
                     for a in 0..d2 {
                         for b in 0..d2 {
                             for r in 0..dr2 {
-                                let v = njw2.at(&[nc, a, b, r])
-                                    + c * ws[j + 1].at(&[oc, a, b, r]);
+                                let v = njw2.at(&[nc, a, b, r]) + c * ws[j + 1].at(&[oc, a, b, r]);
                                 njw2.set(&[nc, a, b, r], v);
                             }
                         }
@@ -473,8 +472,7 @@ fn deparallelize(ws: &mut [DenseTensor<f64>], charges: &mut [Vec<QN>]) -> Result
                     for l in 0..dl1 {
                         for a in 0..d1 {
                             for b in 0..d1 {
-                                let v = njw1.at(&[l, a, b, nr])
-                                    + c * ws[j - 1].at(&[l, a, b, or]);
+                                let v = njw1.at(&[l, a, b, nr]) + c * ws[j - 1].at(&[l, a, b, or]);
                                 njw1.set(&[l, a, b, nr], v);
                             }
                         }
@@ -595,13 +593,8 @@ fn to_block_tensors<S: SiteType>(
             site.physical_index(Arrow::Out),
             ridx,
         ];
-        let t = BlockSparseTensor::from_dense(
-            indices,
-            QN::zero(site.arity()),
-            &dense,
-            0.0,
-        )
-        .map_err(|e| Error::Term(format!("MPO block conversion: {e}")))?;
+        let t = BlockSparseTensor::from_dense(indices, QN::zero(site.arity()), &dense, 0.0)
+            .map_err(|e| Error::Term(format!("MPO block conversion: {e}")))?;
         // verify nothing was lost to symmetry filtering
         let diff = t.to_dense().max_diff(&dense).map_err(wrap)?;
         if diff > 1e-12 {
@@ -642,9 +635,7 @@ mod tests {
         let expect0 = gemm_f64(&Electron.op("Cdagup").unwrap(), &f).unwrap();
         assert!(e.factors[0].1.allclose(&expect0, 1e-14));
         assert!(e.factors[1].1.allclose(&f, 1e-14));
-        assert!(e.factors[2]
-            .1
-            .allclose(&Electron.op("Cup").unwrap(), 1e-14));
+        assert!(e.factors[2].1.allclose(&Electron.op("Cup").unwrap(), 1e-14));
     }
 
     #[test]

@@ -62,11 +62,7 @@ impl Lattice {
     /// Largest 1-D distance any bond spans (bounds the MPO's interaction
     /// range; grows with the cylinder width).
     pub fn max_bond_range(&self) -> usize {
-        self.bonds
-            .iter()
-            .map(|&(a, b, _)| b - a)
-            .max()
-            .unwrap_or(0)
+        self.bonds.iter().map(|&(a, b, _)| b - a).max().unwrap_or(0)
     }
 
     fn push_bond(bonds: &mut Vec<(usize, usize, BondKind)>, a: usize, b: usize, k: BondKind) {
@@ -149,9 +145,7 @@ impl Lattice {
     /// Open 1-D chain (the quickstart geometry).
     pub fn chain(n: usize) -> Lattice {
         assert!(n >= 2);
-        let bonds = (0..n - 1)
-            .map(|i| (i, i + 1, BondKind::Nearest))
-            .collect();
+        let bonds = (0..n - 1).map(|i| (i, i + 1, BondKind::Nearest)).collect();
         Lattice {
             lx: n,
             ly: 1,

@@ -91,7 +91,7 @@ impl Mpo {
         let mut acc = w0.reshape([d, d, k0]).map_err(wrap)?;
         for j in 1..n {
             let wj = self.tensors[j].to_dense(); // [k, d, d, k2]
-            // acc[o,i,k] ⋅ wj[k,a,b,r] -> [o,a,i,b,r]
+                                                 // acc[o,i,k] ⋅ wj[k,a,b,r] -> [o,a,i,b,r]
             let next = tt_tensor::einsum("oik,kabr->oaibr", &acc, &wj).map_err(wrap)?;
             let o = acc.dims()[0] * d;
             let i = acc.dims()[1] * d;

@@ -59,8 +59,7 @@ impl Mps {
             acc = acc.add(site.state_qn(s));
             let right = QnIndex::new(Arrow::Out, vec![(acc, 1)]);
             let phys = site.physical_index(Arrow::In);
-            let mut t =
-                BlockSparseTensor::new(vec![left, phys.clone(), right], QN::zero(arity));
+            let mut t = BlockSparseTensor::new(vec![left, phys.clone(), right], QN::zero(arity));
             // locate the sector of basis state s within the physical index
             let mut sector = 0usize;
             let mut within = s;
@@ -160,8 +159,7 @@ impl Mps {
         // ket (l In, q In, c Out); boundary l and x are unit dims —
         // contract p and q, fold the unit left bonds via explicit labels
         let mut e = {
-            let bw = contract_list(&exec, "lpb,xpqk->lbxqk", &bra0, mpo.tensor(0))
-                .map_err(wrap)?;
+            let bw = contract_list(&exec, "lpb,xpqk->lbxqk", &bra0, mpo.tensor(0)).map_err(wrap)?;
             contract_list(&exec, "lbxqk,lqc->bxkc", &bw, &self.tensors[0]).map_err(wrap)?
         };
         // e has indices (b_bra, x_unit, k_mpo, c_ket) — drop the unit x by
@@ -172,11 +170,10 @@ impl Mps {
             // t1(b,x,k,c) · bra(b,p,e) -> (x,k,c,p,e)
             let t1 = contract_list(&exec, "bxkc,bpe->xkcpe", &e, &bra).map_err(wrap)?;
             // · W(k,p,q,f) -> (x,c,e,q,f)
-            let t2 = contract_list(&exec, "xkcpe,kpqf->xceqf", &t1, mpo.tensor(j))
-                .map_err(wrap)?;
+            let t2 = contract_list(&exec, "xkcpe,kpqf->xceqf", &t1, mpo.tensor(j)).map_err(wrap)?;
             // · ket(c,q,g) -> (x,e,f,g) == new (e? ...) keep order (e,x?,...)
-            let t3 = contract_list(&exec, "xceqf,cqg->exfg", &t2, &self.tensors[j])
-                .map_err(wrap)?;
+            let t3 =
+                contract_list(&exec, "xceqf,cqg->exfg", &t2, &self.tensors[j]).map_err(wrap)?;
             // rename to (b,x,k,c)
             e = t3;
         }
@@ -244,10 +241,8 @@ impl Mps {
             if phys != b.indices()[1] {
                 return Err(Error::State("physical indices differ".into()));
             }
-            let mut t = BlockSparseTensor::new(
-                vec![left, phys, right],
-                QN::zero(a.flux().n_charges()),
-            );
+            let mut t =
+                BlockSparseTensor::new(vec![left, phys, right], QN::zero(a.flux().n_charges()));
             let l_shift = if share_left {
                 0
             } else {

@@ -60,10 +60,13 @@ impl ContractPlan {
         }
         let dup = |ls: &[u8]| -> bool {
             let mut seen = [false; 128];
-            ls.iter().any(|&l| std::mem::replace(&mut seen[l as usize], true))
+            ls.iter()
+                .any(|&l| std::mem::replace(&mut seen[l as usize], true))
         };
         if dup(&a_labels) || dup(&b_labels) || dup(&out_labels) {
-            return Err(Error::BadSpec(format!("repeated label within operand in {spec:?}")));
+            return Err(Error::BadSpec(format!(
+                "repeated label within operand in {spec:?}"
+            )));
         }
 
         let mut ctr_a = Vec::new();
@@ -353,7 +356,8 @@ mod tests {
         assert!(einsum("ii,jk->ijk", &a, &a).is_err()); // repeated label in operand
         assert!(einsum("ij,jk->ijk", &a, &a).is_err()); // contracted label in output
         assert!(einsum("ij,jk->i", &a, &a).is_err()); // free label k dropped
-        assert!(einsum("ij,kl->ijkl", &a, &DenseTensor::<f64>::zeros([2])).is_err()); // order mismatch
+        assert!(einsum("ij,kl->ijkl", &a, &DenseTensor::<f64>::zeros([2])).is_err());
+        // order mismatch
     }
 
     #[test]

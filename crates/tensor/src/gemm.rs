@@ -590,8 +590,7 @@ mod tests {
     fn complex_gemm() {
         use crate::Complex64 as C;
         let a = DenseTensor::from_vec([1, 2], vec![C::new(0.0, 1.0), C::new(1.0, 0.0)]).unwrap();
-        let b =
-            DenseTensor::from_vec([2, 1], vec![C::new(0.0, 1.0), C::new(2.0, 0.0)]).unwrap();
+        let b = DenseTensor::from_vec([2, 1], vec![C::new(0.0, 1.0), C::new(2.0, 0.0)]).unwrap();
         let c = gemm(&a, Layout::Normal, &b, Layout::Normal).unwrap();
         // i*i + 1*2 = -1 + 2 = 1
         assert!((c.at(&[0, 0]) - C::new(1.0, 0.0)).abs() < 1e-14);

@@ -120,7 +120,10 @@ impl<T: Scalar> SparseTensor<T> {
 
     /// Stored `(offset, value)` pairs, sorted by offset.
     pub fn entries(&self) -> impl Iterator<Item = (u64, T)> + '_ {
-        self.offsets.iter().copied().zip(self.values.iter().copied())
+        self.offsets
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value at a multi-index (zero when absent).
@@ -215,12 +218,24 @@ impl<T: Scalar> SparseTensor<T> {
         // B fused to (ctr, free) dense matrix, ctr modes aligned with A's.
         let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
         perm_b.extend_from_slice(plan.free_b_positions());
-        let k: usize = plan.ctr_b_positions().iter().map(|&m| b.dims()[m]).product();
-        let n: usize = plan.free_b_positions().iter().map(|&m| b.dims()[m]).product();
+        let k: usize = plan
+            .ctr_b_positions()
+            .iter()
+            .map(|&m| b.dims()[m])
+            .product();
+        let n: usize = plan
+            .free_b_positions()
+            .iter()
+            .map(|&m| b.dims()[m])
+            .product();
         let b_mat = crate::transpose::permute(b, &perm_b)?;
         let b_data = b_mat.data();
 
-        let m: usize = plan.free_a_positions().iter().map(|&m| self.dims()[m]).product();
+        let m: usize = plan
+            .free_a_positions()
+            .iter()
+            .map(|&m| self.dims()[m])
+            .product();
         let coords = self.to_matrix_coords(plan.free_a_positions(), plan.ctr_a_positions());
 
         let mut c = vec![T::zero(); m * n];
@@ -362,8 +377,7 @@ mod tests {
 
     #[test]
     fn from_entries_sums_duplicates() {
-        let s =
-            SparseTensor::from_entries([4], vec![(1, 2.0), (1, 3.0), (0, 1.0)]).unwrap();
+        let s = SparseTensor::from_entries([4], vec![(1, 2.0), (1, 3.0), (0, 1.0)]).unwrap();
         assert_eq!(s.nnz(), 2);
         assert_eq!(s.at(&[1]), 5.0);
         assert!(SparseTensor::<f64>::from_entries([2], vec![(5, 1.0)]).is_err());

@@ -141,13 +141,7 @@ mod tests {
     fn order3_permutations_match_naive() {
         let mut rng = StdRng::seed_from_u64(7);
         let t = DenseTensor::<f64>::random([3, 4, 5], &mut rng);
-        for perm in [
-            [0usize, 2, 1],
-            [1, 0, 2],
-            [1, 2, 0],
-            [2, 0, 1],
-            [2, 1, 0],
-        ] {
+        for perm in [[0usize, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
             let fast = permute(&t, &perm).unwrap();
             let slow = naive_permute(&t, &perm);
             assert!(fast.allclose(&slow, 0.0), "perm {perm:?}");

@@ -1,6 +1,9 @@
-//! Tour of the simulated distributed runtime: run the same DMRG steps with
-//! all three block-sparsity algorithms on simulated Blue Waters and
-//! Stampede2 nodes, and print the BSP cost breakdown of Fig. 7.
+//! Tour of the distributed runtime: run the same DMRG steps with all
+//! three block-sparsity algorithms on simulated Blue Waters and
+//! Stampede2 nodes, print the BSP cost breakdown of Fig. 7, then run the
+//! same pipeline again over the **multi-process shared-nothing backend**
+//! (real OS worker processes behind the socket transport) and check it
+//! reproduces the in-process numbers bit for bit.
 //!
 //! ```text
 //! cargo run --release -p tt-examples --bin distributed_contraction [NODES]
@@ -8,11 +11,14 @@
 
 use dmrg::{Dmrg, Environments};
 use tt_blocks::Algorithm;
-use tt_dist::{ExecMode, Executor, Machine};
+use tt_dist::{ExecMode, Executor, Machine, SpawnSpec};
 use tt_examples::example_schedule;
 use tt_mps::{heisenberg_j1j2, neel_state, Lattice, Mps, SpinHalf};
 
 fn main() {
+    // when this binary is re-executed as a transport worker, serve tasks
+    // and exit instead of running the tour
+    tt_dist::maybe_serve();
     let args: Vec<String> = std::env::args().collect();
     let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let n = 10;
@@ -73,4 +79,44 @@ fn main() {
          sparse algorithms pay bandwidth (one big contraction) - the Table II\n\
          trade-off, measured on the simulated runtime."
     );
+
+    // -- the same step over real shared-nothing worker processes ---------
+    println!("\n== multi-process shared-nothing backend ==\n");
+    let step_energy = |exec: &Executor| {
+        let mut state = psi.clone();
+        state.canonicalize(&exec_local, 0).unwrap();
+        let driver = Dmrg::new(exec, Algorithm::SparseSparse, &mpo);
+        let mut envs =
+            Environments::initialize(exec, Algorithm::SparseSparse, &state, &mpo).unwrap();
+        let params = example_schedule(&[state.max_bond_dim()], 1).sweeps[0];
+        let mut last = 0.0f64;
+        for j in 0..n / 2 {
+            last = driver
+                .optimize_bond(&mut state, &mut envs, j, &params, true)
+                .unwrap()
+                .energy;
+        }
+        last
+    };
+    let seq = Executor::with_machine(Machine::blue_waters(16), nodes, ExecMode::Sequential);
+    let e_seq = step_energy(&seq);
+    match Executor::multi_process(
+        Machine::blue_waters(16),
+        nodes,
+        2,
+        SpawnSpec::SelfExec(Vec::new()),
+    ) {
+        Ok(mp) => {
+            let e_mp = step_energy(&mp);
+            println!("in-process sequential half-sweep energy: {e_seq:.12}");
+            println!("2 worker processes, socket transport:    {e_mp:.12}");
+            assert_eq!(
+                e_seq.to_bits(),
+                e_mp.to_bits(),
+                "multi-process backend must be bitwise-identical"
+            );
+            println!("bitwise identical: yes");
+        }
+        Err(e) => println!("multi-process backend unavailable here: {e}"),
+    }
 }

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tt_blocks::{
-    block_svd, contract, Algorithm, Arrow, BlockSparseTensor, QnIndex, QN,
-};
+use tt_blocks::{block_svd, contract, Algorithm, Arrow, BlockSparseTensor, QnIndex, QN};
 use tt_dist::Executor;
 use tt_linalg::TruncSpec;
 

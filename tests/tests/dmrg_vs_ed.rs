@@ -33,10 +33,7 @@ fn heisenberg_chain_all_algorithms() {
         Algorithm::SparseSparse,
     ] {
         let (e, exact) = spins_case(&lat, 0.0, &[8, 16, 32], algo);
-        assert!(
-            (e - exact).abs() < 1e-7,
-            "{algo}: DMRG {e} vs ED {exact}"
-        );
+        assert!((e - exact).abs() < 1e-7, "{algo}: DMRG {e} vs ED {exact}");
     }
 }
 
@@ -60,8 +57,7 @@ fn hubbard_chain_vs_both_ed_paths() {
     let lat = Lattice::chain(4);
     let builder = hubbard(&lat, 1.0, 8.5);
     let mpo = builder.build().expect("mpo");
-    let mut psi =
-        Mps::product_state(&Electron, &electron_filling(4, 2, 2)).expect("state");
+    let mut psi = Mps::product_state(&Electron, &electron_filling(4, 2, 2)).expect("state");
     let exec = Executor::local();
     let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
     let run = driver
@@ -87,8 +83,7 @@ fn hubbard_triangular_frustrated_with_noise() {
     let lat = Lattice::triangular_cylinder_xc(3, 2);
     let builder = hubbard(&lat, 1.0, 8.5);
     let mpo = builder.build().expect("mpo");
-    let mut psi =
-        Mps::product_state(&Electron, &electron_filling(6, 3, 3)).expect("state");
+    let mut psi = Mps::product_state(&Electron, &electron_filling(6, 3, 3)).expect("state");
     let exec = Executor::local();
     let driver = Dmrg::new(&exec, Algorithm::SparseSparse, &mpo);
     let run = driver
@@ -107,8 +102,7 @@ fn hubbard_triangular_frustrated_with_noise() {
 fn quantum_numbers_conserved_through_dmrg() {
     let lat = Lattice::chain(6);
     let mpo = hubbard(&lat, 1.0, 4.0).build().expect("mpo");
-    let mut psi =
-        Mps::product_state(&Electron, &electron_filling(6, 2, 3)).expect("state");
+    let mut psi = Mps::product_state(&Electron, &electron_filling(6, 2, 3)).expect("state");
     assert_eq!(psi.total_qn(), QN::two(2, 3));
     let exec = Executor::local();
     let driver = Dmrg::new(&exec, Algorithm::List, &mpo);

@@ -2,9 +2,7 @@
 //! against dense references, for both site types.
 
 use tt_dist::Executor;
-use tt_mps::{
-    dense_from_terms, heisenberg_j1j2, hubbard, Electron, Lattice, Mps, SpinHalf,
-};
+use tt_mps::{dense_from_terms, heisenberg_j1j2, hubbard, Electron, Lattice, Mps, SpinHalf};
 
 #[test]
 fn j1j2_mpo_equals_dense_hamiltonian() {

@@ -23,7 +23,9 @@ fn two_site_system_smallest_legal_dmrg() {
 
 #[test]
 fn size_mismatch_rejected() {
-    let mpo = heisenberg_j1j2(&Lattice::chain(4), 1.0, 0.0).build().unwrap();
+    let mpo = heisenberg_j1j2(&Lattice::chain(4), 1.0, 0.0)
+        .build()
+        .unwrap();
     let mut psi = Mps::product_state(&SpinHalf, &neel_state(6)).unwrap();
     let exec = Executor::local();
     let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
@@ -53,13 +55,19 @@ fn extreme_truncation_still_runs() {
     let run = driver.run(&mut psi, &test_schedule(&[1], 2)).unwrap();
     assert!(psi.max_bond_dim() <= 1);
     assert!((psi.norm() - 1.0).abs() < 1e-8);
-    assert!(run.energy <= -1.0, "even m=1 beats the Néel energy: {}", run.energy);
+    assert!(
+        run.energy <= -1.0,
+        "even m=1 beats the Néel energy: {}",
+        run.energy
+    );
     assert!(psi.total_qn().is_zero());
 }
 
 #[test]
 fn environments_fail_cleanly_on_mismatch() {
-    let mpo4 = heisenberg_j1j2(&Lattice::chain(4), 1.0, 0.0).build().unwrap();
+    let mpo4 = heisenberg_j1j2(&Lattice::chain(4), 1.0, 0.0)
+        .build()
+        .unwrap();
     let psi6 = Mps::product_state(&SpinHalf, &neel_state(6)).unwrap();
     let exec = Executor::local();
     // initialization walks the shorter MPO — index-compat errors surface as

@@ -179,7 +179,10 @@ fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usize, mu
         format!("{group}/{id}")
     };
     let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
-    println!("bench {label:<40} {:>12.3e} s/iter ({} iters)", mean, b.iters);
+    println!(
+        "bench {label:<40} {:>12.3e} s/iter ({} iters)",
+        mean, b.iters
+    );
 }
 
 /// Collect benchmark functions into one registry entry point.

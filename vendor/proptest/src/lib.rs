@@ -152,7 +152,10 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { lo: r.start, hi: r.end }
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
