@@ -8,6 +8,9 @@ use tt_blocks::Algorithm;
 use tt_dist::Machine;
 
 fn main() {
+    // when re-executed as a transport worker for the live section below,
+    // serve tasks and exit instead of printing the tables
+    tt_dist::maybe_serve();
     let m = 8192;
     println!("=== Fig. 12: electrons strong scaling, sparse-sparse, m={m} ===\n");
     let mut t = Table::new(&[
@@ -56,4 +59,105 @@ fn main() {
         "\npaper shape checks: near-ideal strong-scaling speedup at m = 8192\n\
          for the sparse-sparse algorithm on both machines."
     );
+    live_driver_bytes();
 }
+
+/// Live section: a small electron-chain DMRG over the real multi-process
+/// backend, printing the driver's per-sweep data-plane traffic. The sweep
+/// driver keeps each eigensolve's environment/MPO operands resident, so
+/// these operand-byte figures are the regression surface for the caching
+/// win (compare the value-vs-resident Davidson line at the end).
+#[cfg(unix)]
+fn live_driver_bytes() {
+    use dmrg::{davidson, DavidsonOptions, Dmrg, EffectiveHam, Environments};
+    use tt_dist::{Executor, SpawnSpec};
+    use tt_mps::{electron_filling, hubbard, Electron, Lattice, Mps};
+
+    println!("\n== live driver bytes per sweep (multi-process backend, resident operands) ==\n");
+    let n = 8;
+    let lat = Lattice::chain(n);
+    let mpo = hubbard(&lat, 1.0, 4.0).build().expect("mpo");
+    let mut psi = Mps::product_state(&Electron, &electron_filling(n, n / 2, n / 2)).expect("state");
+    let exec =
+        match Executor::multi_process(Machine::blue_waters(2), 1, 3, SpawnSpec::SelfExec(vec![])) {
+            Ok(e) => e,
+            Err(e) => {
+                println!("(skipped: could not spawn workers: {e})");
+                return;
+            }
+        };
+    let driver = Dmrg::new(&exec, Algorithm::List, &mpo);
+    println!(
+        "{:<8} {:>6} {:>16} {:>16}",
+        "sweep", "m", "operand bytes", "result bytes"
+    );
+    let mut last = (0u64, 0u64);
+    // cutoff-free noisy sweeps keep the bond dimension at the cap, so the
+    // per-sweep traffic reflects real operand volumes, not a collapsed
+    // converged state
+    for (i, &m) in [16usize, 32, 48].iter().enumerate() {
+        let schedule = dmrg::Schedule {
+            sweeps: vec![dmrg::SweepParams {
+                max_m: m,
+                cutoff: 0.0,
+                davidson: DavidsonOptions::default(),
+                noise: 1e-3,
+            }],
+        };
+        driver.run(&mut psi, &schedule).expect("sweep");
+        let now = (exec.operand_bytes(), exec.result_bytes());
+        println!(
+            "{:<8} {:>6} {:>16} {:>16}",
+            i,
+            psi.max_bond_dim(),
+            now.0 - last.0,
+            now.1 - last.1
+        );
+        last = now;
+    }
+
+    // one local eigensolve at a middle bond, value-passing vs resident
+    let envs = Environments::initialize(&exec, Algorithm::List, &psi, &mpo).expect("envs");
+    let j = n / 2 - 1;
+    let mut lenv = envs.left[0].clone().expect("left edge");
+    for site in 0..j {
+        lenv = dmrg::extend_left(
+            &exec,
+            Algorithm::List,
+            &lenv,
+            psi.tensor(site),
+            mpo.tensor(site),
+        )
+        .expect("left env");
+    }
+    let x0 = tt_blocks::contract::contract_list(
+        &exec,
+        "lsj,jtk->lstk",
+        psi.tensor(j),
+        psi.tensor(j + 1),
+    )
+    .expect("two-site tensor");
+    let heff = EffectiveHam {
+        exec: &exec,
+        algo: Algorithm::List,
+        left: &lenv,
+        w1: mpo.tensor(j),
+        w2: mpo.tensor(j + 1),
+        right: envs.right[j + 1].as_ref().expect("right env"),
+    };
+    let before = exec.operand_bytes();
+    let (_, _) = davidson(|v| heff.apply(v), &x0, DavidsonOptions::default()).expect("value solve");
+    let value = exec.operand_bytes() - before;
+    let rham = heff.upload().expect("upload operands");
+    let before = exec.operand_bytes();
+    let (_, _) = davidson(|v| rham.apply(v), &x0, DavidsonOptions::default()).expect("solve");
+    let resident = exec.operand_bytes() - before;
+    println!(
+        "\none Davidson solve: value-passing {value} operand bytes, resident {resident} \
+         ({:.1}x fewer)",
+        value as f64 / resident as f64
+    );
+}
+
+#[cfg(not(unix))]
+fn live_driver_bytes() {}

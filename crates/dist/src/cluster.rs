@@ -6,20 +6,41 @@
 //! the worker processes genuinely overlap; replies always come back in
 //! submission order, which is what keeps result assembly (and cost
 //! charging) bitwise-deterministic.
+//!
+//! The cluster is also the data plane's **byte meter**: every encoded
+//! request payload is counted as *operand bytes shipped* and every reply
+//! payload as *result bytes returned*, into the attached
+//! [`CostTracker`]'s `bytes_operands` / `bytes_results` counters (see
+//! [`crate::Comm::operand_bytes`]). These count what the driver actually
+//! moved — they are how the resident-operand cache win is measured and
+//! regression-tested.
 
+use crate::cost::CostTracker;
 use crate::transport::worker::{Reply, Request};
 use crate::transport::{InProcTransport, Transport};
 use crate::{Error, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// A handle on `p` rank endpoints, ready to execute tasks.
 pub struct Cluster {
     transport: Box<dyn Transport>,
+    tracker: Option<Arc<Mutex<CostTracker>>>,
+    next_key: u64,
 }
 
 impl Cluster {
     /// Cluster over an arbitrary transport.
     pub fn new(transport: Box<dyn Transport>) -> Self {
-        Self { transport }
+        Self {
+            transport,
+            tracker: None,
+            // resident-buffer keys allocated by this cluster (SUMMA slabs
+            // and friends) live far above small test/user keys; hashed
+            // handle keys occupy the full 64-bit space and collide with
+            // neither in practice
+            next_key: 1 << 32,
+        }
     }
 
     /// Cluster over `ranks` in-process simulated ranks.
@@ -35,6 +56,21 @@ impl Cluster {
         )?)))
     }
 
+    /// Meter this cluster's data-plane traffic into `tracker`'s
+    /// `bytes_operands` / `bytes_results` counters.
+    pub fn attach_tracker(&mut self, tracker: Arc<Mutex<CostTracker>>) {
+        self.tracker = Some(tracker);
+    }
+
+    /// A fresh worker-store key, unique within this cluster's lifetime —
+    /// the allocator behind resident SUMMA slabs and other driver-managed
+    /// buffers.
+    pub(crate) fn fresh_key(&mut self) -> u64 {
+        let k = self.next_key;
+        self.next_key += 1;
+        k
+    }
+
     /// Number of rank endpoints.
     pub fn ranks(&self) -> usize {
         self.transport.ranks()
@@ -45,10 +81,24 @@ impl Cluster {
         &mut *self.transport
     }
 
+    fn count_operand(&self, bytes: usize) {
+        if let Some(t) = &self.tracker {
+            t.lock().bytes_operands += bytes as u64;
+        }
+    }
+
+    fn count_result(&self, bytes: usize) {
+        if let Some(t) = &self.tracker {
+            t.lock().bytes_results += bytes as u64;
+        }
+    }
+
     /// Execute one request on one rank and wait for its reply.
     pub(crate) fn call(&mut self, rank: usize, req: &Request) -> Result<Reply> {
         let tag = self.transport.next_tag();
-        self.transport.send(rank, tag, &req.encode())?;
+        let bytes = req.encode();
+        self.count_operand(bytes.len());
+        self.transport.send(rank, tag, &bytes)?;
         self.reply(rank, tag)
     }
 
@@ -58,7 +108,9 @@ impl Cluster {
         let mut routes = Vec::with_capacity(reqs.len());
         for (rank, req) in reqs {
             let tag = self.transport.next_tag();
-            self.transport.send(rank, tag, &req.encode())?;
+            let bytes = req.encode();
+            self.count_operand(bytes.len());
+            self.transport.send(rank, tag, &bytes)?;
             routes.push((rank, tag));
         }
         routes
@@ -68,16 +120,49 @@ impl Cluster {
     }
 
     fn reply(&mut self, rank: usize, tag: u64) -> Result<Reply> {
-        match Reply::decode(&self.transport.recv(rank, tag)?)? {
+        let bytes = self.transport.recv(rank, tag)?;
+        self.count_result(bytes.len());
+        match Reply::decode(&bytes)? {
             Reply::Fail(msg) => Err(Error::Transport(format!("rank {rank}: {msg}"))),
             reply => Ok(reply),
         }
     }
 }
 
+/// Deterministic task placement with residency awareness: a task bearing a
+/// resident operand goes to the (first) rank that already holds it;
+/// everything else falls back to a round-robin cursor. Pure driver-side
+/// state — given the same submission sequence the placement is identical
+/// on every run.
+pub(crate) struct Placement {
+    ranks: usize,
+    rr: usize,
+}
+
+impl Placement {
+    pub(crate) fn new(ranks: usize) -> Self {
+        Self {
+            ranks: ranks.max(1),
+            rr: 0,
+        }
+    }
+
+    /// Pick the rank for a task whose operands are resident on
+    /// `preferred` ranks (checked in order) — round-robin when none is.
+    pub(crate) fn place(&mut self, preferred: impl IntoIterator<Item = Option<usize>>) -> usize {
+        if let Some(p) = preferred.into_iter().flatten().next() {
+            return p;
+        }
+        let r = self.rr % self.ranks;
+        self.rr += 1;
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::Machine;
 
     #[test]
     fn call_all_returns_in_submission_order() {
@@ -109,5 +194,52 @@ mod tests {
     fn worker_failures_surface_as_errors() {
         let mut cl = Cluster::in_process(1);
         assert!(cl.call(0, &Request::Get { key: 42 }).is_err());
+    }
+
+    #[test]
+    fn traffic_is_metered_into_the_tracker() {
+        let tracker = Arc::new(Mutex::new(CostTracker::new(Machine::local(), 2)));
+        let mut cl = Cluster::in_process(2);
+        cl.attach_tracker(Arc::clone(&tracker));
+        cl.call(
+            0,
+            &Request::Put {
+                key: 1,
+                data: vec![1.0; 100],
+            },
+        )
+        .unwrap();
+        let (ops, res) = {
+            let t = tracker.lock();
+            (t.bytes_operands, t.bytes_results)
+        };
+        assert!(ops >= 800, "the 100-word payload is counted: {ops}");
+        assert!(res >= 1, "the ack reply is counted: {res}");
+        cl.call(0, &Request::Get { key: 1 }).unwrap();
+        let t = tracker.lock();
+        assert!(
+            t.bytes_results >= 800,
+            "the fetched buffer counts as result"
+        );
+    }
+
+    #[test]
+    fn placement_prefers_residency_then_round_robins() {
+        let mut p = Placement::new(3);
+        assert_eq!(p.place([None, None]), 0);
+        assert_eq!(p.place([None]), 1);
+        assert_eq!(p.place([Some(0), Some(2)]), 0, "first resident rank wins");
+        assert_eq!(p.place([None, Some(2)]), 2);
+        assert_eq!(p.place([None, None]), 2, "cursor resumes after 0, 1");
+        assert_eq!(p.place([None]), 0);
+    }
+
+    #[test]
+    fn fresh_keys_are_unique() {
+        let mut cl = Cluster::in_process(1);
+        let a = cl.fresh_key();
+        let b = cl.fresh_key();
+        assert_ne!(a, b);
+        assert!(a >= 1 << 32);
     }
 }

@@ -45,6 +45,19 @@ impl Comm {
         &self.tracker
     }
 
+    /// Operand bytes the driver actually shipped to workers since the
+    /// last reset (multi-process data plane; zero in-process). Together
+    /// with [`Comm::result_bytes`] this is the per-category bytes-shipped
+    /// observability the resident-operand cache is measured by.
+    pub fn operand_bytes(&self) -> u64 {
+        self.tracker.lock().bytes_operands
+    }
+
+    /// Result bytes workers returned to the driver since the last reset.
+    pub fn result_bytes(&self) -> u64 {
+        self.tracker.lock().bytes_results
+    }
+
     /// Depth of a binomial collective tree over the ranks.
     fn tree_depth(&self) -> u64 {
         (usize::BITS - (self.ranks - 1).leading_zeros()) as u64

@@ -76,6 +76,13 @@ pub struct CostTracker {
     pub supersteps: u64,
     /// Bytes moved along the critical path.
     pub bytes_critical: u64,
+    /// Operand bytes the driver actually shipped to workers (request
+    /// payloads on the multi-process data plane; zero on the in-process
+    /// backends, which move nothing).
+    pub bytes_operands: u64,
+    /// Result bytes workers actually returned to the driver (reply
+    /// payloads on the multi-process data plane).
+    pub bytes_results: u64,
     /// Simulated time breakdown.
     pub sim: SimTime,
 }
@@ -89,6 +96,8 @@ impl CostTracker {
             flops: 0,
             supersteps: 0,
             bytes_critical: 0,
+            bytes_operands: 0,
+            bytes_results: 0,
             sim: SimTime::default(),
         }
     }
@@ -98,6 +107,8 @@ impl CostTracker {
         self.flops = 0;
         self.supersteps = 0;
         self.bytes_critical = 0;
+        self.bytes_operands = 0;
+        self.bytes_results = 0;
         self.sim = SimTime::default();
     }
 

@@ -1,0 +1,363 @@
+//! Distributed operand handles: content-keyed references to tensors that
+//! stay *resident* on the runtime instead of being re-shipped with every
+//! task.
+//!
+//! An [`OpHandle`] is created by [`crate::Executor::upload`] (or the
+//! `upload_c64` / `upload_sparse` variants) and freed by
+//! [`crate::Executor::free`]. The handle's key is a content hash of the
+//! tensor (dims + exact value bit patterns), so two uploads of identical
+//! data share one key — and one refcount, one set of resident buffers.
+//!
+//! Residency itself is *lazy*: nothing ships at upload time. The first
+//! contraction that consumes a handle derives the operand buffer it needs
+//! (a permuted matrix, per-rank row slabs, volume-balanced coordinate
+//! buckets, a grouped sparse table) and pins it in the worker stores; every
+//! later contraction that derives the same buffer ships **zero operand
+//! bytes** for it. On [`crate::Backend::InProcess`] handles are plain
+//! `Arc`s around the tensor — numerics take the exact same kernel path as
+//! the value-passing API — while the driver-side [`Residency`] registry is
+//! still consulted so the α–β cost charges are bitwise-identical across
+//! backends.
+
+use crate::{Error, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tt_tensor::{Complex64, DenseTensor, SparseTensor};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Running FNV-1a hash state.
+#[derive(Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    pub(crate) fn u8(mut self, b: u8) -> Self {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        self
+    }
+
+    pub(crate) fn u64(mut self, v: u64) -> Self {
+        for b in v.to_le_bytes() {
+            self = self.u8(b);
+        }
+        self
+    }
+
+    pub(crate) fn u64s(mut self, vs: impl IntoIterator<Item = u64>) -> Self {
+        for v in vs {
+            self = self.u64(v);
+        }
+        self
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Derive a buffer key from mixed-in context components (content key,
+/// purpose tag, permutation/positions, chunk index, …). Purely a hash —
+/// derivation is deterministic and backend-independent, which is what lets
+/// the in-process backend replay the exact charge sequence of the
+/// multi-process one.
+pub(crate) fn derive(parts: &[u64]) -> u64 {
+    Fnv::new().u64s(parts.iter().copied()).finish()
+}
+
+/// Hash a `usize` sequence (an axis permutation, mode positions, …) into
+/// one derivation component.
+pub(crate) fn hseq(vals: &[usize]) -> u64 {
+    Fnv::new().u64s(vals.iter().map(|&v| v as u64)).finish()
+}
+
+/// Hash a `(u64, u64)` pair sequence (axis dimension/stride tables) into
+/// one derivation component.
+pub(crate) fn hpairs(vals: &[(u64, u64)]) -> u64 {
+    Fnv::new()
+        .u64s(vals.iter().flat_map(|&(a, b)| [a, b]))
+        .finish()
+}
+
+/// The tensor a handle refers to.
+pub(crate) enum Payload {
+    /// A dense `f64` tensor.
+    F64(DenseTensor<f64>),
+    /// A dense [`Complex64`] tensor.
+    C64(DenseTensor<Complex64>),
+    /// A flattened sparse `f64` tensor.
+    Sparse(SparseTensor<f64>),
+}
+
+impl Payload {
+    /// Content key: tag + dims + exact value bit patterns.
+    fn content_key(&self) -> u64 {
+        match self {
+            Payload::F64(t) => Fnv::new()
+                .u8(1)
+                .u64s(t.dims().iter().map(|&d| d as u64))
+                .u64s(t.data().iter().map(|v| v.to_bits()))
+                .finish(),
+            Payload::C64(t) => Fnv::new()
+                .u8(2)
+                .u64s(t.dims().iter().map(|&d| d as u64))
+                .u64s(
+                    t.data()
+                        .iter()
+                        .flat_map(|v| [v.re.to_bits(), v.im.to_bits()]),
+                )
+                .finish(),
+            Payload::Sparse(t) => Fnv::new()
+                .u8(3)
+                .u64s(t.dims().iter().map(|&d| d as u64))
+                .u64s(t.entries().flat_map(|(off, v)| [off, v.to_bits()]))
+                .finish(),
+        }
+    }
+
+    /// Stored words (8-byte units) — the β volume an upload of this
+    /// payload moves.
+    fn words(&self) -> usize {
+        match self {
+            Payload::F64(t) => t.len(),
+            Payload::C64(t) => 2 * t.len(),
+            // offset + value per stored entry
+            Payload::Sparse(t) => 2 * t.nnz(),
+        }
+    }
+}
+
+/// A content-keyed, refcounted handle on a distributed operand.
+///
+/// Cloning a handle is cheap (it shares the payload `Arc`) and does *not*
+/// change the refcount: each [`crate::Executor::upload`] must be matched
+/// by exactly one [`crate::Executor::free`].
+#[derive(Clone)]
+pub struct OpHandle {
+    key: u64,
+    words: usize,
+    payload: Arc<Payload>,
+}
+
+impl OpHandle {
+    pub(crate) fn new(payload: Payload) -> Self {
+        let key = payload.content_key();
+        let words = payload.words();
+        Self {
+            key,
+            words,
+            payload: Arc::new(payload),
+        }
+    }
+
+    /// The content key (a hash of dims + exact value bits).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Stored words (8-byte units) of the payload.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    pub(crate) fn dense(&self) -> Result<&DenseTensor<f64>> {
+        match &*self.payload {
+            Payload::F64(t) => Ok(t),
+            _ => Err(Error::Runtime(
+                "operand handle does not hold a dense f64 tensor".into(),
+            )),
+        }
+    }
+
+    pub(crate) fn dense_c64(&self) -> Result<&DenseTensor<Complex64>> {
+        match &*self.payload {
+            Payload::C64(t) => Ok(t),
+            _ => Err(Error::Runtime(
+                "operand handle does not hold a dense Complex64 tensor".into(),
+            )),
+        }
+    }
+
+    pub(crate) fn sparse(&self) -> Result<&SparseTensor<f64>> {
+        match &*self.payload {
+            Payload::Sparse(t) => Ok(t),
+            _ => Err(Error::Runtime(
+                "operand handle does not hold a sparse tensor".into(),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Debug for OpHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OpHandle({:#018x}, {} words)", self.key, self.words)
+    }
+}
+
+/// Buffers a freed handle leaves behind on the workers, to be released
+/// (made evictable) by the executor.
+pub(crate) struct Leftovers {
+    /// `(worker key, home ranks)` of every physical buffer derived from
+    /// the handle.
+    pub(crate) physical: Vec<(u64, Vec<usize>)>,
+}
+
+#[derive(Default)]
+struct HandleState {
+    /// Outstanding uploads (decremented by `free`).
+    rc: usize,
+    /// Logical derived keys whose one-time upload charge was applied.
+    logical: Vec<u64>,
+    /// Worker keys of physical buffers derived from this handle.
+    physical: Vec<u64>,
+}
+
+/// Driver-side registry of everything resident (or charged as resident).
+///
+/// Two parallel books are kept:
+///
+/// * **logical** — which derived buffers have been *charged* as uploaded.
+///   Consulted by the cost model on every backend, so the charge sequence
+///   (and therefore `SimTime`, superstep and critical-byte counters) is
+///   bitwise-identical between `InProcess` and `MultiProcess`.
+/// * **physical** — which worker key lives on which ranks. Only the
+///   multi-process data plane reads this; it gates actual `Upload`
+///   shipping and routes whole-operand tasks to the rank that already
+///   holds them.
+#[derive(Default)]
+pub(crate) struct Residency {
+    handles: HashMap<u64, HandleState>,
+    /// Logical derived keys already charged (across all handles).
+    charged: std::collections::HashSet<u64>,
+    /// Worker key → home ranks.
+    homes: HashMap<u64, (u64, Vec<usize>)>,
+}
+
+impl Residency {
+    /// Record one more upload of `content`.
+    pub(crate) fn retain(&mut self, content: u64) {
+        self.handles.entry(content).or_default().rc += 1;
+    }
+
+    /// Record one free of `content`. When the refcount reaches zero the
+    /// handle's derived buffers are forgotten and returned for release.
+    pub(crate) fn release(&mut self, content: u64) -> Result<Option<Leftovers>> {
+        let Some(st) = self.handles.get_mut(&content) else {
+            return Err(Error::Runtime(format!(
+                "free of unknown operand handle {content:#x}"
+            )));
+        };
+        if st.rc == 0 {
+            return Err(Error::Runtime(format!(
+                "operand handle {content:#x} freed more times than uploaded"
+            )));
+        }
+        st.rc -= 1;
+        if st.rc > 0 {
+            return Ok(None);
+        }
+        let st = self.handles.remove(&content).expect("present");
+        for k in &st.logical {
+            self.charged.remove(k);
+        }
+        let mut physical = Vec::with_capacity(st.physical.len());
+        for k in st.physical {
+            if let Some((_, ranks)) = self.homes.remove(&k) {
+                physical.push((k, ranks));
+            }
+        }
+        Ok(Some(Leftovers { physical }))
+    }
+
+    /// Observe one logical use of derived buffer `lkey` of `content`.
+    /// Returns `true` exactly once per resident period — the caller
+    /// charges the one-time upload then.
+    pub(crate) fn observe(&mut self, content: u64, lkey: u64) -> bool {
+        if !self.charged.insert(lkey) {
+            return false;
+        }
+        self.handles.entry(content).or_default().logical.push(lkey);
+        true
+    }
+
+    /// Ranks already holding worker buffer `wkey`, if any.
+    pub(crate) fn homes(&self, wkey: u64) -> Option<&[usize]> {
+        self.homes.get(&wkey).map(|(_, r)| r.as_slice())
+    }
+
+    /// Record that worker buffer `wkey` (derived from `content`) now lives
+    /// on `rank`. Returns `false` if it was already there.
+    pub(crate) fn add_home(&mut self, content: u64, wkey: u64, rank: usize) -> bool {
+        let entry = self.homes.entry(wkey).or_insert_with(|| {
+            self.handles.entry(content).or_default().physical.push(wkey);
+            (content, Vec::new())
+        });
+        if entry.1.contains(&rank) {
+            false
+        } else {
+            entry.1.push(rank);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_keys_are_content_keyed() {
+        let a = DenseTensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DenseTensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let c = DenseTensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let d = DenseTensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, -4.0]).unwrap();
+        let (ha, hb) = (
+            OpHandle::new(Payload::F64(a)),
+            OpHandle::new(Payload::F64(b)),
+        );
+        assert_eq!(ha.key(), hb.key(), "same content, same key");
+        assert_ne!(ha.key(), OpHandle::new(Payload::F64(c)).key(), "dims count");
+        assert_ne!(
+            ha.key(),
+            OpHandle::new(Payload::F64(d)).key(),
+            "values count"
+        );
+        // scalar type is part of the key
+        let cx = DenseTensor::from_vec(
+            [2, 2],
+            vec![
+                Complex64::new(1.0, 0.0),
+                Complex64::new(2.0, 0.0),
+                Complex64::new(3.0, 0.0),
+                Complex64::new(4.0, 0.0),
+            ],
+        )
+        .unwrap();
+        assert_ne!(ha.key(), OpHandle::new(Payload::C64(cx)).key());
+    }
+
+    #[test]
+    fn residency_refcount_and_observation() {
+        let mut r = Residency::default();
+        r.retain(7);
+        r.retain(7); // second upload of identical content
+        assert!(r.observe(7, 100), "first use is a miss");
+        assert!(!r.observe(7, 100), "second use hits");
+        assert!(r.add_home(7, 100, 1));
+        assert!(!r.add_home(7, 100, 1));
+        assert!(r.add_home(7, 100, 2));
+        assert!(r.release(7).unwrap().is_none(), "rc 2 -> 1 keeps residency");
+        let left = r.release(7).unwrap().expect("last free returns leftovers");
+        assert_eq!(left.physical, vec![(100, vec![1, 2])]);
+        assert!(r.release(7).is_err(), "double free surfaces");
+        // after the last free the logical charge comes back
+        r.retain(7);
+        assert!(r.observe(7, 100), "fresh resident period re-charges");
+    }
+}

@@ -23,7 +23,7 @@ use tt_tensor::einsum::ContractPlan;
 use tt_tensor::gemm::{
     gemm_acc_packed_rows, gemm_acc_slices, gemm_path, gemv_acc_rows, GemmPath, PackedB, MC,
 };
-use tt_tensor::{DenseTensor, Shape, SparseTensor};
+use tt_tensor::{DenseTensor, Scalar, Shape, SparseTensor};
 
 /// Work volume (flops) below which the sparse kernels stay on a single
 /// worker: at small sizes the pool dispatch overhead (job boxing, channel
@@ -139,12 +139,12 @@ pub(crate) fn natural_dims(plan: &ContractPlan, a_dims: &[usize], b_dims: &[usiz
 /// kernel path comes from [`gemm_path`]`(k, n)` (invariant under row
 /// chunking), `B` is packed once and shared, and row-disjoint panels fan
 /// out over the pool.
-pub(crate) fn dense_contract(
+pub(crate) fn dense_contract<T: Scalar>(
     plan: &ContractPlan,
-    a: &DenseTensor<f64>,
-    b: &DenseTensor<f64>,
+    a: &DenseTensor<T>,
+    b: &DenseTensor<T>,
     pool: Option<&ThreadPool>,
-) -> Result<DenseTensor<f64>> {
+) -> Result<DenseTensor<T>> {
     plan.output_dims(a.dims(), b.dims())?; // validates shapes
     let (m, k, n) = fused_dims(plan, a.dims(), b.dims());
 
@@ -153,8 +153,8 @@ pub(crate) fn dense_contract(
     let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
     perm_b.extend_from_slice(plan.free_b_positions());
 
-    let a_mat: Arc<Vec<f64>> = Arc::new(a.permute(&perm_a)?.into_data());
-    let b_mat: Arc<Vec<f64>> = Arc::new(b.permute(&perm_b)?.into_data());
+    let a_mat: Arc<Vec<T>> = Arc::new(a.permute(&perm_a)?.into_data());
+    let b_mat: Arc<Vec<T>> = Arc::new(b.permute(&perm_b)?.into_data());
 
     let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
     let chunks = match gemm_path(k, n) {
@@ -164,7 +164,7 @@ pub(crate) fn dense_contract(
                 let a_mat = Arc::clone(&a_mat);
                 let b_mat = Arc::clone(&b_mat);
                 Box::new(move || {
-                    let mut c = vec![0.0f64; r1 - r0];
+                    let mut c = vec![T::zero(); r1 - r0];
                     gemv_acc_rows(r0, r1, k, &a_mat, &b_mat, 1, &mut c);
                     c
                 })
@@ -175,7 +175,7 @@ pub(crate) fn dense_contract(
             let b_mat = Arc::clone(&b_mat);
             Box::new(move || {
                 let rows = r1 - r0;
-                let mut c = vec![0.0f64; rows * n];
+                let mut c = vec![T::zero(); rows * n];
                 gemm_acc_slices(rows, k, n, &a_mat[r0 * k..r1 * k], &b_mat, &mut c);
                 c
             })
@@ -183,12 +183,12 @@ pub(crate) fn dense_contract(
         GemmPath::Packed => {
             // pack B once; every worker drives the microkernel over its own
             // MC-aligned row panels against the shared packed operand
-            let pb: Arc<PackedB<f64>> = Arc::new(PackedB::pack(k, n, &b_mat, n, 1));
+            let pb: Arc<PackedB<T>> = Arc::new(PackedB::pack(k, n, &b_mat, n, 1));
             run_chunked(pool, mc_aligned_ranges(m, nthreads), |(r0, r1)| {
                 let a_mat = Arc::clone(&a_mat);
                 let pb = Arc::clone(&pb);
                 Box::new(move || {
-                    let mut c = vec![0.0f64; (r1 - r0) * n];
+                    let mut c = vec![T::zero(); (r1 - r0) * n];
                     gemm_acc_packed_rows(r0, r1, &a_mat, k, 1, &pb, &mut c);
                     c
                 })
@@ -212,27 +212,27 @@ pub(crate) fn dense_contract(
 /// results stay bitwise-equal to the in-process kernels — provided the
 /// slab's first row is [`MC`]-aligned in the global matrix, which keeps
 /// the `A`-panel blocking identical).
-pub(crate) fn dense_chunk(
+pub(crate) fn dense_chunk<T: Scalar>(
     path: GemmPath,
     rows: usize,
     k: usize,
     n: usize,
-    a_slab: &[f64],
-    b_mat: &[f64],
-) -> Vec<f64> {
+    a_slab: &[T],
+    b_mat: &[T],
+) -> Vec<T> {
     match path {
         GemmPath::Gemv => {
-            let mut c = vec![0.0f64; rows];
+            let mut c = vec![T::zero(); rows];
             gemv_acc_rows(0, rows, k, a_slab, b_mat, 1, &mut c);
             c
         }
         GemmPath::Scalar => {
-            let mut c = vec![0.0f64; rows * n];
+            let mut c = vec![T::zero(); rows * n];
             gemm_acc_slices(rows, k, n, a_slab, b_mat, &mut c);
             c
         }
         GemmPath::Packed => {
-            let mut c = vec![0.0f64; rows * n];
+            let mut c = vec![T::zero(); rows * n];
             if rows > 0 {
                 let pb = PackedB::pack(k, n, b_mat, n, 1);
                 gemm_acc_packed_rows(0, rows, a_slab, k, 1, &pb, &mut c);
@@ -404,6 +404,9 @@ pub(crate) struct SsPrep {
     pub(crate) m: usize,
     /// `(dimension, output stride)` pairs for the fused row index.
     pub(crate) row_axes: Vec<(u64, u64)>,
+    /// `(dimension, output stride)` pairs for the fused column index —
+    /// the context a resident grouped-`B` table is derived under.
+    pub(crate) col_axes: Vec<(u64, u64)>,
     /// `B` entries grouped by contracted key, output offsets resolved.
     pub(crate) b_by_ctr: std::collections::BTreeMap<u64, Vec<(u64, f64)>>,
     /// Sorted output-sparsity mask, when given.
@@ -465,6 +468,7 @@ pub(crate) fn ss_prepare(
         out_shape,
         m,
         row_axes,
+        col_axes,
         b_by_ctr,
         mask_sorted,
         coords,
@@ -524,6 +528,7 @@ pub(crate) fn ss_contract(
         out_shape,
         m,
         row_axes,
+        col_axes: _,
         b_by_ctr,
         mask_sorted,
         coords,

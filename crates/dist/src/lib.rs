@@ -31,6 +31,7 @@ mod cluster;
 mod comm;
 mod cost;
 mod exec;
+mod handle;
 mod kernels;
 mod machine;
 mod pool;
@@ -41,14 +42,15 @@ mod tsqr;
 pub use cluster::Cluster;
 pub use comm::Comm;
 pub use cost::{CostTracker, SimTime};
-pub use exec::{Backend, ExecMode, Executor};
+pub use exec::{Backend, DenseOp, DenseOpC, ExecMode, Executor, SparseOp};
+pub use handle::OpHandle;
 pub use machine::Machine;
 pub use pool::ThreadPool;
 pub use summa::DistMatrix;
 #[cfg(unix)]
 pub use transport::ProcTransport;
 pub use transport::{maybe_serve, InProcTransport, SpawnSpec, Transport};
-pub use tsqr::{tsqr, tsqr_on};
+pub use tsqr::{tsqr, tsqr_on, tsqr_on_h};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -11,12 +11,8 @@ use crate::cluster::Cluster;
 use crate::comm::Comm;
 use crate::transport::worker::{Reply, Request};
 use crate::{process_grid, Error, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
 use tt_tensor::gemm::gemm_acc_slices;
 use tt_tensor::DenseTensor;
-
-/// Allocator for worker-store keys, unique across all SUMMA products.
-static SUMMA_KEY: AtomicU64 = AtomicU64::new(1 << 32);
 
 /// A dense matrix with a block-cyclic distribution over a process grid.
 #[derive(Clone, Debug)]
@@ -157,10 +153,10 @@ impl DistMatrix {
 
         let p = cluster.ranks();
         let slabs = crate::kernels::mc_aligned_ranges(m, p);
-        let keys: Vec<u64> = slabs
-            .iter()
-            .map(|_| SUMMA_KEY.fetch_add(1, Ordering::Relaxed))
-            .collect();
+        // slab keys come from the cluster's allocator and live as *pinned*
+        // store entries (same lifecycle as uploaded operand handles:
+        // pinned while in use, dropped by the explicit free below)
+        let keys: Vec<u64> = slabs.iter().map(|_| cluster.fresh_key()).collect();
         let init: Vec<(usize, Request)> = slabs
             .iter()
             .zip(&keys)

@@ -471,8 +471,8 @@ mod tests {
                 rows,
                 k,
                 n,
-                a: vec![1.0; rows * k],
-                b: vec![1.0; k * n],
+                a: crate::transport::worker::OpF::Inline(vec![1.0; rows * k]),
+                b: crate::transport::worker::OpF::Inline(vec![1.0; k * n]),
             }
             .encode(),
         )

@@ -9,6 +9,19 @@
 //! *exactly* the same work decomposition, multi-process results are
 //! bitwise-identical to the in-process Sequential executor.
 //!
+//! Every bulk operand of a compute task is an [`OpF`] / [`OpC`] /
+//! [`OpCoords`] / [`OpSs`] — either **inline** bytes (the value-passing
+//! path) or a **key** into the rank's resident store (the handle path:
+//! the operand was pinned by an earlier `Upload*` request and ships zero
+//! bytes with the task). The store is refcounted and LRU-bounded:
+//! `Upload*` pins (refcount +1), `Release` unpins, `Free` drops
+//! outright — the driver's `Executor::free` sends `Free`, since it
+//! forgets the buffer homes and could never reference the copies again;
+//! `Release` is the unpin primitive a transport that *does* retain homes
+//! (e.g. a future MPI backend) would use. Unpinned entries are evicted
+//! in deterministic least-recently-used order whenever the store's byte
+//! footprint exceeds its cap.
+//!
 //! The same [`WorkerState`] is driven two ways:
 //!
 //! * in-process: [`super::InProcTransport`] calls [`WorkerState::handle`]
@@ -21,6 +34,7 @@ use super::wire::{read_frame, write_frame, Dec, Enc};
 use crate::kernels;
 use crate::{Error, Result};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use tt_linalg::TruncSpec;
 use tt_tensor::einsum::ContractPlan;
 use tt_tensor::gemm::GemmPath;
@@ -31,80 +45,151 @@ pub const ENV_SOCKET: &str = "TT_DIST_WORKER_SOCKET";
 /// Environment variable carrying the worker's rank id.
 pub const ENV_RANK: &str = "TT_DIST_WORKER_RANK";
 
+/// Default byte cap of a rank's resident store (unpinned entries beyond
+/// this are evicted LRU-first; pinned entries are exempt).
+pub(crate) const DEFAULT_CACHE_CAP: u64 = 1 << 30;
+
+/// An `f64` buffer operand: inline payload or resident-store key.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum OpF {
+    /// The bytes travel with the task.
+    Inline(Vec<f64>),
+    /// The operand is resident on the rank under this key.
+    Key(u64),
+}
+
+/// A [`Complex64`] buffer operand.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum OpC {
+    Inline(Vec<Complex64>),
+    Key(u64),
+}
+
+/// A sparse-coordinate bucket operand (`(row, col, value)` triples as
+/// three parallel arrays).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum OpCoords {
+    Inline {
+        rows: Vec<u64>,
+        cols: Vec<u64>,
+        vals: Vec<f64>,
+    },
+    Key(u64),
+}
+
+/// A grouped sparse-sparse `B` operand (`keys`/`lens` index the flattened
+/// `cols`/`vals`, output offsets already resolved).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum OpSs {
+    Inline {
+        keys: Vec<u64>,
+        lens: Vec<u64>,
+        cols: Vec<u64>,
+        vals: Vec<f64>,
+    },
+    Key(u64),
+}
+
 /// A request shipped to one rank.
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) enum Request {
     /// Liveness / barrier probe.
     Ping,
-    /// Store an `f64` buffer under `key`.
+    /// Store an `f64` buffer under `key` (unpinned — evictable).
     Put { key: u64, data: Vec<f64> },
     /// Fetch the `f64` buffer under `key`.
     Get { key: u64 },
-    /// Drop the buffers under `key` (both scalar types).
+    /// Drop the buffer under `key` unconditionally (any payload type).
     Free { key: u64 },
-    /// Store a [`Complex64`] buffer under `key`.
+    /// Store a [`Complex64`] buffer under `key` (unpinned).
     PutC64 { key: u64, data: Vec<Complex64> },
     /// Fetch the [`Complex64`] buffer under `key`.
     GetC64 { key: u64 },
+    /// Pin an `f64` buffer under `key` (refcount +1).
+    Upload { key: u64, data: Vec<f64> },
+    /// Pin a [`Complex64`] buffer under `key`.
+    UploadC64 { key: u64, data: Vec<Complex64> },
+    /// Pin a sparse-coordinate bucket under `key`.
+    UploadCoords {
+        key: u64,
+        rows: Vec<u64>,
+        cols: Vec<u64>,
+        vals: Vec<f64>,
+    },
+    /// Pin a grouped sparse-sparse operand table under `key`.
+    UploadSs {
+        key: u64,
+        keys: Vec<u64>,
+        lens: Vec<u64>,
+        cols: Vec<u64>,
+        vals: Vec<f64>,
+    },
+    /// Unpin `key` (refcount −1); at zero the buffer becomes evictable.
+    Release { key: u64 },
+    /// Report the store's byte footprint and entry counts.
+    CacheStats,
+    /// Set the store's LRU byte cap.
+    SetCacheCap { bytes: u64 },
     /// One row-slab of a dense TTGT contraction (`a` holds `rows` rows of
-    /// the permuted A, `b` the full permuted B).
+    /// the permuted A, `b` the full permuted B). Scatter and compute are
+    /// fused: resident operands ship as keys, everything else rides in
+    /// this one request.
     DenseChunk {
         path: GemmPath,
         rows: usize,
         k: usize,
         n: usize,
-        a: Vec<f64>,
-        b: Vec<f64>,
+        a: OpF,
+        b: OpF,
+    },
+    /// [`Request::DenseChunk`] over [`Complex64`] operands.
+    DenseChunkC64 {
+        path: GemmPath,
+        rows: usize,
+        k: usize,
+        n: usize,
+        a: OpC,
+        b: OpC,
     },
     /// One whole dense contraction (the block-pair fan-out of the list
     /// algorithm ships each pair to a rank).
     DensePair {
         spec: String,
         a_dims: Vec<usize>,
-        a: Vec<f64>,
+        a: OpF,
         b_dims: Vec<usize>,
-        b: Vec<f64>,
+        b: OpF,
     },
     /// One volume-balanced sparse-dense bucket over rows `[r0, r1)`.
     SdChunk {
         r0: usize,
         r1: usize,
         n: usize,
-        rows: Vec<u64>,
-        cols: Vec<u64>,
-        vals: Vec<f64>,
-        b: Vec<f64>,
+        a: OpCoords,
+        b: OpF,
     },
-    /// One volume-balanced sparse-sparse bucket; `b_keys`/`b_lens` +
-    /// flattened `b_cols`/`b_vals` carry the grouped B operand.
+    /// One volume-balanced sparse-sparse bucket against the grouped `B`
+    /// operand.
     SsChunk {
-        rows: Vec<u64>,
-        ctrs: Vec<u64>,
-        vals: Vec<f64>,
-        b_keys: Vec<u64>,
-        b_lens: Vec<u64>,
-        b_cols: Vec<u64>,
-        b_vals: Vec<f64>,
+        a: OpCoords,
+        b: OpSs,
         ax_dims: Vec<u64>,
         ax_strides: Vec<u64>,
         mask: Option<Vec<u64>>,
     },
-    /// Thin QR of a resident-free `rows × cols` matrix.
-    QrThin {
-        rows: usize,
-        cols: usize,
-        a: Vec<f64>,
-    },
+    /// Thin QR of a `rows × cols` matrix.
+    QrThin { rows: usize, cols: usize, a: OpF },
     /// Truncated SVD of a `rows × cols` matrix.
     SvdTrunc {
         rows: usize,
         cols: usize,
-        a: Vec<f64>,
+        a: OpF,
         max_rank: u64,
         cutoff: f64,
         min_keep: u64,
     },
-    /// Allocate a zeroed resident SUMMA slab (`rows × n`) under `key`.
+    /// Allocate a zeroed resident SUMMA slab (`rows × n`) under `key`,
+    /// pinned until freed.
     SummaInit { key: u64, rows: usize, n: usize },
     /// Accumulate one `k`-panel product into the resident slab: the
     /// `rows × w` A-slab panel times the `w × n` B panel.
@@ -157,6 +242,12 @@ pub(crate) enum Reply {
         trunc_err: f64,
         n_discarded: u64,
     },
+    /// Resident-store footprint.
+    Stats {
+        bytes: u64,
+        entries: u64,
+        pinned: u64,
+    },
     /// The task failed on the worker; the driver surfaces the message.
     Fail(String),
 }
@@ -188,6 +279,117 @@ fn put_usizes(e: &mut Enc, v: &[usize]) {
 fn get_usizes(d: &mut Dec) -> Result<Vec<usize>> {
     let n = d.usize()?;
     (0..n).map(|_| d.usize()).collect()
+}
+
+impl OpF {
+    fn put(&self, e: &mut Enc) {
+        match self {
+            OpF::Inline(v) => {
+                e.put_u8(0);
+                e.put_f64s(v);
+            }
+            OpF::Key(k) => {
+                e.put_u8(1);
+                e.put_u64(*k);
+            }
+        }
+    }
+
+    fn get(d: &mut Dec) -> Result<Self> {
+        Ok(match d.u8()? {
+            0 => OpF::Inline(d.f64s()?),
+            1 => OpF::Key(d.u64()?),
+            t => return Err(Error::Transport(format!("bad operand tag {t}"))),
+        })
+    }
+}
+
+impl OpC {
+    fn put(&self, e: &mut Enc) {
+        match self {
+            OpC::Inline(v) => {
+                e.put_u8(0);
+                e.put_c64s(v);
+            }
+            OpC::Key(k) => {
+                e.put_u8(1);
+                e.put_u64(*k);
+            }
+        }
+    }
+
+    fn get(d: &mut Dec) -> Result<Self> {
+        Ok(match d.u8()? {
+            0 => OpC::Inline(d.c64s()?),
+            1 => OpC::Key(d.u64()?),
+            t => return Err(Error::Transport(format!("bad operand tag {t}"))),
+        })
+    }
+}
+
+impl OpCoords {
+    fn put(&self, e: &mut Enc) {
+        match self {
+            OpCoords::Inline { rows, cols, vals } => {
+                e.put_u8(0);
+                e.put_u64s(rows);
+                e.put_u64s(cols);
+                e.put_f64s(vals);
+            }
+            OpCoords::Key(k) => {
+                e.put_u8(1);
+                e.put_u64(*k);
+            }
+        }
+    }
+
+    fn get(d: &mut Dec) -> Result<Self> {
+        Ok(match d.u8()? {
+            0 => OpCoords::Inline {
+                rows: d.u64s()?,
+                cols: d.u64s()?,
+                vals: d.f64s()?,
+            },
+            1 => OpCoords::Key(d.u64()?),
+            t => return Err(Error::Transport(format!("bad operand tag {t}"))),
+        })
+    }
+}
+
+impl OpSs {
+    fn put(&self, e: &mut Enc) {
+        match self {
+            OpSs::Inline {
+                keys,
+                lens,
+                cols,
+                vals,
+            } => {
+                e.put_u8(0);
+                e.put_u64s(keys);
+                e.put_u64s(lens);
+                e.put_u64s(cols);
+                e.put_f64s(vals);
+            }
+            OpSs::Key(k) => {
+                e.put_u8(1);
+                e.put_u64(*k);
+            }
+        }
+    }
+
+    fn get(d: &mut Dec) -> Result<Self> {
+        Ok(match d.u8()? {
+            0 => OpSs::Inline {
+                keys: d.u64s()?,
+                lens: d.u64s()?,
+                cols: d.u64s()?,
+                vals: d.f64s()?,
+            },
+            1 => OpSs::Key(d.u64()?),
+            t => return Err(Error::Transport(format!("bad operand tag {t}"))),
+        })
+    }
 }
 
 impl Request {
@@ -231,8 +433,8 @@ impl Request {
                 e.put_usize(*rows);
                 e.put_usize(*k);
                 e.put_usize(*n);
-                e.put_f64s(a);
-                e.put_f64s(b);
+                a.put(&mut e);
+                b.put(&mut e);
             }
             Request::DensePair {
                 spec,
@@ -244,48 +446,28 @@ impl Request {
                 e.put_u8(7);
                 e.put_str(spec);
                 put_usizes(&mut e, a_dims);
-                e.put_f64s(a);
+                a.put(&mut e);
                 put_usizes(&mut e, b_dims);
-                e.put_f64s(b);
+                b.put(&mut e);
             }
-            Request::SdChunk {
-                r0,
-                r1,
-                n,
-                rows,
-                cols,
-                vals,
-                b,
-            } => {
+            Request::SdChunk { r0, r1, n, a, b } => {
                 e.put_u8(8);
                 e.put_usize(*r0);
                 e.put_usize(*r1);
                 e.put_usize(*n);
-                e.put_u64s(rows);
-                e.put_u64s(cols);
-                e.put_f64s(vals);
-                e.put_f64s(b);
+                a.put(&mut e);
+                b.put(&mut e);
             }
             Request::SsChunk {
-                rows,
-                ctrs,
-                vals,
-                b_keys,
-                b_lens,
-                b_cols,
-                b_vals,
+                a,
+                b,
                 ax_dims,
                 ax_strides,
                 mask,
             } => {
                 e.put_u8(9);
-                e.put_u64s(rows);
-                e.put_u64s(ctrs);
-                e.put_f64s(vals);
-                e.put_u64s(b_keys);
-                e.put_u64s(b_lens);
-                e.put_u64s(b_cols);
-                e.put_f64s(b_vals);
+                a.put(&mut e);
+                b.put(&mut e);
                 e.put_u64s(ax_dims);
                 e.put_u64s(ax_strides);
                 e.put_bool(mask.is_some());
@@ -297,7 +479,7 @@ impl Request {
                 e.put_u8(10);
                 e.put_usize(*rows);
                 e.put_usize(*cols);
-                e.put_f64s(a);
+                a.put(&mut e);
             }
             Request::SvdTrunc {
                 rows,
@@ -310,7 +492,7 @@ impl Request {
                 e.put_u8(11);
                 e.put_usize(*rows);
                 e.put_usize(*cols);
-                e.put_f64s(a);
+                a.put(&mut e);
                 e.put_u64(*max_rank);
                 e.put_f64(*cutoff);
                 e.put_u64(*min_keep);
@@ -338,6 +520,67 @@ impl Request {
                 e.put_f64s(b);
             }
             Request::Shutdown => e.put_u8(14),
+            Request::DenseChunkC64 {
+                path,
+                rows,
+                k,
+                n,
+                a,
+                b,
+            } => {
+                e.put_u8(15);
+                e.put_u8(path_to_u8(*path));
+                e.put_usize(*rows);
+                e.put_usize(*k);
+                e.put_usize(*n);
+                a.put(&mut e);
+                b.put(&mut e);
+            }
+            Request::Upload { key, data } => {
+                e.put_u8(16);
+                e.put_u64(*key);
+                e.put_f64s(data);
+            }
+            Request::UploadC64 { key, data } => {
+                e.put_u8(17);
+                e.put_u64(*key);
+                e.put_c64s(data);
+            }
+            Request::UploadCoords {
+                key,
+                rows,
+                cols,
+                vals,
+            } => {
+                e.put_u8(18);
+                e.put_u64(*key);
+                e.put_u64s(rows);
+                e.put_u64s(cols);
+                e.put_f64s(vals);
+            }
+            Request::UploadSs {
+                key,
+                keys,
+                lens,
+                cols,
+                vals,
+            } => {
+                e.put_u8(19);
+                e.put_u64(*key);
+                e.put_u64s(keys);
+                e.put_u64s(lens);
+                e.put_u64s(cols);
+                e.put_f64s(vals);
+            }
+            Request::Release { key } => {
+                e.put_u8(20);
+                e.put_u64(*key);
+            }
+            Request::CacheStats => e.put_u8(21),
+            Request::SetCacheCap { bytes } => {
+                e.put_u8(22);
+                e.put_u64(*bytes);
+            }
         }
         e.finish()
     }
@@ -363,33 +606,26 @@ impl Request {
                 rows: d.usize()?,
                 k: d.usize()?,
                 n: d.usize()?,
-                a: d.f64s()?,
-                b: d.f64s()?,
+                a: OpF::get(&mut d)?,
+                b: OpF::get(&mut d)?,
             },
             7 => Request::DensePair {
                 spec: d.str()?,
                 a_dims: get_usizes(&mut d)?,
-                a: d.f64s()?,
+                a: OpF::get(&mut d)?,
                 b_dims: get_usizes(&mut d)?,
-                b: d.f64s()?,
+                b: OpF::get(&mut d)?,
             },
             8 => Request::SdChunk {
                 r0: d.usize()?,
                 r1: d.usize()?,
                 n: d.usize()?,
-                rows: d.u64s()?,
-                cols: d.u64s()?,
-                vals: d.f64s()?,
-                b: d.f64s()?,
+                a: OpCoords::get(&mut d)?,
+                b: OpF::get(&mut d)?,
             },
             9 => Request::SsChunk {
-                rows: d.u64s()?,
-                ctrs: d.u64s()?,
-                vals: d.f64s()?,
-                b_keys: d.u64s()?,
-                b_lens: d.u64s()?,
-                b_cols: d.u64s()?,
-                b_vals: d.f64s()?,
+                a: OpCoords::get(&mut d)?,
+                b: OpSs::get(&mut d)?,
                 ax_dims: d.u64s()?,
                 ax_strides: d.u64s()?,
                 mask: if d.bool()? { Some(d.u64s()?) } else { None },
@@ -397,12 +633,12 @@ impl Request {
             10 => Request::QrThin {
                 rows: d.usize()?,
                 cols: d.usize()?,
-                a: d.f64s()?,
+                a: OpF::get(&mut d)?,
             },
             11 => Request::SvdTrunc {
                 rows: d.usize()?,
                 cols: d.usize()?,
-                a: d.f64s()?,
+                a: OpF::get(&mut d)?,
                 max_rank: d.u64()?,
                 cutoff: d.f64()?,
                 min_keep: d.u64()?,
@@ -421,6 +657,38 @@ impl Request {
                 b: d.f64s()?,
             },
             14 => Request::Shutdown,
+            15 => Request::DenseChunkC64 {
+                path: path_from_u8(d.u8()?)?,
+                rows: d.usize()?,
+                k: d.usize()?,
+                n: d.usize()?,
+                a: OpC::get(&mut d)?,
+                b: OpC::get(&mut d)?,
+            },
+            16 => Request::Upload {
+                key: d.u64()?,
+                data: d.f64s()?,
+            },
+            17 => Request::UploadC64 {
+                key: d.u64()?,
+                data: d.c64s()?,
+            },
+            18 => Request::UploadCoords {
+                key: d.u64()?,
+                rows: d.u64s()?,
+                cols: d.u64s()?,
+                vals: d.f64s()?,
+            },
+            19 => Request::UploadSs {
+                key: d.u64()?,
+                keys: d.u64s()?,
+                lens: d.u64s()?,
+                cols: d.u64s()?,
+                vals: d.f64s()?,
+            },
+            20 => Request::Release { key: d.u64()? },
+            21 => Request::CacheStats,
+            22 => Request::SetCacheCap { bytes: d.u64()? },
             op => return Err(Error::Transport(format!("unknown request opcode {op}"))),
         };
         Ok(req)
@@ -488,6 +756,16 @@ impl Reply {
                 e.put_u8(7);
                 e.put_str(msg);
             }
+            Reply::Stats {
+                bytes,
+                entries,
+                pinned,
+            } => {
+                e.put_u8(8);
+                e.put_u64(*bytes);
+                e.put_u64(*entries);
+                e.put_u64(*pinned);
+            }
         }
         e.finish()
     }
@@ -524,23 +802,258 @@ impl Reply {
                 n_discarded: d.u64()?,
             },
             7 => Reply::Fail(d.str()?),
+            8 => Reply::Stats {
+                bytes: d.u64()?,
+                entries: d.u64()?,
+                pinned: d.u64()?,
+            },
             op => return Err(Error::Transport(format!("unknown reply opcode {op}"))),
         };
         Ok(rep)
     }
 }
 
-/// One rank's resident state: keyed buffer stores.
-#[derive(Default)]
+/// The grouped sparse-sparse `B` operand in its resident (decoded) form.
+pub(crate) struct SsTable {
+    pub(crate) b_by_ctr: BTreeMap<u64, Vec<(u64, f64)>>,
+    /// Stored entry count (for byte accounting).
+    entries: usize,
+}
+
+impl SsTable {
+    fn build(keys: &[u64], lens: &[u64], cols: &[u64], vals: &[f64]) -> Result<Self> {
+        if cols.len() != vals.len() || keys.len() != lens.len() {
+            return Err(Error::Transport("ss group table mismatch".into()));
+        }
+        let mut b_by_ctr: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+        let mut off = 0usize;
+        for (key, len) in keys.iter().zip(lens) {
+            let len = *len as usize;
+            if off + len > cols.len() {
+                return Err(Error::Transport("ss group table mismatch".into()));
+            }
+            let group = cols[off..off + len]
+                .iter()
+                .copied()
+                .zip(vals[off..off + len].iter().copied())
+                .collect();
+            b_by_ctr.insert(*key, group);
+            off += len;
+        }
+        Ok(Self {
+            b_by_ctr,
+            entries: cols.len(),
+        })
+    }
+}
+
+/// One resident buffer.
+enum Cached {
+    F64(Arc<Vec<f64>>),
+    C64(Arc<Vec<Complex64>>),
+    Coords(Arc<Vec<kernels::Coord>>),
+    Ss(Arc<SsTable>),
+}
+
+impl Cached {
+    /// Deterministic byte accounting of the buffer.
+    fn bytes(&self) -> u64 {
+        match self {
+            Cached::F64(v) => 8 * v.len() as u64,
+            Cached::C64(v) => 16 * v.len() as u64,
+            Cached::Coords(v) => 24 * v.len() as u64,
+            Cached::Ss(t) => 16 * t.entries as u64 + 24 * t.b_by_ctr.len() as u64,
+        }
+    }
+}
+
+struct Entry {
+    val: Cached,
+    /// Pin count: >0 entries are never evicted.
+    rc: u32,
+    /// Logical LRU timestamp (unique per touch — eviction order is
+    /// deterministic given the request sequence).
+    last_use: u64,
+}
+
+/// One rank's resident state: a keyed buffer store with refcounts and an
+/// LRU byte cap.
 pub(crate) struct WorkerState {
-    store: HashMap<u64, Vec<f64>>,
-    store_c64: HashMap<u64, Vec<Complex64>>,
+    store: HashMap<u64, Entry>,
+    clock: u64,
+    bytes: u64,
+    cap: u64,
+}
+
+impl Default for WorkerState {
+    fn default() -> Self {
+        Self::with_cap(DEFAULT_CACHE_CAP)
+    }
 }
 
 impl WorkerState {
-    /// Fresh state with empty stores.
+    /// Fresh state with an empty store and the default byte cap.
     pub(crate) fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh state with an explicit LRU byte cap.
+    pub(crate) fn with_cap(cap: u64) -> Self {
+        Self {
+            store: HashMap::new(),
+            clock: 0,
+            bytes: 0,
+            cap,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Insert (or replace) `key`; `pin` adds one to the refcount carried
+    /// over from any replaced entry. Evicts LRU unpinned entries if the
+    /// cap is now exceeded — but never the entry being inserted, so a
+    /// staged buffer (a collective's `Put` part, even one bigger than
+    /// the cap) always survives until at least the next insert on this
+    /// rank, which is after the request that consumes it.
+    fn insert(&mut self, key: u64, val: Cached, pin: bool) {
+        let old_rc = match self.store.remove(&key) {
+            Some(e) => {
+                self.bytes -= e.val.bytes();
+                e.rc
+            }
+            None => 0,
+        };
+        self.bytes += val.bytes();
+        let last_use = self.tick();
+        self.store.insert(
+            key,
+            Entry {
+                val,
+                rc: old_rc + pin as u32,
+                last_use,
+            },
+        );
+        self.evict(Some(key));
+    }
+
+    /// Evict unpinned entries in ascending last-use order until the store
+    /// fits the cap (pinned entries are exempt and may exceed it;
+    /// `keep` — the entry an in-flight insert staged — is never a victim).
+    fn evict(&mut self, keep: Option<u64>) {
+        while self.bytes > self.cap {
+            let victim = self
+                .store
+                .iter()
+                .filter(|(&k, e)| e.rc == 0 && Some(k) != keep)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(k) => {
+                    let e = self.store.remove(&k).expect("victim present");
+                    self.bytes -= e.val.bytes();
+                }
+                None => break, // everything left is pinned or staged
+            }
+        }
+    }
+
+    fn touch(&mut self, key: u64) -> Result<&Entry> {
+        let stamp = self.tick();
+        let e = self
+            .store
+            .get_mut(&key)
+            .ok_or_else(|| Error::Transport(format!("no buffer under key {key:#x}")))?;
+        e.last_use = stamp;
+        Ok(e)
+    }
+
+    fn get_f64(&mut self, key: u64) -> Result<Arc<Vec<f64>>> {
+        match &self.touch(key)?.val {
+            Cached::F64(v) => Ok(Arc::clone(v)),
+            _ => Err(Error::Transport(format!("key {key:#x} is not f64 data"))),
+        }
+    }
+
+    fn get_c64(&mut self, key: u64) -> Result<Arc<Vec<Complex64>>> {
+        match &self.touch(key)?.val {
+            Cached::C64(v) => Ok(Arc::clone(v)),
+            _ => Err(Error::Transport(format!(
+                "key {key:#x} is not Complex64 data"
+            ))),
+        }
+    }
+
+    fn get_coords(&mut self, key: u64) -> Result<Arc<Vec<kernels::Coord>>> {
+        match &self.touch(key)?.val {
+            Cached::Coords(v) => Ok(Arc::clone(v)),
+            _ => Err(Error::Transport(format!(
+                "key {key:#x} is not a coordinate bucket"
+            ))),
+        }
+    }
+
+    fn get_ss(&mut self, key: u64) -> Result<Arc<SsTable>> {
+        match &self.touch(key)?.val {
+            Cached::Ss(v) => Ok(Arc::clone(v)),
+            _ => Err(Error::Transport(format!(
+                "key {key:#x} is not a grouped ss operand"
+            ))),
+        }
+    }
+
+    /// Take a resolved operand by value: moves the buffer out when the
+    /// `Arc` is unique (inline operands), copies only when it is shared
+    /// (resident buffers, which must stay in the store).
+    fn take<T: Clone>(buf: Arc<Vec<T>>) -> Vec<T> {
+        Arc::try_unwrap(buf).unwrap_or_else(|a| a.as_ref().clone())
+    }
+
+    /// Resolve an [`OpF`] to owned-or-resident f64 data.
+    fn opf(&mut self, op: OpF) -> Result<Arc<Vec<f64>>> {
+        match op {
+            OpF::Inline(v) => Ok(Arc::new(v)),
+            OpF::Key(k) => self.get_f64(k),
+        }
+    }
+
+    fn opc(&mut self, op: OpC) -> Result<Arc<Vec<Complex64>>> {
+        match op {
+            OpC::Inline(v) => Ok(Arc::new(v)),
+            OpC::Key(k) => self.get_c64(k),
+        }
+    }
+
+    fn opcoords(&mut self, op: OpCoords) -> Result<Arc<Vec<kernels::Coord>>> {
+        match op {
+            OpCoords::Inline { rows, cols, vals } => {
+                if rows.len() != cols.len() || rows.len() != vals.len() {
+                    return Err(Error::Transport("coordinate arity mismatch".into()));
+                }
+                Ok(Arc::new(
+                    rows.into_iter()
+                        .zip(cols)
+                        .zip(vals)
+                        .map(|((r, c), v)| (r, c, v))
+                        .collect(),
+                ))
+            }
+            OpCoords::Key(k) => self.get_coords(k),
+        }
+    }
+
+    fn opss(&mut self, op: OpSs) -> Result<Arc<SsTable>> {
+        match op {
+            OpSs::Inline {
+                keys,
+                lens,
+                cols,
+                vals,
+            } => Ok(Arc::new(SsTable::build(&keys, &lens, &cols, &vals)?)),
+            OpSs::Key(k) => self.get_ss(k),
+        }
     }
 
     /// Execute one request. Returns `None` only for [`Request::Shutdown`];
@@ -553,35 +1066,74 @@ impl WorkerState {
         Some(self.run(req).unwrap_or_else(|e| Reply::Fail(e.to_string())))
     }
 
-    fn get_f64(&self, key: u64) -> Result<&Vec<f64>> {
-        self.store
-            .get(&key)
-            .ok_or_else(|| Error::Transport(format!("no buffer under key {key}")))
-    }
-
     fn run(&mut self, req: Request) -> Result<Reply> {
         match req {
             Request::Shutdown => unreachable!("handled in handle()"),
             Request::Ping => Ok(Reply::Pong),
             Request::Put { key, data } => {
-                self.store.insert(key, data);
+                self.insert(key, Cached::F64(Arc::new(data)), false);
                 Ok(Reply::Unit)
             }
-            Request::Get { key } => Ok(Reply::F64s(self.get_f64(key)?.clone())),
+            Request::Get { key } => Ok(Reply::F64s(self.get_f64(key)?.as_ref().clone())),
             Request::Free { key } => {
-                self.store.remove(&key);
-                self.store_c64.remove(&key);
+                if let Some(e) = self.store.remove(&key) {
+                    self.bytes -= e.val.bytes();
+                }
                 Ok(Reply::Unit)
             }
             Request::PutC64 { key, data } => {
-                self.store_c64.insert(key, data);
+                self.insert(key, Cached::C64(Arc::new(data)), false);
                 Ok(Reply::Unit)
             }
-            Request::GetC64 { key } => self
-                .store_c64
-                .get(&key)
-                .map(|v| Reply::C64s(v.clone()))
-                .ok_or_else(|| Error::Transport(format!("no complex buffer under key {key}"))),
+            Request::GetC64 { key } => Ok(Reply::C64s(self.get_c64(key)?.as_ref().clone())),
+            Request::Upload { key, data } => {
+                self.insert(key, Cached::F64(Arc::new(data)), true);
+                Ok(Reply::Unit)
+            }
+            Request::UploadC64 { key, data } => {
+                self.insert(key, Cached::C64(Arc::new(data)), true);
+                Ok(Reply::Unit)
+            }
+            Request::UploadCoords {
+                key,
+                rows,
+                cols,
+                vals,
+            } => {
+                let coords = self.opcoords(OpCoords::Inline { rows, cols, vals })?;
+                self.insert(key, Cached::Coords(coords), true);
+                Ok(Reply::Unit)
+            }
+            Request::UploadSs {
+                key,
+                keys,
+                lens,
+                cols,
+                vals,
+            } => {
+                let table = SsTable::build(&keys, &lens, &cols, &vals)?;
+                self.insert(key, Cached::Ss(Arc::new(table)), true);
+                Ok(Reply::Unit)
+            }
+            Request::Release { key } => {
+                // lenient: releasing an absent key is a no-op (the entry
+                // can only be absent if it was never pinned)
+                if let Some(e) = self.store.get_mut(&key) {
+                    e.rc = e.rc.saturating_sub(1);
+                }
+                self.evict(None);
+                Ok(Reply::Unit)
+            }
+            Request::CacheStats => Ok(Reply::Stats {
+                bytes: self.bytes,
+                entries: self.store.len() as u64,
+                pinned: self.store.values().filter(|e| e.rc > 0).count() as u64,
+            }),
+            Request::SetCacheCap { bytes } => {
+                self.cap = bytes;
+                self.evict(None);
+                Ok(Reply::Unit)
+            }
             Request::DenseChunk {
                 path,
                 rows,
@@ -590,10 +1142,27 @@ impl WorkerState {
                 a,
                 b,
             } => {
+                let a = self.opf(a)?;
+                let b = self.opf(b)?;
                 if a.len() != rows * k || b.len() != k * n {
                     return Err(Error::Transport("dense chunk operand size mismatch".into()));
                 }
                 Ok(Reply::F64s(kernels::dense_chunk(path, rows, k, n, &a, &b)))
+            }
+            Request::DenseChunkC64 {
+                path,
+                rows,
+                k,
+                n,
+                a,
+                b,
+            } => {
+                let a = self.opc(a)?;
+                let b = self.opc(b)?;
+                if a.len() != rows * k || b.len() != k * n {
+                    return Err(Error::Transport("dense chunk operand size mismatch".into()));
+                }
+                Ok(Reply::C64s(kernels::dense_chunk(path, rows, k, n, &a, &b)))
             }
             Request::DensePair {
                 spec,
@@ -603,69 +1172,37 @@ impl WorkerState {
                 b,
             } => {
                 let plan = ContractPlan::parse(&spec)?;
-                let ta = DenseTensor::from_vec(a_dims, a)?;
-                let tb = DenseTensor::from_vec(b_dims, b)?;
+                let a = self.opf(a)?;
+                let b = self.opf(b)?;
+                let ta = DenseTensor::from_vec(a_dims, Self::take(a))?;
+                let tb = DenseTensor::from_vec(b_dims, Self::take(b))?;
                 let c = kernels::dense_contract(&plan, &ta, &tb, None)?;
                 Ok(Reply::F64s(c.into_data()))
             }
-            Request::SdChunk {
-                r0,
-                r1,
-                n,
-                rows,
-                cols,
-                vals,
-                b,
-            } => {
-                let bucket: Vec<kernels::Coord> = rows
-                    .into_iter()
-                    .zip(cols)
-                    .zip(vals)
-                    .map(|((r, c), v)| (r, c, v))
-                    .collect();
+            Request::SdChunk { r0, r1, n, a, b } => {
+                let bucket = self.opcoords(a)?;
+                let b = self.opf(b)?;
                 Ok(Reply::F64s(kernels::sd_chunk(r0, r1, n, &bucket, &b)))
             }
             Request::SsChunk {
-                rows,
-                ctrs,
-                vals,
-                b_keys,
-                b_lens,
-                b_cols,
-                b_vals,
+                a,
+                b,
                 ax_dims,
                 ax_strides,
                 mask,
             } => {
-                let bucket: Vec<kernels::Coord> = rows
-                    .into_iter()
-                    .zip(ctrs)
-                    .zip(vals)
-                    .map(|((r, c), v)| (r, c, v))
-                    .collect();
-                let mut b_by_ctr: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
-                let mut off = 0usize;
-                for (key, len) in b_keys.iter().zip(&b_lens) {
-                    let len = *len as usize;
-                    if off + len > b_cols.len() || b_cols.len() != b_vals.len() {
-                        return Err(Error::Transport("ss chunk group table mismatch".into()));
-                    }
-                    let group = b_cols[off..off + len]
-                        .iter()
-                        .copied()
-                        .zip(b_vals[off..off + len].iter().copied())
-                        .collect();
-                    b_by_ctr.insert(*key, group);
-                    off += len;
-                }
+                let bucket = self.opcoords(a)?;
+                let table = self.opss(b)?;
                 let row_axes: Vec<(u64, u64)> = ax_dims.into_iter().zip(ax_strides).collect();
                 let (entries, flops) =
-                    kernels::ss_chunk(&bucket, &b_by_ctr, &row_axes, mask.as_deref());
+                    kernels::ss_chunk(&bucket, &table.b_by_ctr, &row_axes, mask.as_deref());
                 let (offs, vals) = entries.into_iter().unzip();
                 Ok(Reply::Entries { offs, vals, flops })
             }
             Request::QrThin { rows, cols, a } => {
-                let (q, r) = tt_linalg::qr_thin(&DenseTensor::from_vec([rows, cols], a)?)?;
+                let a = self.opf(a)?;
+                let (q, r) =
+                    tt_linalg::qr_thin(&DenseTensor::from_vec([rows, cols], Self::take(a))?)?;
                 Ok(Reply::Factors {
                     q_rows: q.dims()[0],
                     q_cols: q.dims()[1],
@@ -688,7 +1225,11 @@ impl WorkerState {
                     cutoff,
                     min_keep: min_keep as usize,
                 };
-                let t = tt_linalg::svd_trunc(&DenseTensor::from_vec([rows, cols], a)?, spec)?;
+                let a = self.opf(a)?;
+                let t = tt_linalg::svd_trunc(
+                    &DenseTensor::from_vec([rows, cols], Self::take(a))?,
+                    spec,
+                )?;
                 Ok(Reply::Svd {
                     u_rows: t.u.dims()[0],
                     rank: t.s.len(),
@@ -701,7 +1242,8 @@ impl WorkerState {
                 })
             }
             Request::SummaInit { key, rows, n } => {
-                self.store.insert(key, vec![0.0f64; rows * n]);
+                // pinned for the duration of the product; summa_on frees it
+                self.insert(key, Cached::F64(Arc::new(vec![0.0f64; rows * n])), true);
                 Ok(Reply::Unit)
             }
             Request::SummaPanel {
@@ -715,14 +1257,26 @@ impl WorkerState {
                 if a.len() != rows * w || b.len() != w * n {
                     return Err(Error::Transport("summa panel size mismatch".into()));
                 }
-                let slab = self
+                let stamp = self.tick();
+                let entry = self
                     .store
                     .get_mut(&key)
                     .ok_or_else(|| Error::Transport(format!("no summa slab under key {key}")))?;
+                entry.last_use = stamp;
+                let Cached::F64(slab) = &mut entry.val else {
+                    return Err(Error::Transport("summa slab has wrong payload type".into()));
+                };
                 if slab.len() != rows * n {
                     return Err(Error::Transport("summa slab shape mismatch".into()));
                 }
-                tt_tensor::gemm::gemm_acc_slices(rows, w, n, &a, &b, slab);
+                tt_tensor::gemm::gemm_acc_slices(
+                    rows,
+                    w,
+                    n,
+                    &a,
+                    &b,
+                    Arc::make_mut(slab).as_mut_slice(),
+                );
                 Ok(Reply::Unit)
             }
         }
@@ -814,10 +1368,10 @@ pub fn maybe_serve() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
-    #[test]
-    fn requests_and_replies_roundtrip() {
-        let reqs = vec![
+    fn sample_requests() -> Vec<Request> {
+        vec![
             Request::Ping,
             Request::Put {
                 key: 9,
@@ -830,38 +1384,72 @@ mod tests {
                 data: vec![Complex64::new(0.1, -0.2)],
             },
             Request::GetC64 { key: 1 },
+            Request::Upload {
+                key: 77,
+                data: vec![0.5, -0.0],
+            },
+            Request::UploadC64 {
+                key: 78,
+                data: vec![Complex64::I],
+            },
+            Request::UploadCoords {
+                key: 79,
+                rows: vec![1, 2],
+                cols: vec![3, 4],
+                vals: vec![0.5, 0.25],
+            },
+            Request::UploadSs {
+                key: 80,
+                keys: vec![2],
+                lens: vec![1],
+                cols: vec![4],
+                vals: vec![5.0],
+            },
+            Request::Release { key: 77 },
+            Request::CacheStats,
+            Request::SetCacheCap { bytes: 4096 },
             Request::DenseChunk {
                 path: GemmPath::Packed,
                 rows: 2,
                 k: 3,
                 n: 2,
-                a: vec![1.0; 6],
-                b: vec![2.0; 6],
+                a: OpF::Inline(vec![1.0; 6]),
+                b: OpF::Key(77),
+            },
+            Request::DenseChunkC64 {
+                path: GemmPath::Scalar,
+                rows: 1,
+                k: 1,
+                n: 1,
+                a: OpC::Inline(vec![Complex64::new(1.0, -1.0)]),
+                b: OpC::Key(78),
             },
             Request::DensePair {
                 spec: "ik,kj->ij".into(),
                 a_dims: vec![2, 3],
-                a: vec![0.5; 6],
+                a: OpF::Inline(vec![0.5; 6]),
                 b_dims: vec![3, 2],
-                b: vec![0.25; 6],
+                b: OpF::Key(12),
             },
             Request::SdChunk {
                 r0: 1,
                 r1: 4,
                 n: 2,
-                rows: vec![1, 3],
-                cols: vec![0, 2],
-                vals: vec![0.5, -0.5],
-                b: vec![1.0; 6],
+                a: OpCoords::Inline {
+                    rows: vec![1, 3],
+                    cols: vec![0, 2],
+                    vals: vec![0.5, -0.5],
+                },
+                b: OpF::Inline(vec![1.0; 6]),
             },
             Request::SsChunk {
-                rows: vec![0],
-                ctrs: vec![2],
-                vals: vec![3.0],
-                b_keys: vec![2],
-                b_lens: vec![1],
-                b_cols: vec![4],
-                b_vals: vec![5.0],
+                a: OpCoords::Key(42),
+                b: OpSs::Inline {
+                    keys: vec![2],
+                    lens: vec![1],
+                    cols: vec![4],
+                    vals: vec![5.0],
+                },
                 ax_dims: vec![7],
                 ax_strides: vec![1],
                 mask: Some(vec![4]),
@@ -869,12 +1457,12 @@ mod tests {
             Request::QrThin {
                 rows: 2,
                 cols: 2,
-                a: vec![1.0, 0.0, 0.0, 1.0],
+                a: OpF::Inline(vec![1.0, 0.0, 0.0, 1.0]),
             },
             Request::SvdTrunc {
                 rows: 2,
                 cols: 2,
-                a: vec![1.0, 0.0, 0.0, 1.0],
+                a: OpF::Key(5),
                 max_rank: u64::MAX,
                 cutoff: 1e-12,
                 min_keep: 1,
@@ -893,8 +1481,12 @@ mod tests {
                 b: vec![2.0; 2],
             },
             Request::Shutdown,
-        ];
-        for req in reqs {
+        ]
+    }
+
+    #[test]
+    fn requests_and_replies_roundtrip() {
+        for req in sample_requests() {
             let back = Request::decode(&req.encode()).unwrap();
             assert_eq!(back, req);
         }
@@ -926,11 +1518,110 @@ mod tests {
                 trunc_err: 1e-16,
                 n_discarded: 1,
             },
+            Reply::Stats {
+                bytes: 4096,
+                entries: 3,
+                pinned: 1,
+            },
             Reply::Fail("boom".into()),
         ];
         for rep in reps {
             let back = Reply::decode(&rep.encode()).unwrap();
             assert_eq!(back, rep);
+        }
+    }
+
+    /// Arbitrary f64 bit patterns (including NaNs, infinities, -0.0).
+    fn any_f64s() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(any::<u64>(), 0..24)
+            .prop_map(|bits| bits.into_iter().map(f64::from_bits).collect())
+    }
+
+    fn any_c64s() -> impl Strategy<Value = Vec<Complex64>> {
+        prop::collection::vec((any::<u64>(), any::<u64>()), 0..16).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(re, im)| Complex64::new(f64::from_bits(re), f64::from_bits(im)))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The codec round-trips the handle-bearing request variants with
+        /// exact f64/Complex64 bit patterns (NaNs and -0.0 included), so
+        /// bitwise equality is compared on the *re-encoded bytes*, not
+        /// through float ==.
+        #[test]
+        fn handle_request_codec_is_bit_exact(
+            key in any::<u64>(),
+            data in any_f64s(),
+            cdata in any_c64s(),
+            rows in prop::collection::vec(any::<u64>(), 0..16),
+            inline in any::<bool>(),
+        ) {
+            let vals: Vec<f64> = rows.iter().map(|&r| f64::from_bits(r ^ 0x5a5a)).collect();
+            let cols = rows.clone();
+            let a = if inline {
+                OpCoords::Inline { rows: rows.clone(), cols: cols.clone(), vals: vals.clone() }
+            } else {
+                OpCoords::Key(key)
+            };
+            let reqs = vec![
+                Request::Upload { key, data: data.clone() },
+                Request::UploadC64 { key, data: cdata.clone() },
+                Request::UploadCoords { key, rows: rows.clone(), cols, vals: vals.clone() },
+                Request::UploadSs {
+                    key,
+                    keys: rows.clone(),
+                    lens: vec![1; rows.len()],
+                    cols: rows.clone(),
+                    vals: vals.clone(),
+                },
+                Request::Release { key },
+                Request::SetCacheCap { bytes: key },
+                Request::DenseChunk {
+                    path: GemmPath::Gemv,
+                    rows: rows.len(),
+                    k: 1,
+                    n: 1,
+                    a: OpF::Inline(data.clone()),
+                    b: OpF::Key(key),
+                },
+                Request::DenseChunkC64 {
+                    path: GemmPath::Packed,
+                    rows: 0,
+                    k: 2,
+                    n: 3,
+                    a: OpC::Inline(cdata.clone()),
+                    b: OpC::Key(key),
+                },
+                Request::SdChunk { r0: 0, r1: rows.len(), n: 2, a, b: OpF::Key(key) },
+                Request::SsChunk {
+                    a: OpCoords::Key(key),
+                    b: OpSs::Key(key),
+                    ax_dims: rows.clone(),
+                    ax_strides: rows.clone(),
+                    mask: if inline { Some(rows.clone()) } else { None },
+                },
+            ];
+            for req in reqs {
+                let bytes = req.encode();
+                let back = Request::decode(&bytes).unwrap();
+                // re-encode and compare bytes: exact bit round-trip even
+                // for NaN payloads (where PartialEq would lie)
+                prop_assert_eq!(back.encode(), bytes);
+            }
+            let reps = vec![
+                Reply::F64s(data),
+                Reply::C64s(cdata),
+                Reply::Stats { bytes: key, entries: 1, pinned: 0 },
+            ];
+            for rep in reps {
+                let bytes = rep.encode();
+                prop_assert_eq!(Reply::decode(&bytes).unwrap().encode(), bytes);
+            }
         }
     }
 
@@ -984,6 +1675,145 @@ mod tests {
     }
 
     #[test]
+    fn resident_operands_serve_fused_tasks() {
+        let mut w = WorkerState::new();
+        // pin B, then run a dense chunk against the resident key only
+        w.handle(Request::Upload {
+            key: 100,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], // 3×2
+        });
+        let Some(Reply::F64s(c)) = w.handle(Request::DenseChunk {
+            path: GemmPath::Scalar,
+            rows: 1,
+            k: 3,
+            n: 2,
+            a: OpF::Inline(vec![1.0, 1.0, 1.0]),
+            b: OpF::Key(100),
+        }) else {
+            panic!("expected chunk result");
+        };
+        assert_eq!(c, vec![9.0, 12.0]);
+        // unknown key fails without killing the worker
+        assert!(matches!(
+            w.handle(Request::DenseChunk {
+                path: GemmPath::Scalar,
+                rows: 1,
+                k: 3,
+                n: 2,
+                a: OpF::Inline(vec![1.0, 1.0, 1.0]),
+                b: OpF::Key(999),
+            }),
+            Some(Reply::Fail(_))
+        ));
+        assert_eq!(w.handle(Request::Ping), Some(Reply::Pong));
+    }
+
+    #[test]
+    fn lru_cap_bounds_unpinned_entries_deterministically() {
+        // cap of 4 f64 buffers of 8 values each (8*8*4 = 256 bytes)
+        let mut w = WorkerState::with_cap(256);
+        for key in 0..8u64 {
+            w.handle(Request::Put {
+                key,
+                data: vec![key as f64; 8],
+            });
+        }
+        let Some(Reply::Stats { bytes, entries, .. }) = w.handle(Request::CacheStats) else {
+            panic!("expected stats");
+        };
+        assert!(bytes <= 256, "footprint stays under the cap: {bytes}");
+        assert_eq!(entries, 4);
+        // oldest entries evicted in insertion order: 0..4 gone, 4..8 kept
+        for key in 0..4u64 {
+            assert!(matches!(
+                w.handle(Request::Get { key }),
+                Some(Reply::Fail(_))
+            ));
+        }
+        // touching key 4 makes key 5 the LRU victim of the next insert
+        w.handle(Request::Get { key: 4 });
+        w.handle(Request::Put {
+            key: 100,
+            data: vec![0.0; 8],
+        });
+        assert!(matches!(
+            w.handle(Request::Get { key: 5 }),
+            Some(Reply::Fail(_))
+        ));
+        assert!(matches!(
+            w.handle(Request::Get { key: 4 }),
+            Some(Reply::F64s(_))
+        ));
+    }
+
+    #[test]
+    fn staged_put_survives_its_own_cap_pressure() {
+        // a collective stages parts with Put and Gets them back before
+        // any other insert on the rank; even a part bigger than the cap
+        // must survive until then (the just-inserted entry is never its
+        // own eviction victim)
+        let mut w = WorkerState::with_cap(64);
+        w.handle(Request::Put {
+            key: 1,
+            data: vec![1.0; 32], // 256 bytes > 64-byte cap
+        });
+        assert!(
+            matches!(w.handle(Request::Get { key: 1 }), Some(Reply::F64s(_))),
+            "staged part must be readable before the next insert"
+        );
+        // the next insert evicts the over-cap staged entry
+        w.handle(Request::Put {
+            key: 2,
+            data: vec![2.0; 4],
+        });
+        assert!(matches!(
+            w.handle(Request::Get { key: 1 }),
+            Some(Reply::Fail(_))
+        ));
+        assert!(matches!(
+            w.handle(Request::Get { key: 2 }),
+            Some(Reply::F64s(_))
+        ));
+    }
+
+    #[test]
+    fn pinned_entries_survive_cap_pressure_until_released() {
+        let mut w = WorkerState::with_cap(64);
+        w.handle(Request::Upload {
+            key: 1,
+            data: vec![1.0; 16], // 128 bytes > cap, but pinned
+        });
+        assert!(matches!(
+            w.handle(Request::Get { key: 1 }),
+            Some(Reply::F64s(_))
+        ));
+        let Some(Reply::Stats { pinned, .. }) = w.handle(Request::CacheStats) else {
+            panic!();
+        };
+        assert_eq!(pinned, 1);
+        // double-pin (second upload of the same content) needs two releases
+        w.handle(Request::Upload {
+            key: 1,
+            data: vec![1.0; 16],
+        });
+        w.handle(Request::Release { key: 1 });
+        assert!(matches!(
+            w.handle(Request::Get { key: 1 }),
+            Some(Reply::F64s(_))
+        ));
+        // final release drops the pin; over-cap entry is evicted
+        w.handle(Request::Release { key: 1 });
+        assert!(matches!(
+            w.handle(Request::Get { key: 1 }),
+            Some(Reply::Fail(_))
+        ));
+        let Some(Reply::Stats { bytes, .. }) = w.handle(Request::CacheStats) else {
+            panic!();
+        };
+        assert_eq!(bytes, 0);
+    }
+
+    #[test]
     fn bad_tasks_fail_without_killing_the_worker() {
         let mut w = WorkerState::new();
         assert!(matches!(
@@ -992,8 +1822,8 @@ mod tests {
                 rows: 2,
                 k: 2,
                 n: 2,
-                a: vec![0.0; 3], // wrong size
-                b: vec![0.0; 4],
+                a: OpF::Inline(vec![0.0; 3]), // wrong size
+                b: OpF::Inline(vec![0.0; 4]),
             }),
             Some(Reply::Fail(_))
         ));

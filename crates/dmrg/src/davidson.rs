@@ -6,6 +6,12 @@
 //! randomization to alleviate failed reorthogonalization, and a small
 //! subspace (the paper sweeps with subspace size 2, banking on the very
 //! good initial guesses DMRG provides).
+//!
+//! The `apply` closure is called once per matrix-vector product (several
+//! times per solve); the sweep driver passes
+//! [`crate::heff::ResidentHam::apply`], whose environment/MPO operands
+//! were uploaded once for the whole solve — the repeated matvecs here are
+//! exactly the reuse window the resident-operand executor API exists for.
 
 use crate::{Error, Result};
 use rand::rngs::StdRng;

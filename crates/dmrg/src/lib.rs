@@ -27,7 +27,7 @@ pub mod sweep;
 pub use davidson::{davidson, DavidsonOptions, DavidsonResult};
 pub use ed::{ground_state_energy, hubbard_ed, sector_basis};
 pub use env::{extend_left, extend_right, left_edge, right_edge, Environments};
-pub use heff::EffectiveHam;
+pub use heff::{EffectiveHam, ResidentHam};
 pub use measure::{correlation, site_expectation, structure_factor, total_expectation};
 pub use sweep::{Dmrg, DmrgRun, Schedule, SiteRecord, SweepParams, SweepRecord};
 

@@ -221,7 +221,13 @@ impl<'a> Dmrg<'a> {
             w2: self.mpo.tensor(j + 1),
             right: &right,
         };
-        let (dres, mut x) = davidson(|v| heff.apply(v), &x0, params.davidson)?;
+        // upload the environment/MPO operands once per local eigensolve:
+        // every Davidson matvec contracts against the resident handles
+        // (zero operand re-shipping on the multi-process backend), with
+        // bitwise-identical numerics; dropped (released) after the solve
+        let rham = heff.upload()?;
+        let (dres, mut x) = davidson(|v| rham.apply(v), &x0, params.davidson)?;
+        drop(rham);
 
         // noise injection: perturb with a random tensor over *all* allowed
         // blocks so sectors absent from x regain weight before the split

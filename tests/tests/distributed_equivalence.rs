@@ -279,3 +279,315 @@ fn serial_baseline_has_no_comm() {
     assert_eq!(sim.comm, 0.0);
     assert!(sim.gemm + sim.sparse > 0.0);
 }
+
+// --- resident-operand (handle) equivalence -------------------------------
+
+/// Dense/sparse fixtures for the executor-level handle cases.
+fn dense_fixture() -> (
+    tt_tensor::DenseTensor<f64>,
+    tt_tensor::DenseTensor<f64>,
+    tt_tensor::SparseTensor<f64>,
+    tt_tensor::SparseTensor<f64>,
+) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(77);
+    let a = tt_tensor::DenseTensor::<f64>::random([18, 5, 22], &mut rng);
+    let b = tt_tensor::DenseTensor::<f64>::random([22, 5, 14], &mut rng);
+    let sa = tt_tensor::SparseTensor::from_dense(&a, 0.5);
+    let sb = tt_tensor::SparseTensor::from_dense(&b, 0.5);
+    (a, b, sa, sb)
+}
+
+/// Run the dense/sd/ss contraction triple through the handle path on
+/// `exec`, returning the three results. Every operand is a handle, so
+/// the second call per executor exercises the cache-hit path too.
+fn run_handles(
+    exec: &Executor,
+) -> (
+    tt_tensor::DenseTensor<f64>,
+    tt_tensor::DenseTensor<f64>,
+    tt_tensor::SparseTensor<f64>,
+) {
+    let (a, b, sa, sb) = dense_fixture();
+    let (ha, hb) = (exec.upload(&a), exec.upload(&b));
+    let (hsa, hsb) = (exec.upload_sparse(&sa), exec.upload_sparse(&sb));
+    // twice each: miss then hit — results must be bitwise identical
+    let c1 = exec
+        .contract_h("isj,jtk->istk", (&ha).into(), (&hb).into())
+        .unwrap();
+    let c2 = exec
+        .contract_h("isj,jtk->istk", (&ha).into(), (&hb).into())
+        .unwrap();
+    assert_eq!(c1.data(), c2.data(), "hit repeats the miss bitwise");
+    let d1 = exec
+        .contract_sd_h("isj,jtk->istk", (&hsa).into(), (&hb).into())
+        .unwrap();
+    let d2 = exec
+        .contract_sd_h("isj,jtk->istk", (&hsa).into(), (&hb).into())
+        .unwrap();
+    assert_eq!(d1.data(), d2.data());
+    let s1 = exec
+        .contract_ss_h("isj,jtk->istk", (&hsa).into(), (&hsb).into(), None)
+        .unwrap();
+    let s2 = exec
+        .contract_ss_h("isj,jtk->istk", (&hsa).into(), (&hsb).into(), None)
+        .unwrap();
+    assert_eq!(s1.to_dense().data(), s2.to_dense().data());
+    for h in [&ha, &hb, &hsa, &hsb] {
+        exec.free(h).unwrap();
+    }
+    (c1, d1, s1)
+}
+
+#[test]
+fn handle_contractions_bitwise_match_value_paths_across_backends() {
+    let (a, b, sa, sb) = dense_fixture();
+    let val = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential);
+    let c_ref = val.contract("isj,jtk->istk", &a, &b).unwrap();
+    let d_ref = val.contract_sd("isj,jtk->istk", &sa, &b).unwrap();
+    let s_ref = val.contract_ss("isj,jtk->istk", &sa, &sb, None).unwrap();
+
+    // in-process handle paths (both modes) and multi-process over p = 2
+    // and p = 3 real worker processes must all land on the same bits
+    let mut execs: Vec<(String, Executor)> = vec![
+        (
+            "inproc-seq".into(),
+            Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential),
+        ),
+        (
+            "inproc-thr".into(),
+            Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Threaded),
+        ),
+    ];
+    #[cfg(unix)]
+    for p in [2usize, 3] {
+        execs.push((format!("multi-process p={p}"), multi_process_executor(p)));
+    }
+    let mut sims = Vec::new();
+    for (name, exec) in &execs {
+        let (c, d, s) = run_handles(exec);
+        assert_eq!(c.data(), c_ref.data(), "{name}: dense");
+        assert_eq!(d.data(), d_ref.data(), "{name}: sparse-dense");
+        assert_eq!(s.to_dense().data(), s_ref.to_dense().data(), "{name}: ss");
+        sims.push((name.clone(), exec.total_flops(), exec.sim_time()));
+    }
+    // the fused-superstep charges are backend-independent, bit for bit
+    for (name, flops, sim) in &sims[1..] {
+        assert_eq!(*flops, sims[0].1, "{name}: flops");
+        assert_eq!(
+            sim.total().to_bits(),
+            sims[0].2.total().to_bits(),
+            "{name}: handle-path cost charges must be backend-bitwise-equal"
+        );
+    }
+}
+
+#[test]
+fn handle_c64_contractions_bitwise_across_backends() {
+    let (ar, br, _, _) = dense_fixture();
+    let a = ar.to_complex();
+    let b = br.to_complex();
+    let reference = tt_tensor::einsum("isj,jtk->istk", &a, &b).unwrap();
+    let mut execs: Vec<Executor> = vec![
+        Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential),
+        Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Threaded),
+    ];
+    #[cfg(unix)]
+    for p in [2usize, 3] {
+        execs.push(multi_process_executor(p));
+    }
+    for exec in &execs {
+        let cv = exec
+            .contract_c64("isj,jtk->istk", (&a).into(), (&b).into())
+            .unwrap();
+        assert_eq!(cv.data(), reference.data(), "value path");
+        let (ha, hb) = (exec.upload_c64(&a), exec.upload_c64(&b));
+        let c1 = exec
+            .contract_c64("isj,jtk->istk", (&ha).into(), (&hb).into())
+            .unwrap();
+        let c2 = exec
+            .contract_c64("isj,jtk->istk", (&ha).into(), (&hb).into())
+            .unwrap();
+        assert_eq!(c1.data(), reference.data(), "handle miss");
+        assert_eq!(c2.data(), reference.data(), "handle hit");
+        exec.free(&ha).unwrap();
+        exec.free(&hb).unwrap();
+    }
+}
+
+#[test]
+fn resident_ham_matches_effective_ham_bitwise() {
+    use dmrg::EffectiveHam;
+    use dmrg::Environments;
+    use tt_mps::Mps;
+    let n = 6;
+    let lat = Lattice::chain(n);
+    let mpo = heisenberg_j1j2(&lat, 1.0, 0.0).build().unwrap();
+    let mut psi = Mps::product_state(&SpinHalf, &neel_state(n)).unwrap();
+    let local = Executor::local();
+    Dmrg::new(&local, Algorithm::List, &mpo)
+        .run(&mut psi, &test_schedule(&[8], 1))
+        .unwrap();
+    psi.canonicalize(&local, 0).unwrap();
+    for algo in [
+        Algorithm::List,
+        Algorithm::SparseDense,
+        Algorithm::SparseSparse,
+    ] {
+        let exec = Executor::with_machine(Machine::blue_waters(2), 1, ExecMode::Sequential);
+        let envs = Environments::initialize(&exec, algo, &psi, &mpo).unwrap();
+        // build the left environment at a middle bond (initialize only
+        // seeds the edges)
+        let j = 2;
+        let mut lenv = envs.left[0].clone().unwrap();
+        for site in 0..j {
+            lenv =
+                dmrg::extend_left(&exec, algo, &lenv, psi.tensor(site), mpo.tensor(site)).unwrap();
+        }
+        let x = tt_blocks::contract::contract_list(
+            &exec,
+            "lsj,jtk->lstk",
+            psi.tensor(j),
+            psi.tensor(j + 1),
+        )
+        .unwrap();
+        let heff = EffectiveHam {
+            exec: &exec,
+            algo,
+            left: &lenv,
+            w1: mpo.tensor(j),
+            w2: mpo.tensor(j + 1),
+            right: envs.right[j + 1].as_ref().unwrap(),
+        };
+        let reference = heff.apply(&x).unwrap();
+        let rham = heff.upload().unwrap();
+        let first = rham.apply(&x).unwrap();
+        let second = rham.apply(&x).unwrap();
+        assert_eq!(
+            reference.to_dense().data(),
+            first.to_dense().data(),
+            "{algo}: resident apply (miss) must match the value path bitwise"
+        );
+        assert_eq!(
+            reference.to_dense().data(),
+            second.to_dense().data(),
+            "{algo}: resident apply (hit) must match too"
+        );
+    }
+}
+
+/// Shared harness for the Davidson operand-byte comparison: run one
+/// Davidson solve through the value-passing `EffectiveHam` and one
+/// through the resident-operand `ResidentHam` on the same multi-process
+/// executor, assert bitwise-identical eigenvectors, and return
+/// `(value_bytes, handle_bytes)` from the driver's operand-byte counter.
+#[cfg(unix)]
+fn davidson_operand_bytes(
+    warm_m: usize,
+    workers: usize,
+    opts: dmrg::DavidsonOptions,
+) -> (u64, u64) {
+    use dmrg::{davidson, EffectiveHam, Environments};
+    let n = 10;
+    let lat = Lattice::chain(n);
+    let mpo = tt_mps::hubbard(&lat, 1.0, 4.0).build().unwrap();
+    let local = Executor::local();
+    let mut psi = Mps::product_state(
+        &tt_mps::Electron,
+        &tt_mps::electron_filling(n, n / 2, n / 2),
+    )
+    .unwrap();
+    // noisy, cutoff-free sweeps inflate the bond dimension to the cap so
+    // operand payloads dominate protocol headers
+    let schedule = dmrg::Schedule {
+        sweeps: (0..2)
+            .map(|_| dmrg::SweepParams {
+                max_m: warm_m,
+                cutoff: 0.0,
+                davidson: dmrg::DavidsonOptions::default(),
+                noise: 1e-3,
+            })
+            .collect(),
+    };
+    Dmrg::new(&local, Algorithm::List, &mpo)
+        .run(&mut psi, &schedule)
+        .unwrap();
+    psi.canonicalize(&local, 0).unwrap();
+
+    let mp = multi_process_executor(workers);
+    let algo = Algorithm::List;
+    let envs = Environments::initialize(&mp, algo, &psi, &mpo).unwrap();
+    // build the left environment up to a middle bond (initialize only
+    // seeds the edges; sweeps grow the rest)
+    let j = n / 2 - 1;
+    let mut lenv = envs.left[0].clone().unwrap();
+    for site in 0..j {
+        lenv = dmrg::extend_left(&mp, algo, &lenv, psi.tensor(site), mpo.tensor(site)).unwrap();
+    }
+    let x0 = contract_list(&mp, "lsj,jtk->lstk", psi.tensor(j), psi.tensor(j + 1)).unwrap();
+    let heff = EffectiveHam {
+        exec: &mp,
+        algo,
+        left: &lenv,
+        w1: mpo.tensor(j),
+        w2: mpo.tensor(j + 1),
+        right: envs.right[j + 1].as_ref().unwrap(),
+    };
+
+    let before = mp.operand_bytes();
+    let (_, x_val) = davidson(|v| heff.apply(v), &x0, opts).unwrap();
+    let value_bytes = mp.operand_bytes() - before;
+
+    let rham = heff.upload().unwrap();
+    let before = mp.operand_bytes();
+    let (_, x_han) = davidson(|v| rham.apply(v), &x0, opts).unwrap();
+    let handle_bytes = mp.operand_bytes() - before;
+    drop(rham);
+
+    assert_eq!(
+        x_val.to_dense().data(),
+        x_han.to_dense().data(),
+        "the two solves are bitwise-identical"
+    );
+    println!(
+        "davidson operand bytes (m={warm_m}, p={workers}): value-passing {value_bytes}, \
+         resident {handle_bytes} ({:.1}x fewer)",
+        value_bytes as f64 / handle_bytes as f64
+    );
+    (value_bytes, handle_bytes)
+}
+
+#[cfg(unix)]
+#[test]
+fn davidson_solve_with_handles_ships_fewer_operand_bytes() {
+    // fast regression guard at a small bond dimension, where per-task
+    // protocol headers still eat into the win: the resident solve must
+    // ship strictly less than half the value-passing bytes
+    let (value_bytes, handle_bytes) = davidson_operand_bytes(48, 3, Default::default());
+    assert!(
+        value_bytes >= 2 * handle_bytes,
+        "resident operands must at least halve driver operand bytes: \
+         value {value_bytes} vs handle {handle_bytes}"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+#[ignore = "scaled suite (release-mode CI step + nightly): m=128 over 6 worker processes"]
+fn davidson_solve_with_handles_ships_5x_fewer_operand_bytes() {
+    // at a realistic bond dimension the payloads dominate and the cache
+    // win reaches the paper-motivated regime: >=5x fewer operand bytes
+    // per Davidson solve
+    let opts = dmrg::DavidsonOptions {
+        max_iter: 8,
+        max_subspace: 3,
+        ..Default::default()
+    };
+    let (value_bytes, handle_bytes) = davidson_operand_bytes(128, 6, opts);
+    assert!(
+        value_bytes >= 5 * handle_bytes,
+        "resident operands must cut driver operand bytes >=5x per Davidson solve: \
+         value {value_bytes} vs handle {handle_bytes}"
+    );
+}
