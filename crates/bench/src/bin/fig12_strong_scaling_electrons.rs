@@ -145,17 +145,29 @@ fn live_driver_bytes() {
         w2: mpo.tensor(j + 1),
         right: envs.right[j + 1].as_ref().expect("right env"),
     };
-    let before = exec.operand_bytes();
+    let before = (exec.operand_bytes(), exec.result_bytes());
     let (_, _) = davidson(|v| heff.apply(v), &x0, DavidsonOptions::default()).expect("value solve");
-    let value = exec.operand_bytes() - before;
+    let value = (
+        exec.operand_bytes() - before.0,
+        exec.result_bytes() - before.1,
+    );
     let rham = heff.upload().expect("upload operands");
-    let before = exec.operand_bytes();
+    let before = (exec.operand_bytes(), exec.result_bytes());
     let (_, _) = davidson(|v| rham.apply(v), &x0, DavidsonOptions::default()).expect("solve");
-    let resident = exec.operand_bytes() - before;
+    let resident = (
+        exec.operand_bytes() - before.0,
+        exec.result_bytes() - before.1,
+    );
     println!(
-        "\none Davidson solve: value-passing {value} operand bytes, resident {resident} \
-         ({:.1}x fewer)",
-        value as f64 / resident as f64
+        "\none Davidson solve:\n  operand bytes: value-passing {}, resident {} ({:.1}x fewer)\n  \
+         result bytes:  value-passing {}, chained  {} ({:.1}x fewer — intermediates stay \
+         worker-side)",
+        value.0,
+        resident.0,
+        value.0 as f64 / resident.0 as f64,
+        value.1,
+        resident.1,
+        value.1 as f64 / resident.1 as f64
     );
 }
 

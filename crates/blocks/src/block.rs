@@ -13,6 +13,7 @@ use crate::qn::{signed, QN};
 use crate::{Error, Result};
 use rand::Rng;
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 use tt_tensor::{DenseTensor, SparseTensor};
 
 /// Sector choice per index, identifying one block.
@@ -23,8 +24,12 @@ pub type BlockKey = Vec<u16>;
 pub struct BlockSparseTensor {
     indices: Vec<QnIndex>,
     flux: QN,
-    /// Deterministically ordered block storage.
-    blocks: BTreeMap<BlockKey, DenseTensor<f64>>,
+    /// Deterministically ordered block storage. Blocks are `Arc`-shared so
+    /// cloning a tensor, uploading a block onto an executor
+    /// (`Executor::upload_shared`) or enqueueing it into a chain step
+    /// shares the allocation instead of copying the data; mutation goes
+    /// through `Arc::make_mut` (copy-on-write when genuinely shared).
+    blocks: BTreeMap<BlockKey, Arc<DenseTensor<f64>>>,
 }
 
 impl BlockSparseTensor {
@@ -160,17 +165,39 @@ impl BlockSparseTensor {
                 t.dims()
             )));
         }
-        self.blocks.insert(key, t);
+        self.blocks.insert(key, Arc::new(t));
+        Ok(())
+    }
+
+    /// Accumulate `t` into the block at `key` (elementwise, inserting the
+    /// block when absent — the first partial is *stored*, not added to
+    /// zeros, matching every chained accumulation path bit for bit).
+    pub fn axpy_block(&mut self, key: BlockKey, t: DenseTensor<f64>) -> Result<()> {
+        match self.blocks.get_mut(&key) {
+            Some(existing) => Arc::make_mut(existing).axpy(1.0, &t)?,
+            None => self.insert_block(key, t)?,
+        }
         Ok(())
     }
 
     /// The block at `key`, if stored.
     pub fn block(&self, key: &[u16]) -> Option<&DenseTensor<f64>> {
+        self.blocks.get(key).map(|b| b.as_ref())
+    }
+
+    /// The shared (`Arc`) block at `key`, if stored — for clone-free
+    /// uploads onto an executor.
+    pub fn block_shared(&self, key: &[u16]) -> Option<&Arc<DenseTensor<f64>>> {
         self.blocks.get(key)
     }
 
     /// Iterate stored blocks in deterministic key order.
     pub fn blocks(&self) -> impl Iterator<Item = (&BlockKey, &DenseTensor<f64>)> {
+        self.blocks.iter().map(|(k, b)| (k, b.as_ref()))
+    }
+
+    /// Iterate shared (`Arc`) blocks in deterministic key order.
+    pub fn blocks_shared(&self) -> impl Iterator<Item = (&BlockKey, &Arc<DenseTensor<f64>>)> {
         self.blocks.iter()
     }
 
@@ -185,7 +212,7 @@ impl BlockSparseTensor {
         for key in t.allowed_keys() {
             let dims = t.block_dims(&key);
             let b = DenseTensor::random(dims, rng);
-            t.blocks.insert(key, b);
+            t.blocks.insert(key, Arc::new(b));
         }
         t
     }
@@ -241,7 +268,7 @@ impl BlockSparseTensor {
                 block.set(&idx, v);
             }
             if maxabs > tol {
-                t.blocks.insert(key, block);
+                t.blocks.insert(key, Arc::new(block));
             }
         }
         Ok(t)
@@ -327,10 +354,11 @@ impl BlockSparseTensor {
                 )));
             }
             let dims_b = t.block_dims(&key);
-            let block = t
-                .blocks
-                .entry(key)
-                .or_insert_with(|| DenseTensor::zeros(dims_b));
+            let block = Arc::make_mut(
+                t.blocks
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(DenseTensor::zeros(dims_b))),
+            );
             let cur = block.at(&within);
             block.set(&within, cur + v);
         }
@@ -347,7 +375,7 @@ impl BlockSparseTensor {
         for (key, block) in &self.blocks {
             let nk: BlockKey = perm.iter().map(|&p| key[p]).collect();
             let nb = block.permute(perm)?;
-            out.blocks.insert(nk, nb);
+            out.blocks.insert(nk, Arc::new(nb));
         }
         Ok(out)
     }
@@ -364,7 +392,7 @@ impl BlockSparseTensor {
     /// In-place scale.
     pub fn scale_mut(&mut self, s: f64) {
         for b in self.blocks.values_mut() {
-            b.scale_mut(s);
+            Arc::make_mut(b).scale_mut(s);
         }
     }
 
@@ -375,9 +403,9 @@ impl BlockSparseTensor {
         }
         for (key, ob) in &other.blocks {
             match self.blocks.get_mut(key) {
-                Some(b) => b.axpy(alpha, ob)?,
+                Some(b) => Arc::make_mut(b).axpy(alpha, ob)?,
                 None => {
-                    self.blocks.insert(key.clone(), ob.scaled(alpha));
+                    self.blocks.insert(key.clone(), Arc::new(ob.scaled(alpha)));
                 }
             }
         }

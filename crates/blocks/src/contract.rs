@@ -48,27 +48,29 @@ fn output_structure(
     a: &BlockSparseTensor,
     b: &BlockSparseTensor,
 ) -> Result<(Vec<QnIndex>, QN)> {
-    output_structure_parts(plan, a.indices(), a.flux(), b)
+    output_structure_parts(plan, a.indices(), a.flux(), b.indices(), b.flux())
 }
 
-/// [`output_structure`] from an `A` operand given only as structure
-/// (indices + flux) — the form a [`ResidentOperand`] carries.
+/// [`output_structure`] from operands given only as structure (indices +
+/// flux) — the form a [`ResidentOperand`] carries, and all a chain step
+/// needs to plan its output symbolically.
 fn output_structure_parts(
     plan: &ContractPlan,
     a_indices: &[QnIndex],
     a_flux: QN,
-    b: &BlockSparseTensor,
+    b_indices: &[QnIndex],
+    b_flux: QN,
 ) -> Result<(Vec<QnIndex>, QN)> {
     let (oa, ob) = plan.operand_orders();
-    if oa != a_indices.len() || ob != b.order() {
+    if oa != a_indices.len() || ob != b_indices.len() {
         return Err(Error::Key(format!(
             "spec orders {oa}/{ob} don't match tensors {}/{}",
             a_indices.len(),
-            b.order()
+            b_indices.len()
         )));
     }
     for (&ia, &ib) in plan.ctr_a_positions().iter().zip(plan.ctr_b_positions()) {
-        if !a_indices[ia].contractable_with(&b.indices()[ib]) {
+        if !a_indices[ia].contractable_with(&b_indices[ib]) {
             return Err(Error::Symmetry(format!(
                 "contracted index pair ({ia},{ib}) has mismatched sectors or arrows"
             )));
@@ -81,7 +83,7 @@ fn output_structure_parts(
         .chain(
             plan.free_b_positions()
                 .iter()
-                .map(|&j| b.indices()[j].clone()),
+                .map(|&j| b_indices[j].clone()),
         )
         .collect();
     let out_indices: Vec<QnIndex> = plan
@@ -89,7 +91,7 @@ fn output_structure_parts(
         .iter()
         .map(|&p| natural[p].clone())
         .collect();
-    Ok((out_indices, a_flux.add(b.flux())))
+    Ok((out_indices, a_flux.add(b_flux)))
 }
 
 /// Contract two block-sparse tensors with the chosen algorithm.
@@ -178,21 +180,14 @@ pub fn contract_list(
 }
 
 /// Accumulate a partial into its output block (always called in pair
-/// order, so the floating-point accumulation order is fixed).
+/// order, so the floating-point accumulation order is fixed). The
+/// `Arc`-backed storage accumulates in place — no clone per partial.
 fn absorb(
     c: &mut BlockSparseTensor,
     kc: BlockKey,
     partial: tt_tensor::DenseTensor<f64>,
 ) -> Result<()> {
-    match c.block(&kc) {
-        Some(existing) => {
-            let mut acc = existing.clone();
-            acc.axpy(1.0, &partial).map_err(tt_dist::Error::from)?;
-            c.insert_block(kc, acc)?;
-        }
-        None => c.insert_block(kc, partial)?,
-    }
-    Ok(())
+    c.axpy_block(kc, partial)
 }
 
 /// A block-sparse operand uploaded onto the executor for reuse across
@@ -239,9 +234,9 @@ pub fn upload_operand(exec: &Executor, algo: Algorithm, t: &BlockSparseTensor) -
         Algorithm::List => {
             let mut keys = Vec::with_capacity(t.n_blocks());
             let mut handles = Vec::with_capacity(t.n_blocks());
-            for (k, block) in t.blocks() {
+            for (k, block) in t.blocks_shared() {
                 keys.push(k.clone());
-                handles.push(exec.upload(block));
+                handles.push(exec.upload_shared(block));
             }
             ResidentForm::List { keys, handles }
         }
@@ -280,13 +275,13 @@ pub fn free_operand(exec: &Executor, op: &ResidentOperand) -> Result<()> {
 /// resident `A` blocks ship nothing after their first use, which is
 /// where the Davidson matvec reuse pays.
 ///
-/// The transient uploads cost one clone + content hash per distinct `B`
-/// block on every call — on `Backend::InProcess` that is overhead with
-/// no shipping to save, but it is paid uniformly on purpose: the α–β
-/// charge sequence depends on the registry's hit/miss bookkeeping, and
-/// keeping it identical on every backend is what makes the cost counters
-/// bitwise-equal across backends (a tested invariant). Sharing block
-/// storage (`Arc`-backed blocks) would remove the clone; see ROADMAP.
+/// The transient uploads cost one content hash per distinct `B` block on
+/// every call (the `Arc`-backed block storage makes the upload itself
+/// clone-free) — on `Backend::InProcess` that is overhead with no
+/// shipping to save, but it is paid uniformly on purpose: the α–β charge
+/// sequence depends on the registry's hit/miss bookkeeping, and keeping
+/// it identical on every backend is what makes the cost counters
+/// bitwise-equal across backends (a tested invariant).
 pub fn contract_resident(
     exec: &Executor,
     algo: Algorithm,
@@ -295,7 +290,8 @@ pub fn contract_resident(
     b: &BlockSparseTensor,
 ) -> Result<BlockSparseTensor> {
     let plan = ContractPlan::parse(spec).map_err(tt_dist::Error::from)?;
-    let (out_indices, out_flux) = output_structure_parts(&plan, &a.indices, a.flux, b)?;
+    let (out_indices, out_flux) =
+        output_structure_parts(&plan, &a.indices, a.flux, b.indices(), b.flux())?;
     match &a.form {
         ResidentForm::Flat(h) => match algo {
             Algorithm::SparseDense => {
@@ -351,8 +347,10 @@ pub fn contract_resident(
                 };
                 for &kb in bkeys {
                     if !b_handles.contains_key(kb) {
-                        let block = b.block(kb).expect("key from iteration");
-                        b_handles.insert(kb, exec.upload(block));
+                        // Arc-shared: the upload hashes the block but does
+                        // not clone its storage
+                        let block = b.block_shared(kb).expect("key from iteration");
+                        b_handles.insert(kb, exec.upload_shared(block));
                     }
                     let natural: Vec<u16> = free_a
                         .iter()
@@ -394,6 +392,250 @@ pub fn contract_resident(
             Ok(c)
         }
     }
+}
+
+/// Apply an ordered chain of contractions — each step's structural `A`
+/// operand resident, its `B` operand the previous step's output (`x` for
+/// step 0) — as **worker-side chain supersteps**: every intermediate
+/// stays pinned in the worker stores under driver-issued keys, and only
+/// the final result's blocks are downloaded. Bitwise-identical to folding
+/// [`contract_resident`] over the same steps (and therefore to the value
+/// path) on every backend; on the multi-process backend the driver's
+/// *result* traffic collapses from one payload per block pair per step to
+/// one download per output block of the last step.
+///
+/// [`Algorithm::List`] chains per-block results (accumulate steps fold
+/// partials in the exact enumeration order of [`contract_list`]);
+/// [`Algorithm::SparseDense`] chains the whole flattened contractions.
+/// The sparse-sparse kernel's flat outputs need driver-side re-blocking
+/// between steps, so [`Algorithm::SparseSparse`] falls back to the
+/// per-step resident path.
+pub fn chain_apply(
+    exec: &Executor,
+    algo: Algorithm,
+    steps: &[(&str, &ResidentOperand)],
+    x: &BlockSparseTensor,
+) -> Result<BlockSparseTensor> {
+    if steps.is_empty() {
+        return Err(Error::Key("empty contraction chain".into()));
+    }
+    match algo {
+        Algorithm::List => chain_apply_list(exec, steps, x),
+        Algorithm::SparseDense => chain_apply_sd(exec, steps, x),
+        Algorithm::SparseSparse => {
+            let mut cur: Option<BlockSparseTensor> = None;
+            for (spec, a) in steps {
+                let b = cur.as_ref().unwrap_or(x);
+                cur = Some(contract_resident(
+                    exec,
+                    Algorithm::SparseSparse,
+                    spec,
+                    a,
+                    b,
+                )?);
+            }
+            Ok(cur.expect("non-empty chain"))
+        }
+    }
+}
+
+/// Which resident buffer backs one `B` operand of a block chain step.
+enum BRef {
+    /// A transiently uploaded block of the chain input `x`.
+    X(usize),
+    /// The resident output of an earlier chain step.
+    Step(usize),
+}
+
+/// The list-algorithm chain: propagate the block structure symbolically
+/// (the driver knows every intermediate's block keys without seeing its
+/// values), emit one chain step per block pair with accumulate steps in
+/// [`contract_list`]'s exact enumeration order, and download only the
+/// last contraction's blocks.
+fn chain_apply_list(
+    exec: &Executor,
+    steps: &[(&str, &ResidentOperand)],
+    x: &BlockSparseTensor,
+) -> Result<BlockSparseTensor> {
+    use std::collections::{BTreeMap, HashMap};
+    use tt_dist::{ChainSrc, ChainStep};
+
+    // upload the chain input's blocks once (Arc-shared — hash, no clone);
+    // released before returning
+    let x_keys: Vec<BlockKey> = x.blocks().map(|(k, _)| k.clone()).collect();
+    let x_handles: Vec<OpHandle> = x
+        .blocks_shared()
+        .map(|(_, b)| exec.upload_shared(b))
+        .collect();
+
+    struct Desc {
+        s: usize,
+        ai: usize,
+        b: BRef,
+        acc: Option<usize>,
+    }
+    let mut descs: Vec<Desc> = Vec::new();
+    let mut cur_indices = x.indices().to_vec();
+    let mut cur_flux = x.flux();
+    let mut cur: BTreeMap<BlockKey, BRef> = x_keys
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, k)| (k, BRef::X(i)))
+        .collect();
+    for (s, (spec, a)) in steps.iter().enumerate() {
+        let ResidentForm::List { keys: a_keys, .. } = &a.form else {
+            return Err(Error::Key(
+                "operand was uploaded in flattened form; chain with the algorithm it was \
+                 uploaded for"
+                    .into(),
+            ));
+        };
+        let plan = ContractPlan::parse(spec).map_err(tt_dist::Error::from)?;
+        let (out_indices, out_flux) =
+            output_structure_parts(&plan, &a.indices, a.flux, &cur_indices, cur_flux)?;
+        let ctr_a = plan.ctr_a_positions();
+        let ctr_b = plan.ctr_b_positions();
+        let free_a = plan.free_a_positions();
+        let free_b = plan.free_b_positions();
+        let out_perm = plan.output_permutation();
+        // index the current B block set by contracted labels, preserving
+        // sorted key order inside each group — the same order
+        // contract_list sees from BTreeMap iteration
+        let mut b_by_ctr: HashMap<Vec<u16>, Vec<&BlockKey>> = HashMap::new();
+        for kb in cur.keys() {
+            let ctr_key: Vec<u16> = ctr_b.iter().map(|&i| kb[i]).collect();
+            b_by_ctr.entry(ctr_key).or_default().push(kb);
+        }
+        // out block key -> desc index of its creating (non-acc) step
+        let mut made: BTreeMap<BlockKey, usize> = BTreeMap::new();
+        for (ai, ka) in a_keys.iter().enumerate() {
+            let ctr_key: Vec<u16> = ctr_a.iter().map(|&i| ka[i]).collect();
+            let Some(bkeys) = b_by_ctr.get(&ctr_key) else {
+                continue;
+            };
+            for &kb in bkeys {
+                let natural: Vec<u16> = free_a
+                    .iter()
+                    .map(|&i| ka[i])
+                    .chain(free_b.iter().map(|&j| kb[j]))
+                    .collect();
+                let kc: BlockKey = out_perm.iter().map(|&p| natural[p]).collect();
+                let b = match cur.get(kb).expect("key from iteration") {
+                    BRef::X(i) => BRef::X(*i),
+                    BRef::Step(j) => BRef::Step(*j),
+                };
+                let acc = made.get(&kc).copied();
+                if acc.is_none() {
+                    made.insert(kc, descs.len());
+                }
+                descs.push(Desc { s, ai, b, acc });
+            }
+        }
+        cur = made.into_iter().map(|(k, i)| (k, BRef::Step(i))).collect();
+        cur_indices = out_indices;
+        cur_flux = out_flux;
+    }
+
+    // assemble the executor chain against stable handle storage
+    let chain_steps: Vec<ChainStep> = descs
+        .iter()
+        .map(|d| {
+            let ResidentForm::List { handles, .. } = &steps[d.s].1.form else {
+                unreachable!("validated above");
+            };
+            ChainStep {
+                spec: steps[d.s].0,
+                a: ChainSrc::Dense((&handles[d.ai]).into()),
+                b: match d.b {
+                    BRef::X(i) => ChainSrc::Dense((&x_handles[i]).into()),
+                    BRef::Step(j) => ChainSrc::Prev(j),
+                },
+                acc: d.acc,
+            }
+        })
+        .collect();
+    let chained = exec.chain(&chain_steps);
+    // release the transient x uploads before surfacing any chain error —
+    // a failed matvec must not leave pinned buffers behind
+    let mut free_err: Option<tt_dist::Error> = None;
+    for h in &x_handles {
+        if let Err(e) = exec.free(h) {
+            free_err.get_or_insert(e);
+        }
+    }
+    let mut results = chained.map_err(Error::from)?;
+    if let Some(e) = free_err {
+        return Err(e.into());
+    }
+
+    // download the final step's blocks (in sorted key order); free every
+    // other resident intermediate in place
+    let mut dl_keys: Vec<BlockKey> = Vec::new();
+    let mut to_download: Vec<tt_dist::ResultHandle> = Vec::new();
+    for (k, bref) in &cur {
+        if let BRef::Step(j) = bref {
+            dl_keys.push(k.clone());
+            to_download.push(results[*j].take().expect("creating step owns its result"));
+        }
+    }
+    let rest: Vec<tt_dist::ResultHandle> = results.into_iter().flatten().collect();
+    let downloaded = exec.download_many(to_download);
+    let freed = exec.free_results(rest);
+    let downloaded = downloaded.map_err(Error::from)?;
+    freed.map_err(Error::from)?;
+    let mut c = BlockSparseTensor::new(cur_indices, cur_flux);
+    for (k, t) in dl_keys.into_iter().zip(downloaded) {
+        c.insert_block(k, t)?;
+    }
+    Ok(c)
+}
+
+/// The sparse-dense chain: one sd chain step per contraction, each
+/// consuming the previous step's resident dense output directly (exact:
+/// symmetric contractions put no weight outside allowed blocks, so
+/// skipping the driver-side re-blocking between steps is bitwise-neutral).
+fn chain_apply_sd(
+    exec: &Executor,
+    steps: &[(&str, &ResidentOperand)],
+    x: &BlockSparseTensor,
+) -> Result<BlockSparseTensor> {
+    use tt_dist::{ChainSrc, ChainStep};
+    let b_dense = x.to_dense();
+    let mut cur_indices = x.indices().to_vec();
+    let mut cur_flux = x.flux();
+    let mut chain_steps: Vec<ChainStep> = Vec::with_capacity(steps.len());
+    for (s, (spec, a)) in steps.iter().enumerate() {
+        let ResidentForm::Flat(h) = &a.form else {
+            return Err(Error::Key(
+                "operand was uploaded per-block for the list algorithm".into(),
+            ));
+        };
+        let plan = ContractPlan::parse(spec).map_err(tt_dist::Error::from)?;
+        let (out_indices, out_flux) =
+            output_structure_parts(&plan, &a.indices, a.flux, &cur_indices, cur_flux)?;
+        chain_steps.push(ChainStep {
+            spec,
+            a: ChainSrc::Sparse(h.into()),
+            b: if s == 0 {
+                ChainSrc::Dense((&b_dense).into())
+            } else {
+                ChainSrc::Prev(s - 1)
+            },
+            acc: None,
+        });
+        cur_indices = out_indices;
+        cur_flux = out_flux;
+    }
+    let mut results = exec.chain(&chain_steps).map_err(Error::from)?;
+    let last = results
+        .pop()
+        .expect("non-empty chain")
+        .expect("final step is not an accumulate");
+    let rest: Vec<tt_dist::ResultHandle> = results.into_iter().flatten().collect();
+    let y = exec.download(last);
+    exec.free_results(rest).map_err(Error::from)?;
+    BlockSparseTensor::from_dense(cur_indices, cur_flux, &y.map_err(Error::from)?, 0.0)
 }
 
 /// The sparse-dense algorithm: flattened-sparse A times densified B.

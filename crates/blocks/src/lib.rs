@@ -27,7 +27,8 @@ pub mod qn;
 
 pub use block::{BlockKey, BlockSparseTensor};
 pub use contract::{
-    contract, contract_resident, free_operand, upload_operand, Algorithm, ResidentOperand,
+    chain_apply, contract, contract_resident, free_operand, upload_operand, Algorithm,
+    ResidentOperand,
 };
 pub use index::QnIndex;
 pub use linalg::{block_qr, block_svd, scale_bond, BlockDiag, BlockSvd};

@@ -157,6 +157,44 @@ impl Placement {
         self.rr += 1;
         r
     }
+
+    /// Pick the rank for a chain step from its resident inputs' weighted
+    /// homes (`(rank, stored words)` per resident buffer copy): the rank
+    /// holding the largest total resident volume wins, ties to the lowest
+    /// rank — so the step runs where its biggest input already lives and
+    /// only the smaller inputs redistribute. With nothing resident, fall
+    /// back to `anchor` (a chain keeps its unanchored steps together —
+    /// one cursor advance per chain, not per step) or the round-robin
+    /// cursor.
+    pub(crate) fn place_weighted(
+        &mut self,
+        weighted: impl IntoIterator<Item = (usize, u64)>,
+        anchor: Option<usize>,
+    ) -> usize {
+        let mut by_rank: Vec<u64> = vec![0; self.ranks];
+        let mut any = false;
+        for (rank, words) in weighted {
+            if rank < self.ranks {
+                by_rank[rank] += words.max(1);
+                any = true;
+            }
+        }
+        if any {
+            let mut best = 0usize;
+            for (r, &w) in by_rank.iter().enumerate() {
+                if w > by_rank[best] {
+                    best = r;
+                }
+            }
+            return best;
+        }
+        if let Some(a) = anchor {
+            return a % self.ranks;
+        }
+        let r = self.rr % self.ranks;
+        self.rr += 1;
+        r
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +270,21 @@ mod tests {
         assert_eq!(p.place([None, Some(2)]), 2);
         assert_eq!(p.place([None, None]), 2, "cursor resumes after 0, 1");
         assert_eq!(p.place([None]), 0);
+    }
+
+    #[test]
+    fn weighted_placement_follows_the_largest_resident_input() {
+        let mut p = Placement::new(4);
+        // largest total resident volume wins
+        assert_eq!(p.place_weighted([(1, 100), (3, 40), (3, 70)], None), 3);
+        // ties break to the lowest rank
+        assert_eq!(p.place_weighted([(2, 50), (0, 50)], None), 0);
+        // nothing resident: the anchor keeps a chain's steps together
+        assert_eq!(p.place_weighted([], Some(2)), 2);
+        assert_eq!(p.place_weighted([], Some(2)), 2);
+        // no anchor either: round-robin cursor
+        assert_eq!(p.place_weighted([], None), 0);
+        assert_eq!(p.place_weighted([], None), 1);
     }
 
     #[test]

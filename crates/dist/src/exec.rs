@@ -28,7 +28,10 @@
 use crate::cluster::{Cluster, Placement};
 use crate::comm::Comm;
 use crate::cost::{CostTracker, SimTime};
-use crate::handle::{derive, hpairs, hseq, OpHandle, Payload, Residency};
+use crate::handle::{
+    derive, hpairs, hseq, Fnv, LocalResult, OpHandle, Payload, Residency, ResultHandle, ResultInfo,
+    ResultKind,
+};
 use crate::kernels;
 use crate::machine::Machine;
 use crate::pool::ThreadPool;
@@ -40,7 +43,7 @@ use std::sync::Arc;
 use tt_linalg::{TruncSpec, TruncatedSvd};
 use tt_tensor::einsum::ContractPlan;
 use tt_tensor::gemm::{gemm_path, GemmPath};
-use tt_tensor::{Complex64, DenseTensor, SparseTensor};
+use tt_tensor::{Complex64, DenseTensor, Scalar, SparseTensor};
 
 /// How the executor runs its local kernels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -71,39 +74,56 @@ pub enum Backend {
     },
 }
 
-/// A dense `f64` operand: by value or by resident handle.
-#[derive(Clone, Copy)]
-pub enum DenseOp<'a> {
+/// A dense operand of scalar type `T`: by value or by resident handle.
+/// [`DenseOp`] and [`DenseOpC`] are the `f64` / [`Complex64`] instances —
+/// every dense executor path is generic over [`WireScalar`], which is what
+/// lets one cluster driver serve both scalar types.
+pub enum DenseOpT<'a, T: Scalar> {
     /// Shipped with every task.
-    Value(&'a DenseTensor<f64>),
+    Value(&'a DenseTensor<T>),
     /// Resident on the runtime after first use.
     Handle(&'a OpHandle),
 }
 
-impl<'a> From<&'a DenseTensor<f64>> for DenseOp<'a> {
-    fn from(t: &'a DenseTensor<f64>) -> Self {
-        DenseOp::Value(t)
+/// A dense `f64` operand: by value or by resident handle.
+pub type DenseOp<'a> = DenseOpT<'a, f64>;
+/// A dense [`Complex64`] operand: by value or by resident handle.
+pub type DenseOpC<'a> = DenseOpT<'a, Complex64>;
+
+impl<T: Scalar> Copy for DenseOpT<'_, T> {}
+impl<T: Scalar> Clone for DenseOpT<'_, T> {
+    fn clone(&self) -> Self {
+        *self
     }
 }
 
-impl<'a> From<&'a OpHandle> for DenseOp<'a> {
+impl<'a, T: Scalar> From<&'a DenseTensor<T>> for DenseOpT<'a, T> {
+    fn from(t: &'a DenseTensor<T>) -> Self {
+        DenseOpT::Value(t)
+    }
+}
+
+impl<'a, T: Scalar> From<&'a OpHandle> for DenseOpT<'a, T> {
     fn from(h: &'a OpHandle) -> Self {
-        DenseOp::Handle(h)
+        DenseOpT::Handle(h)
     }
 }
 
-impl<'a> DenseOp<'a> {
-    fn tensor(&self) -> Result<&'a DenseTensor<f64>> {
+// the WireScalar bound is an internal wiring detail of the public operand
+// type — the trait itself is not part of the API surface
+#[allow(private_bounds)]
+impl<'a, T: WireScalar> DenseOpT<'a, T> {
+    fn tensor(&self) -> Result<&'a DenseTensor<T>> {
         match self {
-            DenseOp::Value(t) => Ok(t),
-            DenseOp::Handle(h) => h.dense(),
+            DenseOpT::Value(t) => Ok(t),
+            DenseOpT::Handle(h) => T::from_handle(h),
         }
     }
 
     fn handle(&self) -> Option<&'a OpHandle> {
         match self {
-            DenseOp::Value(_) => None,
-            DenseOp::Handle(h) => Some(h),
+            DenseOpT::Value(_) => None,
+            DenseOpT::Handle(h) => Some(h),
         }
     }
 }
@@ -145,39 +165,219 @@ impl<'a> SparseOp<'a> {
     }
 }
 
-/// A dense [`Complex64`] operand: by value or by resident handle.
-#[derive(Clone, Copy)]
-pub enum DenseOpC<'a> {
-    /// Shipped with every task.
-    Value(&'a DenseTensor<Complex64>),
-    /// Resident on the runtime after first use.
-    Handle(&'a OpHandle),
+/// Wire-level behavior of a dense scalar type: operand encoding, upload /
+/// chunk / chain request construction, reply decoding, and handle payload
+/// extraction. The two implementations (for `f64` and [`Complex64`]) are
+/// the *only* scalar-specific code in the dense data plane — everything
+/// else is one generic driver (mirroring `kernels::dense_contract<T>`).
+pub(crate) trait WireScalar: Scalar {
+    /// The wire operand representation ([`OpF`] or [`OpC`]).
+    type Op: Clone + Send;
+    /// Stored `f64` words per element (1 for `f64`, 2 for [`Complex64`]).
+    const WORDS: usize;
+    /// Derived-buffer purpose tag for slab-partitioned permuted `A`.
+    const TAG_A: u64;
+    /// Derived-buffer purpose tag for the replicated permuted `B` matrix.
+    const TAG_B: u64;
+    fn op_inline(data: Vec<Self>) -> Self::Op;
+    fn op_key(key: u64) -> Self::Op;
+    fn upload_req(key: u64, data: Vec<Self>) -> Request;
+    fn chunk_req(
+        path: GemmPath,
+        rows: usize,
+        k: usize,
+        n: usize,
+        a: Self::Op,
+        b: Self::Op,
+    ) -> Request;
+    fn expect(reply: Reply) -> Result<Vec<Self>>;
+    fn from_handle(h: &OpHandle) -> Result<&DenseTensor<Self>>;
 }
 
-impl<'a> From<&'a DenseTensor<Complex64>> for DenseOpC<'a> {
-    fn from(t: &'a DenseTensor<Complex64>) -> Self {
-        DenseOpC::Value(t)
+impl WireScalar for f64 {
+    type Op = OpF;
+    const WORDS: usize = 1;
+    const TAG_A: u64 = TAG_DENSE_A;
+    const TAG_B: u64 = TAG_MAT_B;
+
+    fn op_inline(data: Vec<Self>) -> OpF {
+        OpF::Inline(data)
     }
-}
 
-impl<'a> From<&'a OpHandle> for DenseOpC<'a> {
-    fn from(h: &'a OpHandle) -> Self {
-        DenseOpC::Handle(h)
+    fn op_key(key: u64) -> OpF {
+        OpF::Key(key)
     }
-}
 
-impl<'a> DenseOpC<'a> {
-    fn tensor(&self) -> Result<&'a DenseTensor<Complex64>> {
-        match self {
-            DenseOpC::Value(t) => Ok(t),
-            DenseOpC::Handle(h) => h.dense_c64(),
+    fn upload_req(key: u64, data: Vec<Self>) -> Request {
+        Request::Upload { key, data }
+    }
+
+    fn chunk_req(path: GemmPath, rows: usize, k: usize, n: usize, a: OpF, b: OpF) -> Request {
+        Request::DenseChunk {
+            path,
+            rows,
+            k,
+            n,
+            a,
+            b,
         }
     }
 
-    fn handle(&self) -> Option<&'a OpHandle> {
+    fn expect(reply: Reply) -> Result<Vec<Self>> {
+        expect_f64s(reply)
+    }
+
+    fn from_handle(h: &OpHandle) -> Result<&DenseTensor<Self>> {
+        h.dense()
+    }
+}
+
+impl WireScalar for Complex64 {
+    type Op = OpC;
+    const WORDS: usize = 2;
+    const TAG_A: u64 = TAG_C64_A;
+    const TAG_B: u64 = TAG_C64_B;
+
+    fn op_inline(data: Vec<Self>) -> OpC {
+        OpC::Inline(data)
+    }
+
+    fn op_key(key: u64) -> OpC {
+        OpC::Key(key)
+    }
+
+    fn upload_req(key: u64, data: Vec<Self>) -> Request {
+        Request::UploadC64 { key, data }
+    }
+
+    fn chunk_req(path: GemmPath, rows: usize, k: usize, n: usize, a: OpC, b: OpC) -> Request {
+        Request::DenseChunkC64 {
+            path,
+            rows,
+            k,
+            n,
+            a,
+            b,
+        }
+    }
+
+    fn expect(reply: Reply) -> Result<Vec<Self>> {
+        match reply {
+            Reply::C64s(v) => Ok(v),
+            other => Err(Error::Transport(format!(
+                "expected Complex64 payload, got {other:?}"
+            ))),
+        }
+    }
+
+    fn from_handle(h: &OpHandle) -> Result<&DenseTensor<Self>> {
+        h.dense_c64()
+    }
+}
+
+/// One operand of a [`Executor::chain`] step.
+pub enum ChainSrc<'a> {
+    /// A dense `f64` operand (by value or by resident operand handle).
+    Dense(DenseOp<'a>),
+    /// A dense [`Complex64`] operand.
+    DenseC(DenseOpC<'a>),
+    /// A sparse `f64` operand — only valid as the first (`a`) side of a
+    /// step, selecting the sparse-dense kernel.
+    Sparse(SparseOp<'a>),
+    /// The resident output of step `i` of this chain (must be a
+    /// non-accumulate step).
+    Prev(usize),
+    /// The resident output of an earlier chain on the same executor.
+    Res(&'a ResultHandle),
+}
+
+/// One contraction of a worker-side chain superstep.
+pub struct ChainStep<'a> {
+    /// Einsum grammar of the step.
+    pub spec: &'a str,
+    /// First operand (the sparse/structural side for sd steps).
+    pub a: ChainSrc<'a>,
+    /// Second operand.
+    pub b: ChainSrc<'a>,
+    /// Accumulate elementwise into the output of step `i` (in submission
+    /// order — the first partial of an output is always a plain store)
+    /// instead of producing a fresh result.
+    pub acc: Option<usize>,
+}
+
+/// The kernel family of a planned chain step.
+enum StepKind {
+    Dense,
+    DenseC,
+    Sd,
+}
+
+/// Static per-step plan of a chain: everything derivable driver-side from
+/// dims alone.
+struct PlannedStep {
+    kind: StepKind,
+    plan: ContractPlan,
+    a_dims: Vec<usize>,
+    b_dims: Vec<usize>,
+    out_dims: Vec<usize>,
+    m: usize,
+    k: usize,
+    n: usize,
+    flops: u64,
+    words_c: usize,
+    /// The step whose output slot this step writes (self for non-acc).
+    base: usize,
+    /// Result store key (the base's key for accumulate steps).
+    key: u64,
+}
+
+impl PlannedStep {
+    fn result_kind(&self) -> ResultKind {
+        result_kind_of(&self.kind)
+    }
+}
+
+fn result_kind_of(kind: &StepKind) -> ResultKind {
+    match kind {
+        StepKind::DenseC => ResultKind::C64,
+        _ => ResultKind::F64,
+    }
+}
+
+/// The scalar family of a chain-step operand at planning time.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SrcKind {
+    F64,
+    C64,
+    Sparse,
+}
+
+/// A resolved wire operand of a chain step.
+enum WireIn {
+    F(OpF),
+    C(OpC),
+    Coords(OpCoords),
+}
+
+impl WireIn {
+    fn f64(self) -> Result<OpF> {
         match self {
-            DenseOpC::Value(_) => None,
-            DenseOpC::Handle(h) => Some(h),
+            WireIn::F(op) => Ok(op),
+            _ => Err(Error::Runtime("chain step operand kind mismatch".into())),
+        }
+    }
+
+    fn c64(self) -> Result<OpC> {
+        match self {
+            WireIn::C(op) => Ok(op),
+            _ => Err(Error::Runtime("chain step operand kind mismatch".into())),
+        }
+    }
+
+    fn coords(self) -> Result<OpCoords> {
+        match self {
+            WireIn::Coords(op) => Ok(op),
+            _ => Err(Error::Runtime("chain step operand kind mismatch".into())),
         }
     }
 }
@@ -226,6 +426,25 @@ const TAG_WHOLE: u64 = 0xF0; // whole tensor (pairs, SVD/QR inputs)
 /// building the contraction mapping, visible as "%map" in Fig. 7.
 const MAP_OVERHEAD_S: f64 = 2.0e-7;
 
+/// Aspect ratio (rows / cols) at which a factorization panel counts as
+/// *tall* and routes through the TSQR tree instead of the direct
+/// single-matrix factorization.
+pub(crate) const TSQR_MIN_ASPECT: usize = 8;
+
+/// Row floor below which even a high-aspect panel stays on the direct
+/// path (the tree's slab bookkeeping isn't worth it).
+const TSQR_MIN_ROWS: usize = 32;
+
+/// True when `dims` is a tall matrix panel that should take the TSQR
+/// route. Purely dims-driven, so the routing decision is identical on
+/// every backend and in every mode.
+fn tall_panel(dims: &[usize]) -> bool {
+    dims.len() == 2
+        && dims[1] > 0
+        && dims[0] >= TSQR_MIN_ROWS
+        && dims[0] >= TSQR_MIN_ASPECT * dims[1]
+}
+
 /// The distributed executor.
 pub struct Executor {
     machine: Machine,
@@ -237,6 +456,13 @@ pub struct Executor {
     pool: Option<Arc<ThreadPool>>,
     cluster: Option<Mutex<Cluster>>,
     residency: Mutex<Residency>,
+    /// Allocator for driver-issued result keys (chain outputs). Starts far
+    /// above the cluster's SUMMA-slab key range.
+    next_result: Mutex<u64>,
+    /// Round-robin anchor cursor for chains with no resident inputs —
+    /// advanced once per [`Executor::chain`] call, so one chain's
+    /// unanchored steps stay together on one rank.
+    chain_cursor: Mutex<usize>,
 }
 
 impl Executor {
@@ -289,6 +515,8 @@ impl Executor {
             pool,
             cluster,
             residency: Mutex::new(Residency::default()),
+            next_result: Mutex::new(1 << 48),
+            chain_cursor: Mutex::new(0),
         })
     }
 
@@ -393,23 +621,40 @@ impl Executor {
     /// the workers by the first contraction that needs them. Each upload
     /// must be matched by one [`Executor::free`].
     pub fn upload(&self, t: &DenseTensor<f64>) -> OpHandle {
-        let h = OpHandle::new(Payload::F64(t.clone()));
+        self.upload_shared(&Arc::new(t.clone()))
+    }
+
+    /// Upload an `Arc`-shared dense `f64` tensor without cloning its
+    /// storage — the handle shares the caller's allocation (only the
+    /// content hash is computed). This is what lets `tt-blocks`' transient
+    /// per-block uploads and chain-step enqueues stop paying a full clone
+    /// per block.
+    pub fn upload_shared(&self, t: &Arc<DenseTensor<f64>>) -> OpHandle {
+        let h = OpHandle::new(Payload::F64(Arc::clone(t)));
         self.residency.lock().retain(h.key());
         h
     }
 
     /// Upload a dense [`Complex64`] tensor.
     pub fn upload_c64(&self, t: &DenseTensor<Complex64>) -> OpHandle {
-        let h = OpHandle::new(Payload::C64(t.clone()));
+        let h = OpHandle::new(Payload::C64(Arc::new(t.clone())));
         self.residency.lock().retain(h.key());
         h
     }
 
     /// Upload a flattened sparse `f64` tensor.
     pub fn upload_sparse(&self, t: &SparseTensor<f64>) -> OpHandle {
-        let h = OpHandle::new(Payload::Sparse(t.clone()));
+        let h = OpHandle::new(Payload::Sparse(Arc::new(t.clone())));
         self.residency.lock().retain(h.key());
         h
+    }
+
+    /// A fresh driver-issued key for a resident contraction result.
+    fn fresh_result_key(&self) -> u64 {
+        let mut k = self.next_result.lock();
+        let key = *k;
+        *k += 1;
+        key
     }
 
     /// Release one upload of `h`. When the last upload of the same
@@ -572,39 +817,7 @@ impl Executor {
     /// Dense × dense contraction with value-or-handle operands. Results
     /// are bitwise-identical to [`Executor::contract`] on every backend.
     pub fn contract_h(&self, spec: &str, a: DenseOp, b: DenseOp) -> Result<DenseTensor<f64>> {
-        let plan = ContractPlan::parse(spec)?;
-        let (at, bt) = (a.tensor()?, b.tensor()?);
-        let c = if let Some(cl) = &self.cluster {
-            self.dense_over_cluster(&mut cl.lock(), &plan, &a, &b)?
-        } else {
-            kernels::dense_contract(&plan, at, bt, self.pool())?
-        };
-        let (m, k, n) = kernels::fused_dims(&plan, at.dims(), bt.dims());
-        let flops = plan.flop_count(at.dims(), bt.dims());
-        let mut perm_a: Vec<usize> = plan.free_a_positions().to_vec();
-        perm_a.extend_from_slice(plan.ctr_a_positions());
-        let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
-        perm_b.extend_from_slice(plan.free_b_positions());
-        // the A-slab contents depend on the kernel path (MC-aligned vs
-        // uniform ranges), so the logical charge key tracks it too — a
-        // path change is a genuine re-upload, not a cache hit
-        let path = gemm_path(k, n);
-        let sa = self.op_state(
-            a.handle(),
-            a.handle()
-                .map(|h| derive(&[h.key(), TAG_DENSE_A, hseq(&perm_a), path as u64]))
-                .unwrap_or_default(),
-            m * k,
-        );
-        let sb = self.op_state(
-            b.handle(),
-            b.handle()
-                .map(|h| derive(&[h.key(), TAG_MAT_B, hseq(&perm_b)]))
-                .unwrap_or_default(),
-            k * n,
-        );
-        self.charge_contraction(sa, sb, m * n, m, n, flops, false);
-        Ok(c)
+        self.contract_dense_t(spec, a, b)
     }
 
     /// Dense × dense [`Complex64`] contraction with value-or-handle
@@ -616,36 +829,48 @@ impl Executor {
         a: DenseOpC,
         b: DenseOpC,
     ) -> Result<DenseTensor<Complex64>> {
+        self.contract_dense_t(spec, a, b)
+    }
+
+    /// The scalar-generic dense contraction driver behind
+    /// [`Executor::contract_h`] and [`Executor::contract_c64`]: identical
+    /// decomposition, residency derivation and α–β charges for both
+    /// scalar types (element words scale by [`WireScalar::WORDS`]).
+    fn contract_dense_t<T: WireScalar>(
+        &self,
+        spec: &str,
+        a: DenseOpT<T>,
+        b: DenseOpT<T>,
+    ) -> Result<DenseTensor<T>> {
         let plan = ContractPlan::parse(spec)?;
         let (at, bt) = (a.tensor()?, b.tensor()?);
         let c = if let Some(cl) = &self.cluster {
-            self.dense_over_cluster_c64(&mut cl.lock(), &plan, &a, &b)?
+            self.dense_over_cluster(&mut cl.lock(), &plan, &a, &b)?
         } else {
             kernels::dense_contract(&plan, at, bt, self.pool())?
         };
         let (m, k, n) = kernels::fused_dims(&plan, at.dims(), bt.dims());
         let flops = plan.flop_count(at.dims(), bt.dims());
-        let mut perm_a: Vec<usize> = plan.free_a_positions().to_vec();
-        perm_a.extend_from_slice(plan.ctr_a_positions());
-        let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
-        perm_b.extend_from_slice(plan.free_b_positions());
-        // complex words are two stored f64 words each
+        let (perm_a, perm_b) = operand_perms(&plan);
+        // the A-slab contents depend on the kernel path (MC-aligned vs
+        // uniform ranges), so the logical charge key tracks it too — a
+        // path change is a genuine re-upload, not a cache hit
         let path = gemm_path(k, n);
         let sa = self.op_state(
             a.handle(),
             a.handle()
-                .map(|h| derive(&[h.key(), TAG_C64_A, hseq(&perm_a), path as u64]))
+                .map(|h| derive(&[h.key(), T::TAG_A, hseq(&perm_a), path as u64]))
                 .unwrap_or_default(),
-            2 * m * k,
+            T::WORDS * m * k,
         );
         let sb = self.op_state(
             b.handle(),
             b.handle()
-                .map(|h| derive(&[h.key(), TAG_C64_B, hseq(&perm_b)]))
+                .map(|h| derive(&[h.key(), T::TAG_B, hseq(&perm_b)]))
                 .unwrap_or_default(),
-            2 * k * n,
+            T::WORDS * k * n,
         );
-        self.charge_contraction(sa, sb, 2 * m * n, m, n, flops, false);
+        self.charge_contraction(sa, sb, T::WORDS * m * n, m, n, flops, false);
         Ok(c)
     }
 
@@ -657,21 +882,19 @@ impl Executor {
     /// miss requires rides in the same superstep as the chunk tasks. The
     /// decomposition is row-disjoint with an invariant kernel path, so
     /// the result is bitwise-identical to the sequential in-process
-    /// kernel.
-    fn dense_over_cluster(
+    /// kernel. Generic over the scalar type — one driver serves `f64`
+    /// and [`Complex64`].
+    fn dense_over_cluster<T: WireScalar>(
         &self,
         cl: &mut Cluster,
         plan: &ContractPlan,
-        a: &DenseOp,
-        b: &DenseOp,
-    ) -> Result<DenseTensor<f64>> {
+        a: &DenseOpT<T>,
+        b: &DenseOpT<T>,
+    ) -> Result<DenseTensor<T>> {
         let (at, bt) = (a.tensor()?, b.tensor()?);
         plan.output_dims(at.dims(), bt.dims())?; // validates shapes
         let (m, k, n) = kernels::fused_dims(plan, at.dims(), bt.dims());
-        let mut perm_a: Vec<usize> = plan.free_a_positions().to_vec();
-        perm_a.extend_from_slice(plan.ctr_a_positions());
-        let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
-        perm_b.extend_from_slice(plan.free_b_positions());
+        let (perm_a, perm_b) = operand_perms(plan);
 
         let path = gemm_path(k, n);
         let p = cl.ranks();
@@ -684,13 +907,17 @@ impl Executor {
 
         // B: replicated permuted matrix, resident for handles
         let b_field = match b.handle() {
-            None => OpF::Inline(bt.permute(&perm_b)?.into_data()),
+            None => T::op_inline(bt.permute(&perm_b)?.into_data()),
             Some(h) => {
-                let wkey = derive(&[h.key(), TAG_MAT_B, hseq(&perm_b)]);
-                let mut res = self.residency.lock();
-                let mut b_mat: Option<Vec<f64>> = None;
-                for r in 0..nchunks.min(p) {
-                    if res.add_home(h.key(), wkey, r) {
+                let wkey = derive(&[h.key(), T::TAG_B, hseq(&perm_b)]);
+                let mut b_mat: Option<Vec<T>> = None;
+                replicate_to_missing(
+                    &mut self.residency.lock(),
+                    h.key(),
+                    wkey,
+                    nchunks.min(p),
+                    &mut reqs,
+                    || {
                         let data = match &b_mat {
                             Some(d) => d.clone(),
                             None => {
@@ -699,76 +926,40 @@ impl Executor {
                                 d
                             }
                         };
-                        reqs.push((r, Request::Upload { key: wkey, data }));
-                    }
-                }
-                OpF::Key(wkey)
+                        Ok(T::upload_req(wkey, data))
+                    },
+                )?;
+                T::op_key(wkey)
             }
         };
 
         // A: row slabs, one resident buffer per chunk for handles
-        enum AFields {
-            Inline(Vec<f64>),
-            Keys(Vec<u64>),
-        }
-        let a_fields = match a.handle() {
-            None => AFields::Inline(at.permute(&perm_a)?.into_data()),
-            Some(h) => {
-                let mut res = self.residency.lock();
-                let mut a_mat: Option<Vec<f64>> = None;
-                let mut keys = Vec::with_capacity(nchunks);
-                for (i, &(r0, r1)) in ranges.iter().enumerate() {
-                    let wkey = derive(&[
-                        h.key(),
-                        TAG_DENSE_A,
-                        hseq(&perm_a),
-                        path as u64,
-                        nchunks as u64,
-                        i as u64,
-                    ]);
-                    if res.add_home(h.key(), wkey, i % p) {
-                        let mat = match &a_mat {
-                            Some(d) => d,
-                            None => {
-                                a_mat = Some(at.permute(&perm_a)?.into_data());
-                                a_mat.as_ref().expect("just set")
-                            }
-                        };
-                        reqs.push((
-                            i % p,
-                            Request::Upload {
-                                key: wkey,
-                                data: mat[r0 * k..r1 * k].to_vec(),
-                            },
-                        ));
-                    }
-                    keys.push(wkey);
-                }
-                AFields::Keys(keys)
-            }
-        };
+        let a_fields = slab_fields(
+            &mut self.residency.lock(),
+            a,
+            at,
+            &perm_a,
+            path,
+            &ranges,
+            k,
+            p,
+            &mut reqs,
+        )?;
 
         let n_uploads = reqs.len();
         for (i, &(r0, r1)) in ranges.iter().enumerate() {
             let a_field = match &a_fields {
-                AFields::Inline(mat) => OpF::Inline(mat[r0 * k..r1 * k].to_vec()),
-                AFields::Keys(keys) => OpF::Key(keys[i]),
+                AFields::Inline(mat) => T::op_inline(mat[r0 * k..r1 * k].to_vec()),
+                AFields::Keys(keys) => T::op_key(keys[i]),
             };
             reqs.push((
                 i % p,
-                Request::DenseChunk {
-                    path,
-                    rows: r1 - r0,
-                    k,
-                    n,
-                    a: a_field,
-                    b: b_field.clone(),
-                },
+                T::chunk_req(path, r1 - r0, k, n, a_field, b_field.clone()),
             ));
         }
         let mut c = Vec::with_capacity(m * n);
         for reply in cl.call_all(reqs)?.into_iter().skip(n_uploads) {
-            c.extend_from_slice(&expect_f64s(reply)?);
+            c.extend_from_slice(&T::expect(reply)?);
         }
         // (worker-side kernel flop counts travel back with every reply —
         // see the counter-delta prefix in transport::process — so the
@@ -777,126 +968,659 @@ impl Executor {
         Ok(c.permute(plan.output_permutation())?)
     }
 
-    /// [`Executor::dense_over_cluster`] for [`Complex64`] operands.
-    fn dense_over_cluster_c64(
-        &self,
-        cl: &mut Cluster,
-        plan: &ContractPlan,
-        a: &DenseOpC,
-        b: &DenseOpC,
-    ) -> Result<DenseTensor<Complex64>> {
-        let (at, bt) = (a.tensor()?, b.tensor()?);
-        plan.output_dims(at.dims(), bt.dims())?;
-        let (m, k, n) = kernels::fused_dims(plan, at.dims(), bt.dims());
-        let mut perm_a: Vec<usize> = plan.free_a_positions().to_vec();
-        perm_a.extend_from_slice(plan.ctr_a_positions());
-        let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
-        perm_b.extend_from_slice(plan.free_b_positions());
+    // -- result residency: handle-returning contractions and chains ------
 
-        let path = gemm_path(k, n);
-        let p = cl.ranks();
-        let ranges = match path {
-            GemmPath::Packed => kernels::mc_aligned_ranges(m, p),
-            _ => kernels::row_ranges(m, p),
-        };
-        let nchunks = ranges.len();
-        let mut reqs: Vec<(usize, Request)> = Vec::new();
+    /// Dense × dense contraction that *produces a handle*: the result
+    /// stays pinned in the worker store of the rank that computed it and
+    /// never returns to the driver. [`Executor::download`] is the only
+    /// value-returning exit; [`Executor::free_result`] discards.
+    pub fn contract_to_h(&self, spec: &str, a: DenseOp, b: DenseOp) -> Result<ResultHandle> {
+        let mut out = self.chain(&[ChainStep {
+            spec,
+            a: ChainSrc::Dense(a),
+            b: ChainSrc::Dense(b),
+            acc: None,
+        }])?;
+        Ok(out.pop().flatten().expect("single non-accumulate step"))
+    }
 
-        let b_field = match b.handle() {
-            None => OpC::Inline(bt.permute(&perm_b)?.into_data()),
-            Some(h) => {
-                let wkey = derive(&[h.key(), TAG_C64_B, hseq(&perm_b)]);
-                let mut res = self.residency.lock();
-                let mut b_mat: Option<Vec<Complex64>> = None;
-                for r in 0..nchunks.min(p) {
-                    if res.add_home(h.key(), wkey, r) {
-                        let data = match &b_mat {
-                            Some(d) => d.clone(),
-                            None => {
-                                let d = bt.permute(&perm_b)?.into_data();
-                                b_mat = Some(d.clone());
-                                d
-                            }
-                        };
-                        reqs.push((r, Request::UploadC64 { key: wkey, data }));
-                    }
+    /// [`Executor::contract_to_h`] for [`Complex64`] operands.
+    pub fn contract_c64_to_h(&self, spec: &str, a: DenseOpC, b: DenseOpC) -> Result<ResultHandle> {
+        let mut out = self.chain(&[ChainStep {
+            spec,
+            a: ChainSrc::DenseC(a),
+            b: ChainSrc::DenseC(b),
+            acc: None,
+        }])?;
+        Ok(out.pop().flatten().expect("single non-accumulate step"))
+    }
+
+    /// Sparse × dense contraction producing a resident handle.
+    pub fn contract_sd_to_h(&self, spec: &str, a: SparseOp, b: DenseOp) -> Result<ResultHandle> {
+        let mut out = self.chain(&[ChainStep {
+            spec,
+            a: ChainSrc::Sparse(a),
+            b: ChainSrc::Dense(b),
+            acc: None,
+        }])?;
+        Ok(out.pop().flatten().expect("single non-accumulate step"))
+    }
+
+    /// Run an ordered list of contraction steps **worker-side**: each step
+    /// may consume prior steps' resident outputs ([`ChainSrc::Prev`]) or
+    /// the outputs of earlier chains ([`ChainSrc::Res`]), and no
+    /// intermediate ever round-trips through the driver. Returns one
+    /// [`ResultHandle`] per non-accumulate step (in step order; `None` for
+    /// accumulate steps, which fold into their target's handle).
+    ///
+    /// Placement: a step runs on the rank holding its largest resident
+    /// input; when inputs live on different ranks the smaller ones move
+    /// in an explicit redistribute superstep (`Download` + re-`Upload`,
+    /// metered in the byte counters but — like every p-dependent physical
+    /// re-ship — not α–β-charged, so the cost counters stay bitwise-equal
+    /// across backends). Steps with no resident input anchor to one
+    /// round-robin rank per chain call.
+    ///
+    /// Numerics are bitwise-identical to running the equivalent
+    /// value-returning contractions on any backend: every kernel is the
+    /// same row-disjoint code, and accumulate steps add partials in
+    /// submission order exactly like the driver-side value path.
+    pub fn chain(&self, steps: &[ChainStep]) -> Result<Vec<Option<ResultHandle>>> {
+        let planned = self.plan_chain(steps)?;
+        let mut locals: Vec<Option<LocalResult>> = (0..steps.len()).map(|_| None).collect();
+        let homes = if let Some(cl) = &self.cluster {
+            match self.chain_over_cluster(&mut cl.lock(), steps, &planned) {
+                Ok(homes) => homes,
+                Err(e) => {
+                    // a mid-chain failure may have left earlier steps'
+                    // results pinned (flushed supersteps execute eagerly)
+                    // with no handle to free them through — sweep every
+                    // key this chain could have stored, best-effort
+                    // (Free of an absent key is a worker no-op)
+                    let mut cl = cl.lock();
+                    let reqs: Vec<(usize, Request)> = planned
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, pl)| pl.base == i)
+                        .flat_map(|(_, pl)| {
+                            (0..cl.ranks()).map(move |r| (r, Request::Free { key: pl.key }))
+                        })
+                        .collect();
+                    let _ = cl.call_all(reqs);
+                    return Err(e);
                 }
-                OpC::Key(wkey)
             }
+        } else {
+            self.chain_local(steps, &planned, &mut locals)?;
+            vec![0; steps.len()]
         };
-
-        enum AFields {
-            Inline(Vec<Complex64>),
-            Keys(Vec<u64>),
+        // charge every step in submission order, from driver-side registry
+        // state only — the charge sequence is bitwise-identical on every
+        // backend
+        for (st, pl) in steps.iter().zip(&planned) {
+            let sa = self.chain_charge(&st.a, pl, true)?;
+            let sb = self.chain_charge(&st.b, pl, false)?;
+            self.charge_contraction(
+                sa,
+                sb,
+                pl.words_c,
+                pl.m,
+                pl.n,
+                pl.flops,
+                matches!(pl.kind, StepKind::Sd),
+            );
         }
-        let a_fields = match a.handle() {
-            None => AFields::Inline(at.permute(&perm_a)?.into_data()),
-            Some(h) => {
-                let mut res = self.residency.lock();
-                let mut a_mat: Option<Vec<Complex64>> = None;
-                let mut keys = Vec::with_capacity(nchunks);
-                for (i, &(r0, r1)) in ranges.iter().enumerate() {
-                    let wkey = derive(&[
-                        h.key(),
-                        TAG_C64_A,
-                        hseq(&perm_a),
-                        path as u64,
-                        nchunks as u64,
-                        i as u64,
-                    ]);
-                    if res.add_home(h.key(), wkey, i % p) {
-                        let mat = match &a_mat {
-                            Some(d) => d,
-                            None => {
-                                a_mat = Some(at.permute(&perm_a)?.into_data());
-                                a_mat.as_ref().expect("just set")
-                            }
-                        };
-                        reqs.push((
-                            i % p,
-                            Request::UploadC64 {
-                                key: wkey,
-                                data: mat[r0 * k..r1 * k].to_vec(),
-                            },
+        let mut out = Vec::with_capacity(steps.len());
+        let mut res = self.residency.lock();
+        for (i, pl) in planned.iter().enumerate() {
+            if pl.base != i {
+                out.push(None);
+                continue;
+            }
+            let produced_by = derive(&[
+                hash_spec(steps[i].spec),
+                src_provenance(&steps[i].a, &planned),
+                src_provenance(&steps[i].b, &planned),
+            ]);
+            res.record_result(
+                pl.key,
+                ResultInfo {
+                    home: homes[i],
+                    words: pl.words_c,
+                    produced_by,
+                },
+            );
+            out.push(Some(ResultHandle {
+                key: pl.key,
+                dims: pl.out_dims.clone(),
+                kind: pl.result_kind(),
+                words: pl.words_c,
+                local: locals[i].take(),
+            }));
+        }
+        Ok(out)
+    }
+
+    /// Validate a chain and compute every step's static plan (kind, dims,
+    /// fused sizes, flops, output slot and store key).
+    fn plan_chain(&self, steps: &[ChainStep]) -> Result<Vec<PlannedStep>> {
+        let mut planned: Vec<PlannedStep> = Vec::with_capacity(steps.len());
+        for (i, st) in steps.iter().enumerate() {
+            let (a_dims, ak) = src_info(&st.a, &planned)?;
+            let (b_dims, bk) = src_info(&st.b, &planned)?;
+            let kind = match (ak, bk) {
+                (SrcKind::Sparse, SrcKind::F64) => StepKind::Sd,
+                (SrcKind::Sparse, _) | (_, SrcKind::Sparse) => {
+                    return Err(Error::Runtime(
+                        "only sparse × dense chain steps are supported (sparse operand first)"
+                            .into(),
+                    ))
+                }
+                (SrcKind::C64, SrcKind::C64) => StepKind::DenseC,
+                (SrcKind::F64, SrcKind::F64) => StepKind::Dense,
+                _ => {
+                    return Err(Error::Runtime(
+                        "chain step mixes f64 and Complex64 operands".into(),
+                    ))
+                }
+            };
+            let plan = ContractPlan::parse(st.spec)?;
+            let out_dims = plan.output_dims(&a_dims, &b_dims)?;
+            let (m, k, n) = kernels::fused_dims(&plan, &a_dims, &b_dims);
+            let flops = match (&kind, &st.a) {
+                (StepKind::Sd, ChainSrc::Sparse(op)) => 2 * op.tensor()?.nnz() as u64 * n as u64,
+                _ => plan.flop_count(&a_dims, &b_dims),
+            };
+            let words_el = if matches!(kind, StepKind::DenseC) {
+                2
+            } else {
+                1
+            };
+            let words_c = words_el * out_dims.iter().product::<usize>();
+            let (base, key) = match st.acc {
+                None => (i, self.fresh_result_key()),
+                Some(t) => {
+                    let tgt = planned.get(t).ok_or_else(|| {
+                        Error::Runtime(format!("step {i} accumulates into future step {t}"))
+                    })?;
+                    if tgt.base != t {
+                        return Err(Error::Runtime(format!(
+                            "step {i} accumulates into step {t}, itself an accumulate step"
+                        )));
+                    }
+                    if !matches!(kind, StepKind::Dense | StepKind::DenseC) {
+                        return Err(Error::Runtime(
+                            "accumulate is only supported for dense chain steps".into(),
                         ));
                     }
-                    keys.push(wkey);
+                    if tgt.out_dims != out_dims || tgt.result_kind() != result_kind_of(&kind) {
+                        return Err(Error::Runtime(format!(
+                            "step {i} accumulate target has mismatched shape or kind"
+                        )));
+                    }
+                    (t, tgt.key)
                 }
-                AFields::Keys(keys)
-            }
-        };
-
-        let n_uploads = reqs.len();
-        for (i, &(r0, r1)) in ranges.iter().enumerate() {
-            let a_field = match &a_fields {
-                AFields::Inline(mat) => OpC::Inline(mat[r0 * k..r1 * k].to_vec()),
-                AFields::Keys(keys) => OpC::Key(keys[i]),
             };
-            reqs.push((
-                i % p,
-                Request::DenseChunkC64 {
-                    path,
-                    rows: r1 - r0,
-                    k,
-                    n,
-                    a: a_field,
-                    b: b_field.clone(),
-                },
-            ));
+            planned.push(PlannedStep {
+                kind,
+                plan,
+                a_dims,
+                b_dims,
+                out_dims,
+                m,
+                k,
+                n,
+                flops,
+                words_c,
+                base,
+                key,
+            });
         }
-        let mut c = Vec::with_capacity(m * n);
-        for reply in cl.call_all(reqs)?.into_iter().skip(n_uploads) {
-            match reply {
-                Reply::C64s(v) => c.extend_from_slice(&v),
-                other => {
-                    return Err(Error::Transport(format!(
-                        "expected Complex64 payload, got {other:?}"
-                    )))
+        Ok(planned)
+    }
+
+    /// The cluster leg of [`Executor::chain`]: place each step, move
+    /// misplaced resident inputs (redistribute supersteps), and ship the
+    /// fused chain superstep(s). Returns the home rank per step.
+    fn chain_over_cluster(
+        &self,
+        cl: &mut Cluster,
+        steps: &[ChainStep],
+        planned: &[PlannedStep],
+    ) -> Result<Vec<usize>> {
+        let p = cl.ranks();
+        let mut placement = Placement::new(p);
+        let anchor = {
+            let mut cur = self.chain_cursor.lock();
+            let a = *cur % p.max(1);
+            *cur = cur.wrapping_add(1);
+            a
+        };
+        let mut homes: Vec<usize> = vec![0; steps.len()];
+        let mut pending: Vec<(usize, Request)> = Vec::new();
+        for (i, (st, pl)) in steps.iter().zip(planned).enumerate() {
+            let rank = if pl.base != i {
+                homes[pl.base]
+            } else {
+                let mut weighted: Vec<(usize, u64)> = Vec::new();
+                {
+                    let res = self.residency.lock();
+                    for src in [&st.a, &st.b] {
+                        collect_weights(src, pl, &res, &homes, planned, &mut weighted);
+                    }
+                }
+                placement.place_weighted(weighted, Some(anchor))
+            };
+            homes[i] = rank;
+            let a_field =
+                self.wire_input(cl, rank, &st.a, pl, &mut homes, planned, &mut pending)?;
+            let b_field =
+                self.wire_input(cl, rank, &st.b, pl, &mut homes, planned, &mut pending)?;
+            let req = match pl.kind {
+                StepKind::Dense => Request::ChainDense {
+                    spec: st.spec.to_string(),
+                    a_dims: pl.a_dims.clone(),
+                    a: a_field.f64()?,
+                    b_dims: pl.b_dims.clone(),
+                    b: b_field.f64()?,
+                    store: pl.key,
+                    acc: pl.base != i,
+                },
+                StepKind::DenseC => Request::ChainDenseC64 {
+                    spec: st.spec.to_string(),
+                    a_dims: pl.a_dims.clone(),
+                    a: a_field.c64()?,
+                    b_dims: pl.b_dims.clone(),
+                    b: b_field.c64()?,
+                    store: pl.key,
+                    acc: pl.base != i,
+                },
+                StepKind::Sd => Request::ChainSd {
+                    a: a_field.coords()?,
+                    m: pl.m,
+                    n: pl.n,
+                    b_dims: pl.b_dims.clone(),
+                    perm_b: operand_perms(&pl.plan).1,
+                    b: b_field.f64()?,
+                    nat_dims: kernels::natural_dims(&pl.plan, &pl.a_dims, &pl.b_dims),
+                    out_perm: pl.plan.output_permutation().to_vec(),
+                    store: pl.key,
+                },
+            };
+            pending.push((rank, req));
+        }
+        if !pending.is_empty() {
+            cl.call_all(pending)?;
+        }
+        Ok(homes)
+    }
+
+    /// Resolve one chain-step operand to its wire form on `rank`,
+    /// uploading missing resident operands and moving misplaced resident
+    /// results (the explicit redistribute superstep).
+    #[allow(clippy::too_many_arguments)]
+    fn wire_input(
+        &self,
+        cl: &mut Cluster,
+        rank: usize,
+        src: &ChainSrc,
+        pl: &PlannedStep,
+        homes: &mut [usize],
+        planned: &[PlannedStep],
+        pending: &mut Vec<(usize, Request)>,
+    ) -> Result<WireIn> {
+        Ok(match src {
+            ChainSrc::Dense(DenseOpT::Value(t)) => WireIn::F(OpF::Inline(t.data().to_vec())),
+            ChainSrc::Dense(DenseOpT::Handle(h)) => {
+                let wkey = derive(&[h.key(), TAG_WHOLE]);
+                if self.residency.lock().add_home(h.key(), wkey, rank) {
+                    pending.push((
+                        rank,
+                        Request::Upload {
+                            key: wkey,
+                            data: h.dense()?.data().to_vec(),
+                        },
+                    ));
+                }
+                WireIn::F(OpF::Key(wkey))
+            }
+            ChainSrc::DenseC(DenseOpT::Value(t)) => WireIn::C(OpC::Inline(t.data().to_vec())),
+            ChainSrc::DenseC(DenseOpT::Handle(h)) => {
+                let wkey = derive(&[h.key(), TAG_WHOLE]);
+                if self.residency.lock().add_home(h.key(), wkey, rank) {
+                    pending.push((
+                        rank,
+                        Request::UploadC64 {
+                            key: wkey,
+                            data: h.dense_c64()?.data().to_vec(),
+                        },
+                    ));
+                }
+                WireIn::C(OpC::Key(wkey))
+            }
+            ChainSrc::Sparse(op) => {
+                let at = op.tensor()?;
+                match op.handle() {
+                    None => {
+                        let coords = kernels::sparse_coords(
+                            at,
+                            pl.plan.free_a_positions(),
+                            pl.plan.ctr_a_positions(),
+                        );
+                        let (rows, cols, vals) = split_coords(coords);
+                        WireIn::Coords(OpCoords::Inline { rows, cols, vals })
+                    }
+                    Some(h) => {
+                        let wkey = sd_whole_key(h, &pl.plan, pl.n);
+                        if self.residency.lock().add_home(h.key(), wkey, rank) {
+                            let coords = kernels::sparse_coords(
+                                at,
+                                pl.plan.free_a_positions(),
+                                pl.plan.ctr_a_positions(),
+                            );
+                            let (rows, cols, vals) = split_coords(coords);
+                            pending.push((
+                                rank,
+                                Request::UploadCoords {
+                                    key: wkey,
+                                    rows,
+                                    cols,
+                                    vals,
+                                },
+                            ));
+                        }
+                        WireIn::Coords(OpCoords::Key(wkey))
+                    }
+                }
+            }
+            ChainSrc::Prev(j) => {
+                let key = planned[*j].key;
+                if homes[*j] != rank {
+                    self.chain_move(cl, key, homes[*j], rank, planned[*j].result_kind(), pending)?;
+                    homes[*j] = rank;
+                }
+                match planned[*j].result_kind() {
+                    ResultKind::F64 => WireIn::F(OpF::Key(key)),
+                    ResultKind::C64 => WireIn::C(OpC::Key(key)),
+                }
+            }
+            ChainSrc::Res(h) => {
+                let info = self.residency.lock().result(h.key).ok_or_else(|| {
+                    Error::Runtime(format!("unknown or already-consumed result {h:?}"))
+                })?;
+                if info.home != rank {
+                    self.chain_move(cl, h.key, info.home, rank, h.kind, pending)?;
+                    self.residency.lock().move_result(h.key, rank);
+                }
+                match h.kind {
+                    ResultKind::F64 => WireIn::F(OpF::Key(h.key)),
+                    ResultKind::C64 => WireIn::C(OpC::Key(h.key)),
+                }
+            }
+        })
+    }
+
+    /// Move a resident result from `from` to `to`: flush any pending
+    /// superstep (whose tasks could produce or reference the buffer —
+    /// conservative, but moves are rare on anchored chains), download the
+    /// buffer off its old home, and re-upload (pinned) on the new one.
+    /// This is the explicit redistribute superstep of the chain protocol
+    /// — metered, never α–β-charged.
+    fn chain_move(
+        &self,
+        cl: &mut Cluster,
+        key: u64,
+        from: usize,
+        to: usize,
+        kind: ResultKind,
+        pending: &mut Vec<(usize, Request)>,
+    ) -> Result<()> {
+        if !pending.is_empty() {
+            cl.call_all(std::mem::take(pending))?;
+        }
+        let reply = cl.call(from, &Request::Download { key })?;
+        match (kind, reply) {
+            (ResultKind::F64, Reply::F64s(data)) => {
+                pending.push((to, Request::Upload { key, data }))
+            }
+            (ResultKind::C64, Reply::C64s(data)) => {
+                pending.push((to, Request::UploadC64 { key, data }))
+            }
+            (_, other) => {
+                return Err(Error::Transport(format!(
+                    "redistribute of {key:#x} returned {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The in-process leg of [`Executor::chain`]: run every step locally
+    /// with the exact same kernels as the value paths, accumulating
+    /// partials in submission order.
+    fn chain_local(
+        &self,
+        steps: &[ChainStep],
+        planned: &[PlannedStep],
+        outs: &mut [Option<LocalResult>],
+    ) -> Result<()> {
+        for (i, (st, pl)) in steps.iter().zip(planned).enumerate() {
+            enum Partial {
+                F(DenseTensor<f64>),
+                C(DenseTensor<Complex64>),
+            }
+            let partial = match pl.kind {
+                StepKind::Dense => {
+                    let ta = resolve_local_f64(&st.a, outs)?;
+                    let tb = resolve_local_f64(&st.b, outs)?;
+                    Partial::F(kernels::dense_contract(&pl.plan, ta, tb, self.pool())?)
+                }
+                StepKind::DenseC => {
+                    let ta = resolve_local_c64(&st.a, outs)?;
+                    let tb = resolve_local_c64(&st.b, outs)?;
+                    Partial::C(kernels::dense_contract(&pl.plan, ta, tb, self.pool())?)
+                }
+                StepKind::Sd => {
+                    let ChainSrc::Sparse(op) = &st.a else {
+                        unreachable!("validated by plan_chain");
+                    };
+                    let tb = resolve_local_f64(&st.b, outs)?;
+                    let (c, _flops) = kernels::sd_contract(
+                        &pl.plan,
+                        op.tensor()?,
+                        tb,
+                        self.pool(),
+                        kernels::SPARSE_PAR_MIN_FLOPS,
+                    )?;
+                    Partial::F(c)
+                }
+            };
+            if pl.base == i {
+                outs[i] = Some(match partial {
+                    Partial::F(c) => LocalResult::F64(Arc::new(c)),
+                    Partial::C(c) => LocalResult::C64(Arc::new(c)),
+                });
+            } else {
+                match (partial, &mut outs[pl.base]) {
+                    (Partial::F(c), Some(LocalResult::F64(acc))) => {
+                        Arc::make_mut(acc).axpy(1.0, &c)?
+                    }
+                    (Partial::C(c), Some(LocalResult::C64(acc))) => {
+                        Arc::make_mut(acc).axpy(Complex64::new(1.0, 0.0), &c)?
+                    }
+                    _ => {
+                        return Err(Error::Runtime(
+                            "accumulate target missing or mismatched".into(),
+                        ))
+                    }
                 }
             }
         }
-        let c = DenseTensor::from_vec(kernels::natural_dims(plan, at.dims(), bt.dims()), c)?;
-        Ok(c.permute(plan.output_permutation())?)
+        Ok(())
+    }
+
+    /// The α–β charge state of one chain-step operand: value operands
+    /// charge in full, resident operands follow the one-time-upload /
+    /// cache-hit discipline (whole-tensor buffers — chains run whole
+    /// contractions), and resident results are always hits (they were
+    /// produced in place and never move on the charged path).
+    fn chain_charge(&self, src: &ChainSrc, pl: &PlannedStep, is_a: bool) -> Result<OpCharge> {
+        let elems = if is_a { pl.m * pl.k } else { pl.k * pl.n };
+        let words_el = if matches!(pl.kind, StepKind::DenseC) {
+            2
+        } else {
+            1
+        };
+        Ok(match src {
+            ChainSrc::Dense(op) => self.op_state(
+                op.handle(),
+                op.handle()
+                    .map(|h| derive(&[h.key(), TAG_WHOLE]))
+                    .unwrap_or_default(),
+                words_el * elems,
+            ),
+            ChainSrc::DenseC(op) => self.op_state(
+                op.handle(),
+                op.handle()
+                    .map(|h| derive(&[h.key(), TAG_WHOLE]))
+                    .unwrap_or_default(),
+                words_el * elems,
+            ),
+            ChainSrc::Sparse(op) => {
+                let words = 2 * op.tensor()?.nnz();
+                self.op_state(
+                    op.handle(),
+                    op.handle()
+                        .map(|h| {
+                            derive(&[
+                                h.key(),
+                                TAG_SD_A,
+                                hseq(pl.plan.free_a_positions()),
+                                hseq(pl.plan.ctr_a_positions()),
+                                pl.n as u64,
+                            ])
+                        })
+                        .unwrap_or_default(),
+                    words,
+                )
+            }
+            ChainSrc::Prev(_) | ChainSrc::Res(_) => OpCharge::Hit,
+        })
+    }
+
+    /// Download a resident `f64` result — the only value-returning exit
+    /// of a chain. Consumes the handle: the buffer leaves (unpins from)
+    /// its home rank's store and the driver forgets it.
+    pub fn download(&self, h: ResultHandle) -> Result<DenseTensor<f64>> {
+        Ok(self
+            .download_many(vec![h])?
+            .pop()
+            .expect("one handle in, one tensor out"))
+    }
+
+    /// Download many resident `f64` results in one superstep.
+    pub fn download_many(&self, hs: Vec<ResultHandle>) -> Result<Vec<DenseTensor<f64>>> {
+        if let Some(h) = hs.iter().find(|h| h.kind != ResultKind::F64) {
+            return Err(Error::Runtime(format!("f64 download of {h:?}")));
+        }
+        if let Some(cl) = &self.cluster {
+            let reqs = {
+                let res = self.residency.lock();
+                hs.iter()
+                    .map(|h| {
+                        let info = res.result(h.key).ok_or_else(|| {
+                            Error::Runtime(format!("unknown or already-consumed result {h:?}"))
+                        })?;
+                        Ok((info.home, Request::Download { key: h.key }))
+                    })
+                    .collect::<Result<Vec<_>>>()?
+            };
+            let replies = cl.lock().call_all(reqs)?;
+            let mut res = self.residency.lock();
+            let mut out = Vec::with_capacity(hs.len());
+            for (h, reply) in hs.iter().zip(replies) {
+                res.forget_result(h.key);
+                out.push(DenseTensor::from_vec(h.dims.clone(), expect_f64s(reply)?)?);
+            }
+            Ok(out)
+        } else {
+            let mut res = self.residency.lock();
+            hs.into_iter()
+                .map(|mut h| {
+                    res.forget_result(h.key);
+                    match h.local.take() {
+                        Some(LocalResult::F64(t)) => {
+                            Ok(Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone()))
+                        }
+                        _ => Err(Error::Runtime(
+                            "result handle has no in-process payload".into(),
+                        )),
+                    }
+                })
+                .collect()
+        }
+    }
+
+    /// Download a resident [`Complex64`] result (consuming the handle).
+    pub fn download_c64(&self, mut h: ResultHandle) -> Result<DenseTensor<Complex64>> {
+        if h.kind != ResultKind::C64 {
+            return Err(Error::Runtime(format!("Complex64 download of {h:?}")));
+        }
+        if let Some(cl) = &self.cluster {
+            let info = self.residency.lock().result(h.key).ok_or_else(|| {
+                Error::Runtime(format!("unknown or already-consumed result {h:?}"))
+            })?;
+            let reply = cl
+                .lock()
+                .call(info.home, &Request::Download { key: h.key })?;
+            self.residency.lock().forget_result(h.key);
+            match reply {
+                Reply::C64s(v) => Ok(DenseTensor::from_vec(h.dims.clone(), v)?),
+                other => Err(Error::Transport(format!(
+                    "expected Complex64 payload, got {other:?}"
+                ))),
+            }
+        } else {
+            self.residency.lock().forget_result(h.key);
+            match h.local.take() {
+                Some(LocalResult::C64(t)) => {
+                    Ok(Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone()))
+                }
+                _ => Err(Error::Runtime(
+                    "result handle has no in-process payload".into(),
+                )),
+            }
+        }
+    }
+
+    /// The provenance key of a resident result — a hash of the producing
+    /// step (spec + input keys), recorded in the driver's residency book.
+    /// `None` once the result has been downloaded or freed.
+    pub fn result_provenance(&self, h: &ResultHandle) -> Option<u64> {
+        self.residency.lock().result(h.key).map(|i| i.produced_by)
+    }
+
+    /// Discard a resident result without downloading it.
+    pub fn free_result(&self, h: ResultHandle) -> Result<()> {
+        self.free_results(vec![h])
+    }
+
+    /// Discard many resident results in one superstep.
+    pub fn free_results(&self, hs: Vec<ResultHandle>) -> Result<()> {
+        let reqs = {
+            let mut res = self.residency.lock();
+            let mut reqs = Vec::new();
+            for h in &hs {
+                if let Some(info) = res.forget_result(h.key) {
+                    reqs.push((info.home, Request::Free { key: h.key }));
+                }
+            }
+            reqs
+        };
+        if let (Some(cl), false) = (&self.cluster, reqs.is_empty()) {
+            cl.lock().call_all(reqs)?;
+        }
+        Ok(())
     }
 
     /// Contract many independent operand pairs with one spec — the
@@ -1163,10 +1887,14 @@ impl Executor {
             None => OpF::Inline(bt.permute(&perm_b)?.into_data()),
             Some(h) => {
                 let wkey = derive(&[h.key(), TAG_MAT_B, hseq(&perm_b)]);
-                let mut res = self.residency.lock();
                 let mut b_mat: Option<Vec<f64>> = None;
-                for r in 0..ranges.len().min(p) {
-                    if res.add_home(h.key(), wkey, r) {
+                replicate_to_missing(
+                    &mut self.residency.lock(),
+                    h.key(),
+                    wkey,
+                    ranges.len().min(p),
+                    &mut reqs,
+                    || {
                         let data = match &b_mat {
                             Some(d) => d.clone(),
                             None => {
@@ -1175,9 +1903,9 @@ impl Executor {
                                 d
                             }
                         };
-                        reqs.push((r, Request::Upload { key: wkey, data }));
-                    }
-                }
+                        Ok(Request::Upload { key: wkey, data })
+                    },
+                )?;
                 OpF::Key(wkey)
             }
         };
@@ -1400,21 +2128,22 @@ impl Executor {
                     hseq(plan.free_b_positions()),
                     hpairs(&col_axes),
                 ]);
-                let mut res = self.residency.lock();
-                for r in 0..buckets.len().min(p) {
-                    if res.add_home(h.key(), wkey, r) {
-                        reqs.push((
-                            r,
-                            Request::UploadSs {
-                                key: wkey,
-                                keys: b_keys.clone(),
-                                lens: b_lens.clone(),
-                                cols: b_cols.clone(),
-                                vals: b_vals.clone(),
-                            },
-                        ));
-                    }
-                }
+                replicate_to_missing(
+                    &mut self.residency.lock(),
+                    h.key(),
+                    wkey,
+                    buckets.len().min(p),
+                    &mut reqs,
+                    || {
+                        Ok(Request::UploadSs {
+                            key: wkey,
+                            keys: b_keys.clone(),
+                            lens: b_lens.clone(),
+                            cols: b_cols.clone(),
+                            vals: b_vals.clone(),
+                        })
+                    },
+                )?;
                 OpSs::Key(wkey)
             }
         };
@@ -1500,8 +2229,14 @@ impl Executor {
     /// Distributed truncated SVD of a matrix (the ScaLAPACK `pdgesvd`
     /// stand-in used under the block SVD). On the multi-process backend
     /// the factorization executes on a worker process (same code, same
-    /// bits).
+    /// bits). Tall panels (see [`tall_panel`]) actually route through the
+    /// [`crate::tsqr`] tree — QR the panel, SVD the small `R` — instead of
+    /// only charging its cost model; results then match the direct path
+    /// up to the usual per-column sign convention.
     pub fn svd_trunc(&self, a: &DenseTensor<f64>, spec: TruncSpec) -> Result<TruncatedSvd> {
+        if tall_panel(a.dims()) {
+            return self.svd_tall(a, spec);
+        }
         let out = match &self.cluster {
             Some(cl) if a.order() == 2 => decode_svd(
                 cl.lock()
@@ -1513,9 +2248,16 @@ impl Executor {
         Ok(out)
     }
 
-    /// Distributed thin QR (TSQR-cost model, exact local numerics). On the
-    /// multi-process backend the factorization executes on a worker.
+    /// Distributed thin QR. Tall panels route through the [`crate::tsqr`]
+    /// tree (slab QRs on the workers, `R`-merge on the driver — the
+    /// communication-avoiding factorization the cost model always
+    /// assumed); everything else keeps the direct `qr_thin` path. On the
+    /// multi-process backend the direct factorization executes on a
+    /// worker.
     pub fn qr(&self, a: &DenseTensor<f64>) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
+        if tall_panel(a.dims()) {
+            return self.qr_tall(a);
+        }
         let out = match &self.cluster {
             Some(cl) if a.order() == 2 => decode_qr(
                 cl.lock()
@@ -1525,6 +2267,53 @@ impl Executor {
         };
         self.charge_factorization(a.dims(), 4.0);
         Ok(out)
+    }
+
+    /// Tall-panel QR via the TSQR tree. The merge tree's real p2p charges
+    /// land on top of the standard factorization charge (the tree is the
+    /// factorization the cost model priced; running it makes the charge
+    /// honest), identically on every backend.
+    fn qr_tall(&self, a: &DenseTensor<f64>) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
+        let comm = self.comm();
+        let out = match self.with_cluster(|cl| crate::tsqr::tsqr_on(a, &comm, cl)) {
+            Some(r) => r?,
+            None => crate::tsqr::tsqr(a, &comm)?,
+        };
+        self.charge_factorization(a.dims(), 4.0);
+        Ok(out)
+    }
+
+    /// Tall-panel truncated SVD: TSQR the panel, SVD the `n × n` `R` on
+    /// the driver, and recover `U = Q · U_R`. Singular values match the
+    /// direct factorization to rounding; vectors up to sign.
+    fn svd_tall(&self, a: &DenseTensor<f64>, spec: TruncSpec) -> Result<TruncatedSvd> {
+        let comm = self.comm();
+        let factors = match self.with_cluster(|cl| crate::tsqr::tsqr_on(a, &comm, cl)) {
+            Some(out) => out?,
+            None => crate::tsqr::tsqr(a, &comm)?,
+        };
+        self.svd_from_tsqr(a.dims(), factors, spec)
+    }
+
+    /// Recover a truncated SVD from a panel's TSQR factors: SVD the small
+    /// `R` on the driver, `U = Q · U_R`, and charge the standard
+    /// factorization cost. Shared by the value and handle tall paths.
+    fn svd_from_tsqr(
+        &self,
+        dims: &[usize],
+        (q, r): (DenseTensor<f64>, DenseTensor<f64>),
+        spec: TruncSpec,
+    ) -> Result<TruncatedSvd> {
+        let t = tt_linalg::svd_trunc(&r, spec)?;
+        let u = tt_tensor::gemm_f64(&q, &t.u)?;
+        self.charge_factorization(dims, 14.0);
+        Ok(TruncatedSvd {
+            u,
+            s: t.s,
+            vt: t.vt,
+            trunc_err: t.trunc_err,
+            n_discarded: t.n_discarded,
+        })
     }
 
     /// Truncated SVDs of many independent matrices (the sector groups of a
@@ -1537,6 +2326,12 @@ impl Executor {
         mats: Vec<DenseTensor<f64>>,
         spec: TruncSpec,
     ) -> Result<Vec<TruncatedSvd>> {
+        // tall panels must route exactly like the singles (batch ≡ loop of
+        // singles is a tested invariant), so a batch containing one falls
+        // back to the serial loop
+        if mats.iter().any(|m| tall_panel(m.dims())) {
+            return mats.iter().map(|m| self.svd_trunc(m, spec)).collect();
+        }
         if let Some(cl) = &self.cluster {
             if mats.iter().all(|m| m.order() == 2) {
                 let mut cl = cl.lock();
@@ -1567,6 +2362,31 @@ impl Executor {
         mats: &[&OpHandle],
         spec: TruncSpec,
     ) -> Result<Vec<TruncatedSvd>> {
+        if mats
+            .iter()
+            .any(|h| h.dense().map(|t| tall_panel(t.dims())) == Ok(true))
+        {
+            return mats
+                .iter()
+                .map(|h| {
+                    let t = h.dense()?;
+                    if tall_panel(t.dims()) {
+                        self.svd_tall_h(h, spec)
+                    } else {
+                        Ok(self
+                            .factorize_batch_h(
+                                &[*h],
+                                14.0,
+                                |h, field| Ok(svd_request(h.dense()?, field, spec)),
+                                decode_svd,
+                                move |m| tt_linalg::svd_trunc(m, spec),
+                            )?
+                            .pop()
+                            .expect("one matrix, one factorization"))
+                    }
+                })
+                .collect();
+        }
         self.factorize_batch_h(
             mats,
             14.0,
@@ -1574,6 +2394,23 @@ impl Executor {
             decode_svd,
             move |m| tt_linalg::svd_trunc(m, spec),
         )
+    }
+
+    /// Tall-panel truncated SVD of a *resident* matrix: TSQR over the
+    /// handle's pinned row slabs ([`crate::tsqr_on_h`]), then the shared
+    /// small-R recovery.
+    fn svd_tall_h(&self, h: &OpHandle, spec: TruncSpec) -> Result<TruncatedSvd> {
+        let comm = self.comm();
+        let factors = crate::tsqr::tsqr_on_h(self, h, &comm)?;
+        self.svd_from_tsqr(h.dense()?.dims(), factors, spec)
+    }
+
+    /// Tall-panel thin QR of a *resident* matrix via its pinned row slabs.
+    fn qr_tall_h(&self, h: &OpHandle) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
+        let comm = self.comm();
+        let out = crate::tsqr::tsqr_on_h(self, h, &comm)?;
+        self.charge_factorization(h.dense()?.dims(), 4.0);
+        Ok(out)
     }
 
     /// Thin QRs of many independent matrices (the sector groups of a block
@@ -1584,6 +2421,9 @@ impl Executor {
         &self,
         mats: Vec<DenseTensor<f64>>,
     ) -> Result<Vec<(DenseTensor<f64>, DenseTensor<f64>)>> {
+        if mats.iter().any(|m| tall_panel(m.dims())) {
+            return mats.iter().map(|m| self.qr(m)).collect();
+        }
         if let Some(cl) = &self.cluster {
             if mats.iter().all(|m| m.order() == 2) {
                 let mut cl = cl.lock();
@@ -1611,6 +2451,31 @@ impl Executor {
         &self,
         mats: &[&OpHandle],
     ) -> Result<Vec<(DenseTensor<f64>, DenseTensor<f64>)>> {
+        if mats
+            .iter()
+            .any(|h| h.dense().map(|t| tall_panel(t.dims())) == Ok(true))
+        {
+            return mats
+                .iter()
+                .map(|h| {
+                    let t = h.dense()?;
+                    if tall_panel(t.dims()) {
+                        self.qr_tall_h(h)
+                    } else {
+                        Ok(self
+                            .factorize_batch_h(
+                                &[*h],
+                                4.0,
+                                |h, field| Ok(qr_request(h.dense()?, field)),
+                                decode_qr,
+                                tt_linalg::qr_thin,
+                            )?
+                            .pop()
+                            .expect("one matrix, one factorization"))
+                    }
+                })
+                .collect();
+        }
         self.factorize_batch_h(
             mats,
             4.0,
@@ -1767,6 +2632,242 @@ impl Executor {
         if self.ranks > 1 {
             let levels = (usize::BITS - (self.ranks - 1).leading_zeros()) as u64;
             tr.charge_supersteps(levels, levels * 8 * (k * k) as u64);
+        }
+    }
+}
+
+/// TTGT operand permutations of a plan: `A` to `(free, contracted)` and
+/// `B` to `(contracted, free)` order.
+fn operand_perms(plan: &ContractPlan) -> (Vec<usize>, Vec<usize>) {
+    let mut perm_a: Vec<usize> = plan.free_a_positions().to_vec();
+    perm_a.extend_from_slice(plan.ctr_a_positions());
+    let mut perm_b: Vec<usize> = plan.ctr_b_positions().to_vec();
+    perm_b.extend_from_slice(plan.free_b_positions());
+    (perm_a, perm_b)
+}
+
+/// Hash an einsum spec into one derivation component (for provenance).
+fn hash_spec(s: &str) -> u64 {
+    s.bytes().fold(Fnv::new(), |f, b| f.u8(b)).finish()
+}
+
+/// Worker key of a sparse operand's whole-coordinate buffer (the
+/// single-bucket form chain steps consume): the standard sd derivation
+/// with a chunk count of 1.
+fn sd_whole_key(h: &OpHandle, plan: &ContractPlan, n: usize) -> u64 {
+    derive(&[
+        h.key(),
+        TAG_SD_A,
+        hseq(plan.free_a_positions()),
+        hseq(plan.ctr_a_positions()),
+        n as u64,
+        1,
+        0,
+    ])
+}
+
+/// Dims and scalar family of a chain-step operand at planning time.
+fn src_info(src: &ChainSrc, planned: &[PlannedStep]) -> Result<(Vec<usize>, SrcKind)> {
+    Ok(match src {
+        ChainSrc::Dense(op) => (op.tensor()?.dims().to_vec(), SrcKind::F64),
+        ChainSrc::DenseC(op) => (op.tensor()?.dims().to_vec(), SrcKind::C64),
+        ChainSrc::Sparse(op) => (op.tensor()?.dims().to_vec(), SrcKind::Sparse),
+        ChainSrc::Prev(j) => {
+            let pl = planned
+                .get(*j)
+                .ok_or_else(|| Error::Runtime(format!("chain step references future step {j}")))?;
+            if pl.base != *j {
+                return Err(Error::Runtime(format!(
+                    "chain step references accumulate step {j}; reference its base instead"
+                )));
+            }
+            let kind = match pl.result_kind() {
+                ResultKind::F64 => SrcKind::F64,
+                ResultKind::C64 => SrcKind::C64,
+            };
+            (pl.out_dims.clone(), kind)
+        }
+        ChainSrc::Res(h) => {
+            let kind = match h.kind {
+                ResultKind::F64 => SrcKind::F64,
+                ResultKind::C64 => SrcKind::C64,
+            };
+            (h.dims.clone(), kind)
+        }
+    })
+}
+
+/// Provenance component of a chain-step operand (content key, result key,
+/// or a constant for inline values).
+fn src_provenance(src: &ChainSrc, planned: &[PlannedStep]) -> u64 {
+    match src {
+        ChainSrc::Dense(op) => op.handle().map(OpHandle::key).unwrap_or(1),
+        ChainSrc::DenseC(op) => op.handle().map(OpHandle::key).unwrap_or(1),
+        ChainSrc::Sparse(op) => op.handle().map(OpHandle::key).unwrap_or(1),
+        ChainSrc::Prev(j) => planned[*j].key,
+        ChainSrc::Res(h) => h.key,
+    }
+}
+
+/// Gather `(rank, words)` weights of one operand's resident copies for
+/// chain-step placement.
+fn collect_weights(
+    src: &ChainSrc,
+    pl: &PlannedStep,
+    res: &Residency,
+    homes: &[usize],
+    planned: &[PlannedStep],
+    weighted: &mut Vec<(usize, u64)>,
+) {
+    let whole_handle_weights = |h: &OpHandle, weighted: &mut Vec<(usize, u64)>| {
+        let wkey = derive(&[h.key(), TAG_WHOLE]);
+        if let Some(ranks) = res.homes(wkey) {
+            weighted.extend(ranks.iter().map(|&r| (r, h.words() as u64)));
+        }
+    };
+    match src {
+        ChainSrc::Dense(op) => {
+            if let Some(h) = op.handle() {
+                whole_handle_weights(h, weighted);
+            }
+        }
+        ChainSrc::DenseC(op) => {
+            if let Some(h) = op.handle() {
+                whole_handle_weights(h, weighted);
+            }
+        }
+        ChainSrc::Sparse(op) => {
+            if let Some(h) = op.handle() {
+                let wkey = sd_whole_key(h, &pl.plan, pl.n);
+                if let Some(ranks) = res.homes(wkey) {
+                    weighted.extend(ranks.iter().map(|&r| (r, h.words() as u64)));
+                }
+            }
+        }
+        ChainSrc::Prev(j) => weighted.push((homes[*j], planned[*j].words_c as u64)),
+        ChainSrc::Res(h) => {
+            if let Some(info) = res.result(h.key) {
+                weighted.push((info.home, info.words as u64));
+            }
+        }
+    }
+}
+
+/// Resolve a chain-step operand to its local `f64` tensor (in-process
+/// execution).
+fn resolve_local_f64<'x>(
+    src: &'x ChainSrc<'x>,
+    outs: &'x [Option<LocalResult>],
+) -> Result<&'x DenseTensor<f64>> {
+    match src {
+        ChainSrc::Dense(op) => op.tensor(),
+        ChainSrc::Prev(j) => match &outs[*j] {
+            Some(LocalResult::F64(t)) => Ok(t),
+            _ => Err(Error::Runtime("chain step operand kind mismatch".into())),
+        },
+        ChainSrc::Res(h) => match &h.local {
+            Some(LocalResult::F64(t)) => Ok(t),
+            _ => Err(Error::Runtime(
+                "result handle has no in-process f64 payload".into(),
+            )),
+        },
+        _ => Err(Error::Runtime("chain step operand kind mismatch".into())),
+    }
+}
+
+/// Resolve a chain-step operand to its local [`Complex64`] tensor.
+fn resolve_local_c64<'x>(
+    src: &'x ChainSrc<'x>,
+    outs: &'x [Option<LocalResult>],
+) -> Result<&'x DenseTensor<Complex64>> {
+    match src {
+        ChainSrc::DenseC(op) => op.tensor(),
+        ChainSrc::Prev(j) => match &outs[*j] {
+            Some(LocalResult::C64(t)) => Ok(t),
+            _ => Err(Error::Runtime("chain step operand kind mismatch".into())),
+        },
+        ChainSrc::Res(h) => match &h.local {
+            Some(LocalResult::C64(t)) => Ok(t),
+            _ => Err(Error::Runtime(
+                "result handle has no in-process Complex64 payload".into(),
+            )),
+        },
+        _ => Err(Error::Runtime("chain step operand kind mismatch".into())),
+    }
+}
+
+/// The recurring "replicated B" block of the dense/sd/ss cluster paths:
+/// ship the buffer derived from `content` under `wkey` to every rank (of
+/// the first `nranks`) that doesn't already hold it. `make` builds the
+/// upload request and is only invoked for missing ranks — callers memoize
+/// the payload inside it, so a fully-resident operand costs nothing.
+fn replicate_to_missing(
+    res: &mut Residency,
+    content: u64,
+    wkey: u64,
+    nranks: usize,
+    reqs: &mut Vec<(usize, Request)>,
+    mut make: impl FnMut() -> Result<Request>,
+) -> Result<()> {
+    for r in 0..nranks {
+        if res.add_home(content, wkey, r) {
+            reqs.push((r, make()?));
+        }
+    }
+    Ok(())
+}
+
+/// The per-chunk `A` operand fields of a chunked cluster contraction:
+/// inline row slabs (value operands) or per-chunk resident keys.
+enum AFields<T> {
+    Inline(Vec<T>),
+    Keys(Vec<u64>),
+}
+
+/// The recurring "slab upload" block of the dense cluster paths: derive
+/// one resident buffer per row slab of the permuted `A` matrix, upload
+/// the slabs missing from their home ranks, and return the operand fields
+/// the chunk requests reference.
+#[allow(clippy::too_many_arguments)]
+fn slab_fields<T: WireScalar>(
+    res: &mut Residency,
+    a: &DenseOpT<T>,
+    at: &DenseTensor<T>,
+    perm_a: &[usize],
+    path: GemmPath,
+    ranges: &[(usize, usize)],
+    k: usize,
+    p: usize,
+    reqs: &mut Vec<(usize, Request)>,
+) -> Result<AFields<T>> {
+    match a.handle() {
+        None => Ok(AFields::Inline(at.permute(perm_a)?.into_data())),
+        Some(h) => {
+            let mut a_mat: Option<Vec<T>> = None;
+            let nchunks = ranges.len();
+            let mut keys = Vec::with_capacity(nchunks);
+            for (i, &(r0, r1)) in ranges.iter().enumerate() {
+                let wkey = derive(&[
+                    h.key(),
+                    T::TAG_A,
+                    hseq(perm_a),
+                    path as u64,
+                    nchunks as u64,
+                    i as u64,
+                ]);
+                if res.add_home(h.key(), wkey, i % p) {
+                    let mat = match &a_mat {
+                        Some(d) => d,
+                        None => {
+                            a_mat = Some(at.permute(perm_a)?.into_data());
+                            a_mat.as_ref().expect("just set")
+                        }
+                    };
+                    reqs.push((i % p, T::upload_req(wkey, mat[r0 * k..r1 * k].to_vec())));
+                }
+                keys.push(wkey);
+            }
+            Ok(AFields::Keys(keys))
         }
     }
 }
@@ -2335,6 +3436,277 @@ mod tests {
             assert!(bytes <= cap, "resident footprint {bytes} exceeds cap {cap}");
             assert_eq!(pinned, 0, "all handles were freed");
         }
+    }
+
+    #[test]
+    fn handle_returning_contractions_match_value_paths() {
+        let (a, b) = operands(70);
+        let exec = Executor::with_machine(Machine::blue_waters(2), 2, ExecMode::Sequential);
+        let c_ref = exec.contract("isj,jtk->istk", &a, &b).unwrap();
+        let h = exec
+            .contract_to_h("isj,jtk->istk", (&a).into(), (&b).into())
+            .unwrap();
+        assert_eq!(h.dims(), c_ref.dims());
+        assert!(
+            exec.result_provenance(&h).is_some(),
+            "resident results carry produced-by provenance"
+        );
+        let c = exec.download(h).unwrap();
+        assert_eq!(c.data(), c_ref.data(), "dense");
+
+        let sa = SparseTensor::from_dense(&a, 0.5);
+        let d_ref = exec.contract_sd("isj,jtk->istk", &sa, &b).unwrap();
+        let h = exec
+            .contract_sd_to_h("isj,jtk->istk", (&sa).into(), (&b).into())
+            .unwrap();
+        let d = exec.download(h).unwrap();
+        assert_eq!(d.data(), d_ref.data(), "sparse-dense");
+
+        let (ac, bc) = (a.to_complex(), b.to_complex());
+        let e_ref = exec
+            .contract_c64("isj,jtk->istk", (&ac).into(), (&bc).into())
+            .unwrap();
+        let h = exec
+            .contract_c64_to_h("isj,jtk->istk", (&ac).into(), (&bc).into())
+            .unwrap();
+        let e = exec.download_c64(h).unwrap();
+        assert_eq!(e.data(), e_ref.data(), "Complex64");
+    }
+
+    #[test]
+    fn chains_compose_prev_acc_and_res_bitwise() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let a = DenseTensor::<f64>::random([6, 8], &mut rng);
+        let b = DenseTensor::<f64>::random([8, 5], &mut rng);
+        let c = DenseTensor::<f64>::random([5, 7], &mut rng);
+        let exec = Executor::with_machine(Machine::blue_waters(2), 2, ExecMode::Sequential);
+        let t_ref = exec.contract("ik,kj->ij", &a, &b).unwrap();
+        let y_ref = exec.contract("ik,kj->ij", &t_ref, &c).unwrap();
+
+        // (a·b)·c with the intermediate consumed worker-side via Prev
+        let mut out = exec
+            .chain(&[
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Dense((&a).into()),
+                    b: ChainSrc::Dense((&b).into()),
+                    acc: None,
+                },
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Prev(0),
+                    b: ChainSrc::Dense((&c).into()),
+                    acc: None,
+                },
+            ])
+            .unwrap();
+        let h_y = out.pop().unwrap().unwrap();
+        let h_t = out.pop().unwrap().unwrap();
+        assert_eq!(exec.download(h_y).unwrap().data(), y_ref.data());
+        exec.free_result(h_t).unwrap();
+
+        // accumulate folds partials in submission order (first stored)
+        let mut out = exec
+            .chain(&[
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Dense((&a).into()),
+                    b: ChainSrc::Dense((&b).into()),
+                    acc: None,
+                },
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Dense((&a).into()),
+                    b: ChainSrc::Dense((&b).into()),
+                    acc: Some(0),
+                },
+            ])
+            .unwrap();
+        assert!(out[1].is_none(), "accumulate steps fold into their target");
+        let h = out[0].take().unwrap();
+        let mut acc_ref = t_ref.clone();
+        acc_ref.axpy(1.0, &t_ref).unwrap();
+        assert_eq!(exec.download(h).unwrap().data(), acc_ref.data());
+
+        // results of earlier chains feed later ones via Res
+        let h1 = exec
+            .contract_to_h("ik,kj->ij", (&a).into(), (&b).into())
+            .unwrap();
+        let mut out = exec
+            .chain(&[ChainStep {
+                spec: "ik,kj->ij",
+                a: ChainSrc::Res(&h1),
+                b: ChainSrc::Dense((&c).into()),
+                acc: None,
+            }])
+            .unwrap();
+        let h_y = out.pop().unwrap().unwrap();
+        assert_eq!(exec.download(h_y).unwrap().data(), y_ref.data());
+        exec.free_result(h1).unwrap();
+
+        // malformed chains surface as errors
+        assert!(
+            exec.chain(&[ChainStep {
+                spec: "ik,kj->ij",
+                a: ChainSrc::Prev(3),
+                b: ChainSrc::Dense((&c).into()),
+                acc: None,
+            }])
+            .is_err(),
+            "forward Prev reference"
+        );
+        assert!(
+            exec.chain(&[
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Dense((&a).into()),
+                    b: ChainSrc::Dense((&b).into()),
+                    acc: None,
+                },
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Dense((&a).into()),
+                    b: ChainSrc::Dense((&b).into()),
+                    acc: Some(0),
+                },
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Dense((&a).into()),
+                    b: ChainSrc::Dense((&b).into()),
+                    acc: Some(1),
+                },
+            ])
+            .is_err(),
+            "accumulating into an accumulate step"
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn multi_process_chains_bitwise_and_collapse_result_bytes() {
+        let spawn = SpawnSpec::SelfExec(vec!["spawned_worker_entry".into()]);
+        let mp = Executor::multi_process(Machine::blue_waters(2), 1, 2, spawn).unwrap();
+        let mut rng = StdRng::seed_from_u64(72);
+        let a = DenseTensor::<f64>::random([24, 30], &mut rng);
+        let b = DenseTensor::<f64>::random([30, 18], &mut rng);
+        let c = DenseTensor::<f64>::random([18, 12], &mut rng);
+
+        // value path: both intermediates round-trip through the driver
+        let before = mp.result_bytes();
+        let t = mp.contract("ik,kj->ij", &a, &b).unwrap();
+        let y_ref = mp.contract("ik,kj->ij", &t, &c).unwrap();
+        let value_result_bytes = mp.result_bytes() - before;
+
+        // chained: only the final download returns bytes
+        let before = mp.result_bytes();
+        let mut out = mp
+            .chain(&[
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Dense((&a).into()),
+                    b: ChainSrc::Dense((&b).into()),
+                    acc: None,
+                },
+                ChainStep {
+                    spec: "ik,kj->ij",
+                    a: ChainSrc::Prev(0),
+                    b: ChainSrc::Dense((&c).into()),
+                    acc: None,
+                },
+            ])
+            .unwrap();
+        let h_y = out.pop().unwrap().unwrap();
+        let h_t = out.pop().unwrap().unwrap();
+        let y = mp.download(h_y).unwrap();
+        mp.free_result(h_t).unwrap();
+        let chain_result_bytes = mp.result_bytes() - before;
+        assert_eq!(y.data(), y_ref.data(), "chained must be bitwise equal");
+        assert!(
+            2 * chain_result_bytes < value_result_bytes,
+            "chaining must collapse driver result bytes: chain {chain_result_bytes} vs \
+             value {value_result_bytes}"
+        );
+
+        // results created by separate chains land on different anchor
+        // ranks; combining them exercises the explicit redistribute
+        // superstep and still matches the value path bitwise
+        let d = DenseTensor::<f64>::random([12, 9], &mut rng);
+        let h1 = mp
+            .contract_to_h("ik,kj->ij", (&a).into(), (&b).into())
+            .unwrap();
+        let h2 = mp
+            .contract_to_h("ik,kj->ij", (&c).into(), (&d).into())
+            .unwrap();
+        let fused_ref = mp
+            .contract("ik,kj->ij", &t, &mp.contract("ik,kj->ij", &c, &d).unwrap())
+            .unwrap();
+        let mut out = mp
+            .chain(&[ChainStep {
+                spec: "ik,kj->ij",
+                a: ChainSrc::Res(&h1),
+                b: ChainSrc::Res(&h2),
+                acc: None,
+            }])
+            .unwrap();
+        let h = out.pop().unwrap().unwrap();
+        assert_eq!(mp.download(h).unwrap().data(), fused_ref.data());
+        mp.free_results(vec![h1, h2]).unwrap();
+
+        // after download/free everything is unpinned on the workers
+        let pinned: u64 = mp
+            .worker_cache_stats()
+            .unwrap()
+            .iter()
+            .map(|&(_, _, p)| p)
+            .sum();
+        assert_eq!(pinned, 0, "chain intermediates unpin on download/free");
+    }
+
+    #[test]
+    fn tall_panels_route_through_tsqr() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let a = DenseTensor::<f64>::random([256, 8], &mut rng);
+        let exec = Executor::with_machine(Machine::blue_waters(2), 2, ExecMode::Sequential);
+        let (q, r) = exec.qr(&a).unwrap();
+        // bitwise-identical to the TSQR tree over the same rank count
+        let reference = Executor::with_machine(Machine::blue_waters(2), 2, ExecMode::Sequential);
+        let (q_ref, r_ref) = crate::tsqr::tsqr(&a, &reference.comm()).unwrap();
+        assert_eq!(q.data(), q_ref.data());
+        assert_eq!(r.data(), r_ref.data());
+        // and equal to the direct factorization up to per-column sign
+        let (q_d, r_d) = tt_linalg::qr_thin(&a).unwrap();
+        for j in 0..8 {
+            let sign = (r.at(&[j, j]) * r_d.at(&[j, j])).signum();
+            for jj in j..8 {
+                assert!(
+                    (r.at(&[j, jj]) - sign * r_d.at(&[j, jj])).abs() < 1e-9,
+                    "R row {j} beyond sign"
+                );
+            }
+            for i in 0..256 {
+                assert!((q.at(&[i, j]) - sign * q_d.at(&[i, j])).abs() < 1e-9);
+            }
+        }
+
+        // tall SVD: singular values match the direct path to rounding
+        let spec = TruncSpec {
+            max_rank: 8,
+            cutoff: 0.0,
+            min_keep: 1,
+        };
+        let t = exec.svd_trunc(&a, spec).unwrap();
+        let t_ref = tt_linalg::svd_trunc(&a, spec).unwrap();
+        assert_eq!(t.s.len(), t_ref.s.len());
+        for (x, y) in t.s.iter().zip(&t_ref.s) {
+            assert!((x - y).abs() < 1e-9 * y.max(1.0), "{x} vs {y}");
+        }
+
+        // sub-threshold panels keep the direct path bitwise
+        let b = DenseTensor::<f64>::random([40, 12], &mut rng);
+        let (qb, rb) = exec.qr(&b).unwrap();
+        let (qb_d, rb_d) = tt_linalg::qr_thin(&b).unwrap();
+        assert_eq!(qb.data(), qb_d.data());
+        assert_eq!(rb.data(), rb_d.data());
     }
 
     #[test]

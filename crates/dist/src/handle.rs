@@ -85,14 +85,18 @@ pub(crate) fn hpairs(vals: &[(u64, u64)]) -> u64 {
         .finish()
 }
 
-/// The tensor a handle refers to.
+/// The tensor a handle refers to. Payloads are `Arc`-backed so an upload
+/// of an already-shared tensor (an `Arc`-stored block of a
+/// `BlockSparseTensor`, say) shares storage instead of cloning the data —
+/// only the content hash is recomputed.
+#[derive(Clone)]
 pub(crate) enum Payload {
     /// A dense `f64` tensor.
-    F64(DenseTensor<f64>),
+    F64(Arc<DenseTensor<f64>>),
     /// A dense [`Complex64`] tensor.
-    C64(DenseTensor<Complex64>),
+    C64(Arc<DenseTensor<Complex64>>),
     /// A flattened sparse `f64` tensor.
-    Sparse(SparseTensor<f64>),
+    Sparse(Arc<SparseTensor<f64>>),
 }
 
 impl Payload {
@@ -142,7 +146,7 @@ impl Payload {
 pub struct OpHandle {
     key: u64,
     words: usize,
-    payload: Arc<Payload>,
+    payload: Payload,
 }
 
 impl OpHandle {
@@ -152,7 +156,7 @@ impl OpHandle {
         Self {
             key,
             words,
-            payload: Arc::new(payload),
+            payload,
         }
     }
 
@@ -167,7 +171,7 @@ impl OpHandle {
     }
 
     pub(crate) fn dense(&self) -> Result<&DenseTensor<f64>> {
-        match &*self.payload {
+        match &self.payload {
             Payload::F64(t) => Ok(t),
             _ => Err(Error::Runtime(
                 "operand handle does not hold a dense f64 tensor".into(),
@@ -176,7 +180,7 @@ impl OpHandle {
     }
 
     pub(crate) fn dense_c64(&self) -> Result<&DenseTensor<Complex64>> {
-        match &*self.payload {
+        match &self.payload {
             Payload::C64(t) => Ok(t),
             _ => Err(Error::Runtime(
                 "operand handle does not hold a dense Complex64 tensor".into(),
@@ -185,12 +189,77 @@ impl OpHandle {
     }
 
     pub(crate) fn sparse(&self) -> Result<&SparseTensor<f64>> {
-        match &*self.payload {
+        match &self.payload {
             Payload::Sparse(t) => Ok(t),
             _ => Err(Error::Runtime(
                 "operand handle does not hold a sparse tensor".into(),
             )),
         }
+    }
+}
+
+/// The scalar kind of a resident contraction result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResultKind {
+    /// Dense `f64` buffer.
+    F64,
+    /// Dense [`Complex64`] buffer.
+    C64,
+}
+
+/// The value of an in-process resident result (the in-process backend has
+/// no worker stores — the "resident" buffer is the driver's own `Arc`).
+#[derive(Clone)]
+pub(crate) enum LocalResult {
+    F64(Arc<DenseTensor<f64>>),
+    C64(Arc<DenseTensor<Complex64>>),
+}
+
+/// A handle on a contraction *result* that stayed resident on the runtime
+/// instead of returning to the driver — produced by
+/// [`crate::Executor::contract_to_h`] and friends, or by a
+/// [`crate::Executor::chain`] superstep. Unlike [`OpHandle`] the key is
+/// driver-issued (the driver never sees the bytes, so it cannot content-
+/// hash them) and ownership is linear: every handle must be consumed by
+/// exactly one [`crate::Executor::download`] or
+/// [`crate::Executor::free_result`].
+pub struct ResultHandle {
+    pub(crate) key: u64,
+    pub(crate) dims: Vec<usize>,
+    pub(crate) kind: ResultKind,
+    pub(crate) words: usize,
+    pub(crate) local: Option<LocalResult>,
+}
+
+impl ResultHandle {
+    /// The driver-issued store key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The result tensor's dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The result's scalar kind.
+    pub fn kind(&self) -> ResultKind {
+        self.kind
+    }
+
+    /// Stored words (8-byte units).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+}
+
+impl std::fmt::Debug for ResultHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ResultHandle({:#018x}, {:?} {:?})",
+            self.key, self.kind, self.dims
+        )
     }
 }
 
@@ -237,6 +306,20 @@ pub(crate) struct Residency {
     charged: std::collections::HashSet<u64>,
     /// Worker key → home ranks.
     homes: HashMap<u64, (u64, Vec<usize>)>,
+    /// Resident contraction results: worker key → placement + provenance.
+    results: HashMap<u64, ResultInfo>,
+}
+
+/// Driver-side record of one resident contraction result.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ResultInfo {
+    /// The rank the buffer lives on (0 in-process).
+    pub(crate) home: usize,
+    /// Stored words (8-byte units) — what a redistribute moves.
+    pub(crate) words: usize,
+    /// Provenance: hash of the producing step (spec + input keys), for
+    /// diagnostics and for derived-buffer keys of downstream consumers.
+    pub(crate) produced_by: u64,
 }
 
 impl Residency {
@@ -305,6 +388,30 @@ impl Residency {
             true
         }
     }
+
+    // -- resident results -------------------------------------------------
+
+    /// Record a freshly produced resident result.
+    pub(crate) fn record_result(&mut self, key: u64, info: ResultInfo) {
+        self.results.insert(key, info);
+    }
+
+    /// Placement + provenance of a resident result, if known.
+    pub(crate) fn result(&self, key: u64) -> Option<ResultInfo> {
+        self.results.get(&key).copied()
+    }
+
+    /// Move a resident result to a new home rank (a redistribute).
+    pub(crate) fn move_result(&mut self, key: u64, home: usize) {
+        if let Some(info) = self.results.get_mut(&key) {
+            info.home = home;
+        }
+    }
+
+    /// Forget a resident result (it was downloaded or freed).
+    pub(crate) fn forget_result(&mut self, key: u64) -> Option<ResultInfo> {
+        self.results.remove(&key)
+    }
 }
 
 #[cfg(test)]
@@ -318,14 +425,18 @@ mod tests {
         let c = DenseTensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let d = DenseTensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, -4.0]).unwrap();
         let (ha, hb) = (
-            OpHandle::new(Payload::F64(a)),
-            OpHandle::new(Payload::F64(b)),
+            OpHandle::new(Payload::F64(Arc::new(a))),
+            OpHandle::new(Payload::F64(Arc::new(b))),
         );
         assert_eq!(ha.key(), hb.key(), "same content, same key");
-        assert_ne!(ha.key(), OpHandle::new(Payload::F64(c)).key(), "dims count");
         assert_ne!(
             ha.key(),
-            OpHandle::new(Payload::F64(d)).key(),
+            OpHandle::new(Payload::F64(Arc::new(c))).key(),
+            "dims count"
+        );
+        assert_ne!(
+            ha.key(),
+            OpHandle::new(Payload::F64(Arc::new(d))).key(),
             "values count"
         );
         // scalar type is part of the key
@@ -339,7 +450,27 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_ne!(ha.key(), OpHandle::new(Payload::C64(cx)).key());
+        assert_ne!(ha.key(), OpHandle::new(Payload::C64(Arc::new(cx))).key());
+    }
+
+    #[test]
+    fn result_book_tracks_homes_and_provenance() {
+        let mut r = Residency::default();
+        r.record_result(
+            10,
+            ResultInfo {
+                home: 2,
+                words: 64,
+                produced_by: 0xbeef,
+            },
+        );
+        let info = r.result(10).expect("recorded");
+        assert_eq!(info.home, 2);
+        assert_eq!(info.produced_by, 0xbeef);
+        r.move_result(10, 0);
+        assert_eq!(r.result(10).unwrap().home, 0, "redistribute moves home");
+        assert_eq!(r.forget_result(10).unwrap().words, 64);
+        assert!(r.result(10).is_none(), "downloaded results are forgotten");
     }
 
     #[test]

@@ -42,8 +42,10 @@ mod tsqr;
 pub use cluster::Cluster;
 pub use comm::Comm;
 pub use cost::{CostTracker, SimTime};
-pub use exec::{Backend, DenseOp, DenseOpC, ExecMode, Executor, SparseOp};
-pub use handle::OpHandle;
+pub use exec::{
+    Backend, ChainSrc, ChainStep, DenseOp, DenseOpC, DenseOpT, ExecMode, Executor, SparseOp,
+};
+pub use handle::{OpHandle, ResultHandle, ResultKind};
 pub use machine::Machine;
 pub use pool::ThreadPool;
 pub use summa::DistMatrix;

@@ -201,6 +201,52 @@ pub(crate) enum Request {
         a: Vec<f64>,
         b: Vec<f64>,
     },
+    /// One dense chain step: a whole TTGT contraction whose result does
+    /// **not** return to the driver — it is written straight into the
+    /// rank's resident store under the driver-issued `store` key (pinned).
+    /// With `acc` the result is accumulated elementwise into the existing
+    /// buffer under `store` (the block-list chains route every partial of
+    /// one output block to one rank, in driver enumeration order, so the
+    /// accumulation order matches the driver-side value path exactly).
+    ChainDense {
+        spec: String,
+        a_dims: Vec<usize>,
+        a: OpF,
+        b_dims: Vec<usize>,
+        b: OpF,
+        store: u64,
+        acc: bool,
+    },
+    /// [`Request::ChainDense`] over [`Complex64`] operands.
+    ChainDenseC64 {
+        spec: String,
+        a_dims: Vec<usize>,
+        a: OpC,
+        b_dims: Vec<usize>,
+        b: OpC,
+        store: u64,
+        acc: bool,
+    },
+    /// One sparse-dense chain step: the whole contraction (single bucket
+    /// covering all `m` fused rows — bitwise-identical to any row-disjoint
+    /// bucketing), with the dense operand permuted worker-side by
+    /// `perm_b` and the result permuted to output order by `out_perm`
+    /// before being stored under `store` (pinned).
+    ChainSd {
+        a: OpCoords,
+        m: usize,
+        n: usize,
+        b_dims: Vec<usize>,
+        perm_b: Vec<usize>,
+        b: OpF,
+        nat_dims: Vec<usize>,
+        out_perm: Vec<usize>,
+        store: u64,
+    },
+    /// Remove the buffer under `key` from the store and return its
+    /// payload — the only value-returning exit of a chain. Unpins
+    /// unconditionally (the driver forgets the home).
+    Download { key: u64 },
     /// Terminate the worker loop.
     Shutdown,
 }
@@ -581,6 +627,68 @@ impl Request {
                 e.put_u8(22);
                 e.put_u64(*bytes);
             }
+            Request::ChainDense {
+                spec,
+                a_dims,
+                a,
+                b_dims,
+                b,
+                store,
+                acc,
+            } => {
+                e.put_u8(23);
+                e.put_str(spec);
+                put_usizes(&mut e, a_dims);
+                a.put(&mut e);
+                put_usizes(&mut e, b_dims);
+                b.put(&mut e);
+                e.put_u64(*store);
+                e.put_bool(*acc);
+            }
+            Request::ChainDenseC64 {
+                spec,
+                a_dims,
+                a,
+                b_dims,
+                b,
+                store,
+                acc,
+            } => {
+                e.put_u8(24);
+                e.put_str(spec);
+                put_usizes(&mut e, a_dims);
+                a.put(&mut e);
+                put_usizes(&mut e, b_dims);
+                b.put(&mut e);
+                e.put_u64(*store);
+                e.put_bool(*acc);
+            }
+            Request::ChainSd {
+                a,
+                m,
+                n,
+                b_dims,
+                perm_b,
+                b,
+                nat_dims,
+                out_perm,
+                store,
+            } => {
+                e.put_u8(25);
+                a.put(&mut e);
+                e.put_usize(*m);
+                e.put_usize(*n);
+                put_usizes(&mut e, b_dims);
+                put_usizes(&mut e, perm_b);
+                b.put(&mut e);
+                put_usizes(&mut e, nat_dims);
+                put_usizes(&mut e, out_perm);
+                e.put_u64(*store);
+            }
+            Request::Download { key } => {
+                e.put_u8(26);
+                e.put_u64(*key);
+            }
         }
         e.finish()
     }
@@ -689,6 +797,36 @@ impl Request {
             20 => Request::Release { key: d.u64()? },
             21 => Request::CacheStats,
             22 => Request::SetCacheCap { bytes: d.u64()? },
+            23 => Request::ChainDense {
+                spec: d.str()?,
+                a_dims: get_usizes(&mut d)?,
+                a: OpF::get(&mut d)?,
+                b_dims: get_usizes(&mut d)?,
+                b: OpF::get(&mut d)?,
+                store: d.u64()?,
+                acc: d.bool()?,
+            },
+            24 => Request::ChainDenseC64 {
+                spec: d.str()?,
+                a_dims: get_usizes(&mut d)?,
+                a: OpC::get(&mut d)?,
+                b_dims: get_usizes(&mut d)?,
+                b: OpC::get(&mut d)?,
+                store: d.u64()?,
+                acc: d.bool()?,
+            },
+            25 => Request::ChainSd {
+                a: OpCoords::get(&mut d)?,
+                m: d.usize()?,
+                n: d.usize()?,
+                b_dims: get_usizes(&mut d)?,
+                perm_b: get_usizes(&mut d)?,
+                b: OpF::get(&mut d)?,
+                nat_dims: get_usizes(&mut d)?,
+                out_perm: get_usizes(&mut d)?,
+                store: d.u64()?,
+            },
+            26 => Request::Download { key: d.u64()? },
             op => return Err(Error::Transport(format!("unknown request opcode {op}"))),
         };
         Ok(req)
@@ -1056,6 +1194,62 @@ impl WorkerState {
         }
     }
 
+    /// Store a fresh resident result (pinned), or — with `acc` —
+    /// accumulate elementwise into the existing buffer under `key`. The
+    /// first partial of an output block is *stored*, not added to zeros
+    /// (`-0.0 + 0.0` would flip sign bits), exactly like the driver-side
+    /// value path inserts its first partial.
+    fn store_f64(&mut self, key: u64, data: Vec<f64>, acc: bool) -> Result<()> {
+        if !acc {
+            self.insert(key, Cached::F64(Arc::new(data)), true);
+            return Ok(());
+        }
+        let stamp = self.tick();
+        let entry = self
+            .store
+            .get_mut(&key)
+            .ok_or_else(|| Error::Transport(format!("no chain result under key {key:#x}")))?;
+        entry.last_use = stamp;
+        let Cached::F64(buf) = &mut entry.val else {
+            return Err(Error::Transport(
+                "chain result has wrong payload type".into(),
+            ));
+        };
+        if buf.len() != data.len() {
+            return Err(Error::Transport("chain partial shape mismatch".into()));
+        }
+        for (c, p) in Arc::make_mut(buf).iter_mut().zip(&data) {
+            *c += p;
+        }
+        Ok(())
+    }
+
+    /// [`WorkerState::store_f64`] for [`Complex64`] results.
+    fn store_c64(&mut self, key: u64, data: Vec<Complex64>, acc: bool) -> Result<()> {
+        if !acc {
+            self.insert(key, Cached::C64(Arc::new(data)), true);
+            return Ok(());
+        }
+        let stamp = self.tick();
+        let entry = self
+            .store
+            .get_mut(&key)
+            .ok_or_else(|| Error::Transport(format!("no chain result under key {key:#x}")))?;
+        entry.last_use = stamp;
+        let Cached::C64(buf) = &mut entry.val else {
+            return Err(Error::Transport(
+                "chain result has wrong payload type".into(),
+            ));
+        };
+        if buf.len() != data.len() {
+            return Err(Error::Transport("chain partial shape mismatch".into()));
+        }
+        for (c, p) in Arc::make_mut(buf).iter_mut().zip(&data) {
+            *c += *p;
+        }
+        Ok(())
+    }
+
     /// Execute one request. Returns `None` only for [`Request::Shutdown`];
     /// every other request produces exactly one reply (failures become
     /// [`Reply::Fail`], so a worker never dies on a bad task).
@@ -1240,6 +1434,76 @@ impl WorkerState {
                     trunc_err: t.trunc_err,
                     n_discarded: t.n_discarded as u64,
                 })
+            }
+            Request::ChainDense {
+                spec,
+                a_dims,
+                a,
+                b_dims,
+                b,
+                store,
+                acc,
+            } => {
+                let plan = ContractPlan::parse(&spec)?;
+                let a = self.opf(a)?;
+                let b = self.opf(b)?;
+                let ta = DenseTensor::from_vec(a_dims, Self::take(a))?;
+                let tb = DenseTensor::from_vec(b_dims, Self::take(b))?;
+                let c = kernels::dense_contract(&plan, &ta, &tb, None)?;
+                self.store_f64(store, c.into_data(), acc)?;
+                Ok(Reply::Unit)
+            }
+            Request::ChainDenseC64 {
+                spec,
+                a_dims,
+                a,
+                b_dims,
+                b,
+                store,
+                acc,
+            } => {
+                let plan = ContractPlan::parse(&spec)?;
+                let a = self.opc(a)?;
+                let b = self.opc(b)?;
+                let ta = DenseTensor::from_vec(a_dims, Self::take(a))?;
+                let tb = DenseTensor::from_vec(b_dims, Self::take(b))?;
+                let c = kernels::dense_contract(&plan, &ta, &tb, None)?;
+                self.store_c64(store, c.into_data(), acc)?;
+                Ok(Reply::Unit)
+            }
+            Request::ChainSd {
+                a,
+                m,
+                n,
+                b_dims,
+                perm_b,
+                b,
+                nat_dims,
+                out_perm,
+                store,
+            } => {
+                let bucket = self.opcoords(a)?;
+                let b = self.opf(b)?;
+                let tb = DenseTensor::from_vec(b_dims, Self::take(b))?;
+                let b_mat = tb.permute(&perm_b)?.into_data();
+                let c = kernels::sd_chunk(0, m, n, &bucket, &b_mat);
+                let c = DenseTensor::from_vec(nat_dims, c)?.permute(&out_perm)?;
+                self.store_f64(store, c.into_data(), false)?;
+                Ok(Reply::Unit)
+            }
+            Request::Download { key } => {
+                let entry = self
+                    .store
+                    .remove(&key)
+                    .ok_or_else(|| Error::Transport(format!("no result under key {key:#x}")))?;
+                self.bytes -= entry.val.bytes();
+                match entry.val {
+                    Cached::F64(v) => Ok(Reply::F64s(Self::take(v))),
+                    Cached::C64(v) => Ok(Reply::C64s(Self::take(v))),
+                    _ => Err(Error::Transport(format!(
+                        "key {key:#x} does not hold a downloadable dense buffer"
+                    ))),
+                }
             }
             Request::SummaInit { key, rows, n } => {
                 // pinned for the duration of the product; summa_on frees it
@@ -1480,6 +1744,36 @@ mod tests {
                 a: vec![1.0; 4],
                 b: vec![2.0; 2],
             },
+            Request::ChainDense {
+                spec: "ik,kj->ij".into(),
+                a_dims: vec![2, 3],
+                a: OpF::Inline(vec![0.5; 6]),
+                b_dims: vec![3, 2],
+                b: OpF::Key(12),
+                store: 900,
+                acc: true,
+            },
+            Request::ChainDenseC64 {
+                spec: "ik,kj->ij".into(),
+                a_dims: vec![1, 1],
+                a: OpC::Inline(vec![Complex64::I]),
+                b_dims: vec![1, 1],
+                b: OpC::Key(13),
+                store: 901,
+                acc: false,
+            },
+            Request::ChainSd {
+                a: OpCoords::Key(42),
+                m: 4,
+                n: 2,
+                b_dims: vec![3, 2],
+                perm_b: vec![0, 1],
+                b: OpF::Key(14),
+                nat_dims: vec![4, 2],
+                out_perm: vec![1, 0],
+                store: 902,
+            },
+            Request::Download { key: 902 },
             Request::Shutdown,
         ]
     }
@@ -1811,6 +2105,118 @@ mod tests {
             panic!();
         };
         assert_eq!(bytes, 0);
+    }
+
+    #[test]
+    fn chain_steps_store_accumulate_and_download() {
+        let mut w = WorkerState::new();
+        // C = A·B stored resident, then a second partial accumulated, then
+        // downloaded — the only value-returning exit
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // 2×2
+        let b = vec![1.0, 0.0, 0.0, 1.0]; // identity
+        assert_eq!(
+            w.handle(Request::ChainDense {
+                spec: "ik,kj->ij".into(),
+                a_dims: vec![2, 2],
+                a: OpF::Inline(a.clone()),
+                b_dims: vec![2, 2],
+                b: OpF::Inline(b.clone()),
+                store: 50,
+                acc: false,
+            }),
+            Some(Reply::Unit)
+        );
+        assert_eq!(
+            w.handle(Request::ChainDense {
+                spec: "ik,kj->ij".into(),
+                a_dims: vec![2, 2],
+                a: OpF::Inline(a.clone()),
+                b_dims: vec![2, 2],
+                b: OpF::Inline(b),
+                store: 50,
+                acc: true,
+            }),
+            Some(Reply::Unit)
+        );
+        assert_eq!(
+            w.handle(Request::Download { key: 50 }),
+            Some(Reply::F64s(vec![2.0, 4.0, 6.0, 8.0]))
+        );
+        // downloaded results are gone
+        assert!(matches!(
+            w.handle(Request::Download { key: 50 }),
+            Some(Reply::Fail(_))
+        ));
+        // accumulating into an absent key fails cleanly
+        assert!(matches!(
+            w.handle(Request::ChainDense {
+                spec: "ik,kj->ij".into(),
+                a_dims: vec![2, 2],
+                a: OpF::Inline(a),
+                b_dims: vec![2, 2],
+                b: OpF::Inline(vec![1.0; 4]),
+                store: 51,
+                acc: true,
+            }),
+            Some(Reply::Fail(_))
+        ));
+    }
+
+    #[test]
+    fn chain_results_survive_cap_pressure_until_downloaded() {
+        // the LRU pin contract of chained intermediates: a chain's stored
+        // results are pinned, so cap pressure evicts everything else but
+        // never them; Download removes (unpins) and frees the bytes
+        let mut w = WorkerState::with_cap(128);
+        let a = vec![1.0; 16]; // 4×4 result = 128 bytes == cap
+        w.handle(Request::ChainDense {
+            spec: "ik,kj->ij".into(),
+            a_dims: vec![4, 4],
+            a: OpF::Inline(a),
+            b_dims: vec![4, 4],
+            b: OpF::Inline(
+                (0..16)
+                    .map(|i| if i % 5 == 0 { 1.0 } else { 0.0 })
+                    .collect(),
+            ),
+            store: 60,
+            acc: false,
+        });
+        // hammer the store with unpinned puts well past the cap
+        for key in 0..6u64 {
+            w.handle(Request::Put {
+                key,
+                data: vec![key as f64; 8],
+            });
+        }
+        let Some(Reply::Stats { pinned, .. }) = w.handle(Request::CacheStats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(pinned, 1, "the chain result is still pinned");
+        assert_eq!(
+            w.handle(Request::Download { key: 60 }),
+            Some(Reply::F64s(vec![1.0; 16])),
+            "pinned intermediate survived cap pressure"
+        );
+        let Some(Reply::Stats { pinned, .. }) = w.handle(Request::CacheStats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(pinned, 0, "download unpins");
+        // Free also unpins chain results (the free_result path)
+        w.handle(Request::ChainDense {
+            spec: "ik,kj->ij".into(),
+            a_dims: vec![1, 1],
+            a: OpF::Inline(vec![2.0]),
+            b_dims: vec![1, 1],
+            b: OpF::Inline(vec![3.0]),
+            store: 61,
+            acc: false,
+        });
+        w.handle(Request::Free { key: 61 });
+        assert!(matches!(
+            w.handle(Request::Download { key: 61 }),
+            Some(Reply::Fail(_))
+        ));
     }
 
     #[test]

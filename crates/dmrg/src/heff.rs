@@ -10,7 +10,7 @@
 //! dense, exactly as Section IV-A prescribes.
 
 use crate::{Error, Result};
-use tt_blocks::contract::{contract, contract_resident, free_operand, upload_operand};
+use tt_blocks::contract::{chain_apply, contract, free_operand, upload_operand};
 use tt_blocks::{Algorithm, BlockSparseTensor, ResidentOperand};
 use tt_dist::Executor;
 
@@ -93,15 +93,25 @@ pub struct ResidentHam<'a> {
 
 impl ResidentHam<'_> {
     /// Apply `K` to a two-site tensor — bitwise-identical to
-    /// [`EffectiveHam::apply`] on the same operands.
+    /// [`EffectiveHam::apply`] on the same operands, but run as **one
+    /// chained superstep per matvec**: ψ's blocks upload once, the
+    /// intermediates t₁…t₃ stay resident in the worker stores (no
+    /// per-contraction round-trip through the driver), and only `y`'s
+    /// blocks download. On the multi-process backend this collapses the
+    /// driver's per-matvec *result* traffic to the final download.
     pub fn apply(&self, x: &BlockSparseTensor) -> Result<BlockSparseTensor> {
-        let t1 = contract_resident(self.exec, self.algo, "bkc,cqwf->bkqwf", &self.left, x)
-            .map_err(wrap)?;
-        let t2 = contract_resident(self.exec, self.algo, "kpqg,bkqwf->bpgwf", &self.w1, &t1)
-            .map_err(wrap)?;
-        let t3 = contract_resident(self.exec, self.algo, "gswh,bpgwf->bpshf", &self.w2, &t2)
-            .map_err(wrap)?;
-        contract_resident(self.exec, self.algo, "rhf,bpshf->bpsr", &self.right, &t3).map_err(wrap)
+        chain_apply(
+            self.exec,
+            self.algo,
+            &[
+                ("bkc,cqwf->bkqwf", &self.left),
+                ("kpqg,bkqwf->bpgwf", &self.w1),
+                ("gswh,bpgwf->bpshf", &self.w2),
+                ("rhf,bpshf->bpsr", &self.right),
+            ],
+            x,
+        )
+        .map_err(wrap)
     }
 }
 
