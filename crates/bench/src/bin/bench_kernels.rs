@@ -19,23 +19,41 @@
 //! The full run also includes the 512³ `f64` case used as PR 2's
 //! acceptance gate (packed GEMM ≥ 2× the seed scalar kernel) and the
 //! sparse *crossover* cases: the small sparse size sits below
-//! `SPARSE_PAR_MIN_FLOPS` (threaded stays on one worker — the fix for the
-//! threaded-slower-than-sequential regression this baseline recorded),
-//! the large ones sit above it and engage the pool.
+//! `SPARSE_PAR_MIN_FLOPS` (threaded stays on one worker), the large ones
+//! sit above it and engage the pool. Sequential and threaded sparse runs
+//! are timed *alternating inside one rep loop, swapping which mode goes
+//! first each rep* — timing all reps of one mode before the other charged
+//! whichever block ran first with the cold cache/frequency state (an
+//! earlier baseline recorded a phantom 1.6× "threaded regression" on an
+//! identical code path that way), and even alternating with a fixed order
+//! leaves the second slot of every pair systematically slower on a busy
+//! or frequency-drifting machine. GFlop/s rates use best-of timing; the
+//! threaded-parity assertion instead uses the median of paired ratios
+//! (see [`pair_ratios`]), which both slot bias and one-off hiccups
+//! cancel out of.
+//!
+//! Baselines must be regenerated on an idle machine — see `BENCHING.md`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use tt_dist::{ExecMode, Executor, Machine};
-use tt_tensor::{DenseTensor, SparseTensor};
+use tt_tensor::{Complex64, DenseTensor, Scalar, SparseTensor};
 
 /// GFlop/s regression a kernel may show against the baseline before the
 /// check fails (CI runners are noisy; 30% is the agreed gate).
 const MAX_REGRESSION: f64 = 0.30;
 
+/// How far threaded may fall behind sequential at the same size before
+/// the check fails. Below the work-volume threshold both modes run the
+/// same single-worker code path; above it the pool must at least break
+/// even.
+const MAX_THREADED_DEFICIT: f64 = 0.05;
+
 /// The seed repo's scalar cache-blocked `(i,k,j)` GEMM — kept here verbatim
-/// as the perf reference the packed kernel is measured against.
-fn seed_gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+/// (generalized over the scalar type) as the perf reference the packed
+/// kernel is measured against.
+fn seed_gemm_acc<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
     const MC: usize = 64;
     const KC: usize = 128;
     const NC: usize = 512;
@@ -70,6 +88,119 @@ fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(t.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Time `seq` and `thr` back to back for `reps` reps, swapping which mode
+/// gets the first slot each rep (on a frequency-drifting machine the
+/// second call of a pair runs measurably slower; a fixed order reads that
+/// slot bias as a mode deficit). Returns the per-rep wall times.
+fn time_mode_pairs(
+    reps: usize,
+    mut seq: impl FnMut(),
+    mut thr: impl FnMut(),
+) -> (Vec<f64>, Vec<f64>) {
+    let mut seq_times = Vec::with_capacity(reps);
+    let mut thr_times = Vec::with_capacity(reps);
+    let take = |times: &mut Vec<f64>, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed().as_secs_f64());
+    };
+    for rep in 0..reps {
+        if rep % 2 == 0 {
+            take(&mut seq_times, &mut seq);
+            take(&mut thr_times, &mut thr);
+        } else {
+            take(&mut thr_times, &mut thr);
+            take(&mut seq_times, &mut seq);
+        }
+    }
+    (seq_times, thr_times)
+}
+
+fn best_time(times: &[f64]) -> f64 {
+    times.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Threaded/sequential rate ratios, robust to machine noise: each
+/// consecutive pair of reps sums one first-slot and one second-slot sample
+/// of each mode, cancelling slot bias and common-mode frequency drift.
+/// Callers pool these across passes and judge parity on their median,
+/// which rejects the one-off scheduler hiccups best-of timing is
+/// sensitive to.
+fn pair_ratios(seq_times: &[f64], thr_times: &[f64]) -> Vec<f64> {
+    seq_times
+        .chunks_exact(2)
+        .zip(thr_times.chunks_exact(2))
+        .map(|(s, t)| (s[0] + s[1]) / (t[0] + t[1]))
+        .collect()
+}
+
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[sorted.len() / 2]
+}
+
+/// A measured threaded-vs-sequential parity ratio at one sparse size.
+struct ParitySample {
+    kernel: &'static str,
+    size: String,
+    ratio: f64,
+}
+
+/// Pooled paired-ratio samples for one sparse size, accumulated across
+/// round-robin passes.
+struct ParityAcc {
+    kernel: &'static str,
+    size: String,
+    ratios: Vec<f64>,
+}
+
+/// Min-merge a measurement: the kernel set runs in several round-robin
+/// passes so every `(kernel, size)` samples more than one machine state
+/// (on shared hardware the effective CPU speed drifts ±25% across
+/// minutes — a single-window best-of bakes whichever state it hit into
+/// the baseline, and the gate then flaps against runs that hit the
+/// other). Best-of keeps the fastest sample across passes.
+fn record(entries: &mut Vec<Entry>, kernel: &'static str, size: String, flops: f64, secs: f64) {
+    if let Some(e) = entries
+        .iter_mut()
+        .find(|e| e.kernel == kernel && e.size == size)
+    {
+        e.secs = e.secs.min(secs);
+    } else {
+        entries.push(Entry {
+            kernel,
+            size,
+            flops,
+            secs,
+        });
+    }
+}
+
+/// Pool this pass's paired ratios into the accumulator for `(kernel, size)`.
+fn record_parity(
+    parity: &mut Vec<ParityAcc>,
+    kernel: &'static str,
+    size: String,
+    ratios: Vec<f64>,
+) {
+    if let Some(p) = parity
+        .iter_mut()
+        .find(|p| p.kernel == kernel && p.size == size)
+    {
+        p.ratios.extend(ratios);
+    } else {
+        parity.push(ParityAcc {
+            kernel,
+            size,
+            ratios,
+        });
+    }
 }
 
 struct Entry {
@@ -127,6 +258,27 @@ fn load_baseline(path: &str) -> Vec<BaselineEntry> {
             })
         })
         .collect()
+}
+
+/// Sequential/threaded parity at every measured sparse size: flag any
+/// paired-ratio sample (see [`pair_ratios`]) more than
+/// [`MAX_THREADED_DEFICIT`] below 1.0. Returns `false` on any failure.
+fn check_threaded_parity(parity: &[ParitySample]) -> bool {
+    let mut ok = true;
+    for p in parity {
+        let bad = p.ratio < 1.0 - MAX_THREADED_DEFICIT;
+        println!(
+            "threaded parity {:<22} {:>14}: {:.2}x sequential  {}",
+            p.kernel,
+            p.size,
+            p.ratio,
+            if bad { "FAIL" } else { "ok" }
+        );
+        if bad {
+            ok = false;
+        }
+    }
+    ok
 }
 
 /// Compare measured entries against the baseline. Returns `false` when any
@@ -219,6 +371,7 @@ fn main() {
     } else {
         &[64, 128, 256, 512]
     };
+    let gemm_c64_sizes: &[usize] = if smoke { &[64, 128] } else { &[64, 128, 256] };
     let at_b_sizes: &[usize] = if smoke { &[128] } else { &[128, 512] };
     let gemv_sizes: &[(usize, usize)] = if smoke {
         &[(256, 256)]
@@ -229,132 +382,220 @@ fn main() {
     // (threaded stays on one worker — sub-millisecond kernels are too
     // noisy for a 30% gate, so the smoke case is the ~3 ms 512×128×64),
     // the larger ones sit above it and engage the pool
+    // rep counts are sized for the parity assertion, not just the 30%
+    // rate gate: best-of needs enough swapped-order pairs to ride out the
+    // multi-second frequency-drift waves VMs show even when idle
     let sd_sizes: &[(usize, usize, usize, usize)] = if smoke {
         &[(512, 128, 64, 10)]
     } else {
-        &[(512, 128, 64, 10), (2048, 512, 256, 3)]
+        &[(512, 128, 64, 10), (2048, 512, 256, 6)]
     };
+    // the above-threshold 2048×512×256 rides in the smoke set too: it is
+    // the size the merge-join rework is gated on, and with that kernel it
+    // is CI-cheap
     let ss_sizes: &[(usize, usize, usize, usize)] = if smoke {
-        &[(512, 128, 64, 5)]
+        &[(512, 128, 64, 10), (2048, 512, 256, 6)]
     } else {
-        &[(512, 128, 64, 5), (1024, 256, 128, 2)]
+        &[(512, 128, 64, 10), (1024, 256, 128, 6), (2048, 512, 256, 6)]
     };
-    let reps = 10;
+    let reps = 8;
+    // every (kernel, size) is measured in PASSES round-robin sweeps and
+    // min-merged, so its best-of samples several machine states instead
+    // of one — see `record`
+    const PASSES: usize = 3;
     let mut entries: Vec<Entry> = Vec::new();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut parity_acc: Vec<ParityAcc> = Vec::new();
 
-    // --- dense GEMM: packed register-tiled vs seed scalar loop -----------
-    for &s in gemm_sizes {
-        let a = DenseTensor::<f64>::random([s, s], &mut rng);
-        let b = DenseTensor::<f64>::random([s, s], &mut rng);
-        let flops = 2.0 * (s as f64).powi(3);
-        let mut c = vec![0.0f64; s * s];
+    println!("simd dispatch: {}", tt_tensor::simd_level().name());
 
-        let secs = best_of(reps, || {
-            c.iter_mut().for_each(|x| *x = 0.0);
-            tt_tensor::gemm::gemm_acc_slices(s, s, s, a.data(), b.data(), &mut c);
-        });
-        entries.push(Entry {
-            kernel: "gemm_packed",
-            size: format!("{s}x{s}x{s}"),
-            flops,
-            secs,
-        });
+    for _pass in 0..PASSES {
+        // identical seed every pass: passes sample machine states, not data
+        let mut rng = StdRng::seed_from_u64(7);
 
-        let secs = best_of(reps, || {
-            c.iter_mut().for_each(|x| *x = 0.0);
-            seed_gemm_acc(s, s, s, a.data(), b.data(), &mut c);
-        });
-        entries.push(Entry {
-            kernel: "gemm_seed_scalar",
-            size: format!("{s}x{s}x{s}"),
-            flops,
-            secs,
-        });
-    }
+        // --- dense GEMM: packed register-tiled vs seed scalar loop -----------
+        for &s in gemm_sizes {
+            let a = DenseTensor::<f64>::random([s, s], &mut rng);
+            let b = DenseTensor::<f64>::random([s, s], &mut rng);
+            let flops = 2.0 * (s as f64).powi(3);
+            let mut c = vec![0.0f64; s * s];
 
-    // --- transposed-layout GEMM (packing absorbs the transpose) ----------
-    for &s in at_b_sizes {
-        let a = DenseTensor::<f64>::random([s, s], &mut rng);
-        let b = DenseTensor::<f64>::random([s, s], &mut rng);
-        let flops = 2.0 * (s as f64).powi(3);
-        let secs = best_of(reps, || {
-            tt_tensor::gemm(
-                &a,
-                tt_tensor::Layout::Transposed,
-                &b,
-                tt_tensor::Layout::Normal,
-            )
-            .unwrap();
-        });
-        entries.push(Entry {
-            kernel: "gemm_at_b",
-            size: format!("{s}x{s}x{s}"),
-            flops,
-            secs,
-        });
-    }
-
-    // --- GEMV fast path (Davidson matvec shape) --------------------------
-    for &(m, k) in gemv_sizes {
-        let a = DenseTensor::<f64>::random([m, k], &mut rng);
-        let x = DenseTensor::<f64>::random([k, 1], &mut rng);
-        let flops = 2.0 * m as f64 * k as f64;
-        let secs = best_of(reps * 4, || {
-            tt_tensor::gemm_f64(&a, &x).unwrap();
-        });
-        entries.push(Entry {
-            kernel: "gemv_fused_n1",
-            size: format!("{m}x{k}x1"),
-            flops,
-            secs,
-        });
-    }
-
-    // --- sparse kernels through the executor -----------------------------
-    // sequential vs threaded at each size: below the work-volume threshold
-    // both run the same single-worker path; above it the threaded executor
-    // fans volume-balanced buckets over the pool (the crossover)
-    for &(m, k, n, reps) in sd_sizes {
-        let sp = skewed_sparse(m, k);
-        let b = DenseTensor::<f64>::random([k, n], &mut rng);
-        let sd_flops = 2.0 * sp.nnz() as f64 * n as f64;
-        for (mode, label) in [
-            (ExecMode::Sequential, "sd_contract_seq"),
-            (ExecMode::Threaded, "sd_contract_threaded"),
-        ] {
-            let exec = Executor::with_machine(Machine::local(), 1, mode);
             let secs = best_of(reps, || {
-                exec.contract_sd("ik,kj->ij", &sp, &b).unwrap();
+                c.iter_mut().for_each(|x| *x = 0.0);
+                tt_tensor::gemm::gemm_acc_slices(s, s, s, a.data(), b.data(), &mut c);
             });
-            entries.push(Entry {
-                kernel: label,
-                size: format!("{m}x{k}x{n}"),
-                flops: sd_flops,
+            record(
+                &mut entries,
+                "gemm_packed",
+                format!("{s}x{s}x{s}"),
+                flops,
                 secs,
-            });
-        }
-    }
-    for &(m, k, n, reps) in ss_sizes {
-        let sp = skewed_sparse(m, k);
-        let sb = SparseTensor::from_dense(&DenseTensor::<f64>::random([k, n], &mut rng), 0.5);
-        let sd_flops = 2.0 * sp.nnz() as f64 * n as f64;
-        for (mode, label) in [
-            (ExecMode::Sequential, "ss_contract_seq"),
-            (ExecMode::Threaded, "ss_contract_threaded"),
-        ] {
-            let exec = Executor::with_machine(Machine::local(), 1, mode);
+            );
+
             let secs = best_of(reps, || {
-                exec.contract_ss("ik,kj->ij", &sp, &sb, None).unwrap();
+                c.iter_mut().for_each(|x| *x = 0.0);
+                seed_gemm_acc(s, s, s, a.data(), b.data(), &mut c);
             });
-            entries.push(Entry {
-                kernel: label,
-                size: format!("{m}x{k}x{n}"),
-                flops: sd_flops * 0.5, // nominal; ss work depends on overlap
+            record(
+                &mut entries,
+                "gemm_seed_scalar",
+                format!("{s}x{s}x{s}"),
+                flops,
                 secs,
-            });
+            );
         }
-    }
+
+        // --- Complex64 GEMM: plane-split packed microkernel vs seed scalar ---
+        // one complex MAC is 4 real multiplies + 4 real adds → 8·m·n·k flops
+        for &s in gemm_c64_sizes {
+            let a = DenseTensor::<Complex64>::random([s, s], &mut rng);
+            let b = DenseTensor::<Complex64>::random([s, s], &mut rng);
+            let flops = 8.0 * (s as f64).powi(3);
+            let mut c = vec![Complex64::new(0.0, 0.0); s * s];
+
+            let secs = best_of(reps, || {
+                c.iter_mut().for_each(|x| *x = Complex64::new(0.0, 0.0));
+                tt_tensor::gemm::gemm_acc_slices(s, s, s, a.data(), b.data(), &mut c);
+            });
+            record(
+                &mut entries,
+                "gemm_packed_c64",
+                format!("{s}x{s}x{s}"),
+                flops,
+                secs,
+            );
+
+            let secs = best_of(reps, || {
+                c.iter_mut().for_each(|x| *x = Complex64::new(0.0, 0.0));
+                seed_gemm_acc(s, s, s, a.data(), b.data(), &mut c);
+            });
+            record(
+                &mut entries,
+                "gemm_seed_scalar_c64",
+                format!("{s}x{s}x{s}"),
+                flops,
+                secs,
+            );
+        }
+
+        // --- transposed-layout GEMM (packing absorbs the transpose) ----------
+        for &s in at_b_sizes {
+            let a = DenseTensor::<f64>::random([s, s], &mut rng);
+            let b = DenseTensor::<f64>::random([s, s], &mut rng);
+            let flops = 2.0 * (s as f64).powi(3);
+            let secs = best_of(reps, || {
+                tt_tensor::gemm(
+                    &a,
+                    tt_tensor::Layout::Transposed,
+                    &b,
+                    tt_tensor::Layout::Normal,
+                )
+                .unwrap();
+            });
+            record(
+                &mut entries,
+                "gemm_at_b",
+                format!("{s}x{s}x{s}"),
+                flops,
+                secs,
+            );
+        }
+
+        // --- GEMV fast path (Davidson matvec shape) --------------------------
+        for &(m, k) in gemv_sizes {
+            let a = DenseTensor::<f64>::random([m, k], &mut rng);
+            let x = DenseTensor::<f64>::random([k, 1], &mut rng);
+            let flops = 2.0 * m as f64 * k as f64;
+            let secs = best_of(reps * 4, || {
+                tt_tensor::gemm_f64(&a, &x).unwrap();
+            });
+            record(
+                &mut entries,
+                "gemv_fused_n1",
+                format!("{m}x{k}x1"),
+                flops,
+                secs,
+            );
+        }
+
+        // --- sparse kernels through the executor -----------------------------
+        // sequential vs threaded at each size: below the work-volume threshold
+        // both run the same single-worker path; above it the threaded executor
+        // fans volume-balanced buckets over the pool (the crossover). The two
+        // modes alternate within one rep loop, swapping which goes first each
+        // rep, and parity is judged on paired ratios (see module docs).
+        for &(m, k, n, reps) in sd_sizes {
+            let sp = skewed_sparse(m, k);
+            let b = DenseTensor::<f64>::random([k, n], &mut rng);
+            let sd_flops = 2.0 * sp.nnz() as f64 * n as f64;
+            let seq = Executor::with_machine(Machine::local(), 1, ExecMode::Sequential);
+            let thr = Executor::with_machine(Machine::local(), 1, ExecMode::Threaded);
+            let (seq_times, thr_times) = time_mode_pairs(
+                reps,
+                || {
+                    seq.contract_sd("ik,kj->ij", &sp, &b).unwrap();
+                },
+                || {
+                    thr.contract_sd("ik,kj->ij", &sp, &b).unwrap();
+                },
+            );
+            record_parity(
+                &mut parity_acc,
+                "sd_contract_threaded",
+                format!("{m}x{k}x{n}"),
+                pair_ratios(&seq_times, &thr_times),
+            );
+            for (label, secs) in [
+                ("sd_contract_seq", best_time(&seq_times)),
+                ("sd_contract_threaded", best_time(&thr_times)),
+            ] {
+                record(&mut entries, label, format!("{m}x{k}x{n}"), sd_flops, secs);
+            }
+        }
+        for &(m, k, n, reps) in ss_sizes {
+            let sp = skewed_sparse(m, k);
+            let sb = SparseTensor::from_dense(&DenseTensor::<f64>::random([k, n], &mut rng), 0.5);
+            let sd_flops = 2.0 * sp.nnz() as f64 * n as f64;
+            let seq = Executor::with_machine(Machine::local(), 1, ExecMode::Sequential);
+            let thr = Executor::with_machine(Machine::local(), 1, ExecMode::Threaded);
+            let (seq_times, thr_times) = time_mode_pairs(
+                reps,
+                || {
+                    seq.contract_ss("ik,kj->ij", &sp, &sb, None).unwrap();
+                },
+                || {
+                    thr.contract_ss("ik,kj->ij", &sp, &sb, None).unwrap();
+                },
+            );
+            record_parity(
+                &mut parity_acc,
+                "ss_contract_threaded",
+                format!("{m}x{k}x{n}"),
+                pair_ratios(&seq_times, &thr_times),
+            );
+            for (label, secs) in [
+                ("ss_contract_seq", best_time(&seq_times)),
+                ("ss_contract_threaded", best_time(&thr_times)),
+            ] {
+                // flops nominal: actual ss work depends on key overlap
+                record(
+                    &mut entries,
+                    label,
+                    format!("{m}x{k}x{n}"),
+                    sd_flops * 0.5,
+                    secs,
+                );
+            }
+        }
+    } // pass loop
+
+    let parity: Vec<ParitySample> = parity_acc
+        .iter()
+        .map(|p| ParitySample {
+            kernel: p.kernel,
+            size: p.size.clone(),
+            ratio: median(&p.ratios),
+        })
+        .collect();
 
     // --- report -----------------------------------------------------------
     for e in &entries {
@@ -370,11 +611,16 @@ fn main() {
     if let Some(path) = check_path {
         // regression-gate mode: compare, do not overwrite the baseline
         let baseline = load_baseline(&path);
-        if !check_against_baseline(&entries, &baseline) {
+        let baseline_ok = check_against_baseline(&entries, &baseline);
+        println!();
+        let parity_ok = check_threaded_parity(&parity);
+        if !baseline_ok || !parity_ok {
             std::process::exit(1);
         }
         return;
     }
+    println!();
+    check_threaded_parity(&parity); // informational outside --check
 
     let mut json = String::from("[\n");
     for (i, e) in entries.iter().enumerate() {

@@ -29,7 +29,7 @@ use crate::cluster::{Cluster, Placement};
 use crate::comm::Comm;
 use crate::cost::{CostTracker, SimTime};
 use crate::handle::{
-    derive, hpairs, hseq, Fnv, LocalResult, OpHandle, Payload, Residency, ResultHandle, ResultInfo,
+    derive, hseq, Fnv, LocalResult, OpHandle, Payload, Residency, ResultHandle, ResultInfo,
     ResultKind,
 };
 use crate::kernels;
@@ -2031,17 +2031,16 @@ impl Executor {
             b.handle(),
             b.handle()
                 .map(|h| {
+                    // the grouped table stores *fused* free indices, so it
+                    // depends only on B's content (h.key) and the plan's
+                    // B-side positions — not on A's dims or the output
+                    // permutation; the same resident table serves every
+                    // contraction against this operand
                     derive(&[
                         h.key(),
                         TAG_SS_B,
                         hseq(plan.ctr_b_positions()),
                         hseq(plan.free_b_positions()),
-                        // the grouped table's resolved output offsets are
-                        // a function of the plan plus both operands'
-                        // shapes — charging must track the same context
-                        // the worker buffer was derived under
-                        hseq(at.dims()),
-                        hseq(bt.dims()),
                     ])
                 })
                 .unwrap_or_default(),
@@ -2072,14 +2071,15 @@ impl Executor {
         let kernels::SsPrep {
             out_shape,
             m,
+            n,
             row_axes,
             col_axes,
-            b_by_ctr,
+            btab,
             mask_sorted,
             coords,
         } = prep;
 
-        let coord_work = |c: &kernels::Coord| b_by_ctr.get(&c.1).map_or(0, |l| l.len() as u64);
+        let coord_work = |c: &kernels::Coord| btab.run_len(c.1) as u64;
         let total_work: u64 = coords.iter().map(&coord_work).sum();
         let chunks = if 2 * total_work < kernels::SPARSE_PAR_MIN_FLOPS {
             1
@@ -2089,26 +2089,24 @@ impl Executor {
         // resident A buckets must not depend on B's pattern, so the
         // handle path weights each stored entry equally; any
         // row-contiguous bucketing yields bitwise-identical results
-        let (_ranges, buckets) = if a.handle().is_some() {
+        let (ranges, mut buckets) = if a.handle().is_some() {
             kernels::bucket_by_volume(coords, m, chunks, |_| 1)
         } else {
             kernels::bucket_by_volume(coords, m, chunks, coord_work)
         };
+        // buckets ship key-sorted (the order the merge kernel consumes),
+        // so resident buckets amortize the sort across iterations
+        for bucket in &mut buckets {
+            kernels::sort_bucket_by_key(bucket);
+        }
 
         // flatten the grouped B operand once
-        let mut b_keys = Vec::with_capacity(b_by_ctr.len());
-        let mut b_lens = Vec::with_capacity(b_by_ctr.len());
-        let mut b_cols = Vec::new();
-        let mut b_vals = Vec::new();
-        for (key, group) in &b_by_ctr {
-            b_keys.push(*key);
-            b_lens.push(group.len() as u64);
-            for &(col, v) in group {
-                b_cols.push(col);
-                b_vals.push(v);
-            }
-        }
+        let b_keys = btab.keys().to_vec();
+        let b_lens: Vec<u64> = btab.run_lens().collect();
+        let b_cols = btab.cols().to_vec();
+        let b_vals = btab.vals().to_vec();
         let (ax_dims, ax_strides): (Vec<u64>, Vec<u64>) = row_axes.iter().copied().unzip();
+        let (cx_dims, cx_strides): (Vec<u64>, Vec<u64>) = col_axes.iter().copied().unzip();
 
         let p = cl.ranks();
         let mut reqs: Vec<(usize, Request)> = Vec::new();
@@ -2121,12 +2119,14 @@ impl Executor {
                 vals: b_vals,
             },
             Some(h) => {
+                // fused-col table: keyed by B content + plan positions only
+                // (must stay in lockstep with the charge key in
+                // `contract_ss_h`)
                 let wkey = derive(&[
                     h.key(),
                     TAG_SS_B,
                     hseq(plan.ctr_b_positions()),
                     hseq(plan.free_b_positions()),
-                    hpairs(&col_axes),
                 ]);
                 replicate_to_missing(
                     &mut self.residency.lock(),
@@ -2181,7 +2181,7 @@ impl Executor {
         };
 
         let n_uploads = reqs.len();
-        for (i, bucket) in buckets.into_iter().enumerate() {
+        for (i, ((r0, r1), bucket)) in ranges.into_iter().zip(buckets).enumerate() {
             let a_field = match &a_keys {
                 Some(keys) => OpCoords::Key(keys[i]),
                 None => {
@@ -2198,8 +2198,13 @@ impl Executor {
                 Request::SsChunk {
                     a: a_field,
                     b: b_field.clone(),
+                    r0: r0 as u64,
+                    r1: r1 as u64,
+                    n,
                     ax_dims: ax_dims.clone(),
                     ax_strides: ax_strides.clone(),
+                    cx_dims: cx_dims.clone(),
+                    cx_strides: cx_strides.clone(),
                     mask: mask_sorted.clone(),
                 },
             ));

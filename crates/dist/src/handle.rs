@@ -77,14 +77,6 @@ pub(crate) fn hseq(vals: &[usize]) -> u64 {
     Fnv::new().u64s(vals.iter().map(|&v| v as u64)).finish()
 }
 
-/// Hash a `(u64, u64)` pair sequence (axis dimension/stride tables) into
-/// one derivation component.
-pub(crate) fn hpairs(vals: &[(u64, u64)]) -> u64 {
-    Fnv::new()
-        .u64s(vals.iter().flat_map(|&(a, b)| [a, b]))
-        .finish()
-}
-
 /// The tensor a handle refers to. Payloads are `Arc`-backed so an upload
 /// of an already-shared tensor (an `Arc`-stored block of a
 /// `BlockSparseTensor`, say) shares storage instead of cloning the data —

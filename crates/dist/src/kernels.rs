@@ -23,6 +23,7 @@ use tt_tensor::einsum::ContractPlan;
 use tt_tensor::gemm::{
     gemm_acc_packed_rows, gemm_acc_slices, gemm_path, gemv_acc_rows, GemmPath, PackedB, MC,
 };
+use tt_tensor::ssmerge::{merge_chunk, SsBTable};
 use tt_tensor::{DenseTensor, Scalar, Shape, SparseTensor};
 
 /// Work volume (flops) below which the sparse kernels stay on a single
@@ -181,9 +182,19 @@ pub(crate) fn dense_contract<T: Scalar>(
             })
         }),
         GemmPath::Packed => {
-            // pack B once; every worker drives the microkernel over its own
-            // MC-aligned row panels against the shared packed operand
-            let pb: Arc<PackedB<T>> = Arc::new(PackedB::pack(k, n, &b_mat, n, 1));
+            // pack B across the pool, one KC-deep block per job — blocks
+            // are independent and reassemble to the exact bytes of a
+            // monolithic pack — then every worker drives the microkernel
+            // over its own MC-aligned row panels against the shared
+            // packed operand
+            let blk_ranges: Vec<(usize, usize)> = (0..PackedB::<T>::block_count(k))
+                .map(|blk| (blk, blk + 1))
+                .collect();
+            let blocks = run_chunked(pool, blk_ranges, |(blk, _)| {
+                let b_mat = Arc::clone(&b_mat);
+                Box::new(move || PackedB::<T>::pack_block(k, n, &b_mat, n, 1, blk))
+            });
+            let pb: Arc<PackedB<T>> = Arc::new(PackedB::from_blocks(k, n, blocks));
             run_chunked(pool, mc_aligned_ranges(m, nthreads), |(r0, r1)| {
                 let a_mat = Arc::clone(&a_mat);
                 let pb = Arc::clone(&pb);
@@ -402,13 +413,18 @@ pub(crate) struct SsPrep {
     pub(crate) out_shape: Shape,
     /// Fused output row count.
     pub(crate) m: usize,
+    /// Fused free-`B` width (the merge kernel's panel width).
+    pub(crate) n: u64,
     /// `(dimension, output stride)` pairs for the fused row index.
     pub(crate) row_axes: Vec<(u64, u64)>,
-    /// `(dimension, output stride)` pairs for the fused column index —
-    /// the context a resident grouped-`B` table is derived under.
+    /// `(dimension, output stride)` pairs for the fused column index,
+    /// applied at entry-extraction time (the grouped `B` table itself
+    /// stores *fused* free indices, so it is independent of the other
+    /// operand's dims and the output permutation — a cached resident table
+    /// is reusable across contractions).
     pub(crate) col_axes: Vec<(u64, u64)>,
-    /// `B` entries grouped by contracted key, output offsets resolved.
-    pub(crate) b_by_ctr: std::collections::BTreeMap<u64, Vec<(u64, f64)>>,
+    /// `B` grouped by contracted key: sorted key runs over flat arrays.
+    pub(crate) btab: SsBTable<f64>,
     /// Sorted output-sparsity mask, when given.
     pub(crate) mask_sorted: Option<Vec<u64>>,
     /// `A`'s `(fused row, contracted key, value)` coords in stored order.
@@ -424,7 +440,7 @@ pub(crate) fn ss_prepare(
 ) -> Result<SsPrep> {
     let out_dims = plan.output_dims(a.dims(), b.dims())?;
     let out_shape = Shape::from(out_dims);
-    let (m, _k, _n) = fused_dims(plan, a.dims(), b.dims());
+    let (m, _k, n) = fused_dims(plan, a.dims(), b.dims());
 
     // Precompute the linear map from fused (row, col) coordinates to
     // output offsets: for each natural axis, its dimension and its stride
@@ -445,17 +461,13 @@ pub(crate) fn ss_prepare(
     let row_axes = axes(0..ra);
     let col_axes: Vec<(u64, u64)> = axes(ra..nat_dims.len());
 
-    // B grouped by contracted key with each entry's output contribution
-    // resolved up front; groups keep stored order, so accumulation is
-    // deterministic.
-    let b_coords = sparse_coords(b, plan.ctr_b_positions(), plan.free_b_positions());
-    let mut b_by_ctr: std::collections::BTreeMap<u64, Vec<(u64, f64)>> = Default::default();
-    for (ctr, free, v) in b_coords {
-        b_by_ctr
-            .entry(ctr)
-            .or_default()
-            .push((unfuse_to_out(free, &col_axes), v));
-    }
+    // B grouped by contracted key: one stable sort, flat run arrays. Runs
+    // keep stored order, so accumulation is deterministic.
+    let btab = SsBTable::build(sparse_coords(
+        b,
+        plan.ctr_b_positions(),
+        plan.free_b_positions(),
+    ));
 
     let mask_sorted = mask.map(|ms| {
         let mut v = ms.to_vec();
@@ -467,54 +479,77 @@ pub(crate) fn ss_prepare(
     Ok(SsPrep {
         out_shape,
         m,
+        n: n as u64,
         row_axes,
         col_axes,
-        b_by_ctr,
+        btab,
         mask_sorted,
         coords,
     })
 }
 
-/// One sparse-sparse chunk: accumulate `bucket`'s `A` entries against the
-/// grouped `B` operand into `(output offset, value)` entries, returning
-/// the flops actually executed. Shared by the pool jobs and the
-/// multi-process worker; the ordered map keeps accumulation deterministic.
+/// One sparse-sparse chunk: two-pointer merge of the chunk's key-sorted
+/// `A` entries against the grouped `B` table, dense-panel accumulation
+/// ([`tt_tensor::ssmerge::merge_chunk`]), then resolution of fused
+/// `(row, col)` pairs to output offsets and mask filtering at extraction
+/// (each output element accumulates independently, so late masking is
+/// value-identical to per-product masking). Shared by the pool jobs and
+/// the multi-process worker.
+///
+/// `bucket_sorted` must be stably sorted by contracted key — per output
+/// element the products then apply in ascending key order regardless of
+/// how rows were chunked, which is what keeps Sequential ≡ Threaded ≡
+/// MultiProcess bitwise.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn ss_chunk(
-    bucket: &[Coord],
-    b_by_ctr: &std::collections::BTreeMap<u64, Vec<(u64, f64)>>,
+    bucket_sorted: &[Coord],
+    btab: &SsBTable<f64>,
+    r0: usize,
+    r1: usize,
+    n: u64,
     row_axes: &[(u64, u64)],
+    col_axes: &[(u64, u64)],
     mask_sorted: Option<&[u64]>,
 ) -> (Vec<(u64, f64)>, u64) {
-    let mut acc: std::collections::BTreeMap<u64, f64> = Default::default();
-    let mut flops = 0u64;
-    for &(row, ctr, va) in bucket {
-        let Some(b_list) = b_by_ctr.get(&ctr) else {
-            continue;
-        };
-        flops += 2 * b_list.len() as u64;
-        let row_out = unfuse_to_out(row, row_axes);
-        for &(col_out, vb) in b_list {
-            let out_off = row_out + col_out;
-            if let Some(ms) = mask_sorted {
-                if ms.binary_search(&out_off).is_err() {
-                    continue;
-                }
-            }
-            *acc.entry(out_off).or_insert(0.0) += va * vb;
+    let (triples, flops) = merge_chunk(bucket_sorted, btab, r0 as u64, r1 as u64, n);
+    // triples arrive (row, col)-sorted: cache the row → output-offset
+    // resolution across the run of each row
+    let mut entries = Vec::with_capacity(triples.len());
+    let mut last_row = u64::MAX;
+    let mut last_row_out = 0u64;
+    for (row, col, v) in triples {
+        if row != last_row {
+            last_row = row;
+            last_row_out = unfuse_to_out(row, row_axes);
         }
+        let out_off = last_row_out + unfuse_to_out(col, col_axes);
+        if let Some(ms) = mask_sorted {
+            if ms.binary_search(&out_off).is_err() {
+                continue;
+            }
+        }
+        entries.push((out_off, v));
     }
     // charge the flop counter in the process that ran the chunk (the
     // transport propagates worker-side counts back to the driver)
     tt_tensor::counter::add_flops(flops);
-    (acc.into_iter().collect(), flops)
+    (entries, flops)
+}
+
+/// Stable sort of a chunk's coords by contracted key — the order
+/// [`ss_chunk`] requires. Split out so the driver can pre-sort buckets
+/// before uploading them as resident derived buffers (sorting then
+/// amortizes across Davidson iterations like the `B` table build).
+pub(crate) fn sort_bucket_by_key(bucket: &mut [Coord]) {
+    bucket.sort_by_key(|c| c.1);
 }
 
 /// Sparse × sparse contraction with an optional pre-computed output-
-/// sparsity mask, row-chunked with exact per-row work weights (each `A`
-/// entry is weighted by its matching `B` group size) and fully
-/// deterministic (ordered maps only — no hash-iteration order leaks into
-/// floating-point accumulation). Work below `min_par_flops` stays on one
-/// worker.
+/// sparsity mask: sorted-merge join + dense-panel accumulation per chunk,
+/// row-chunked with exact per-row work weights (each `A` entry is weighted
+/// by its matching `B` key-run length) and fully deterministic (per output
+/// element, products apply in ascending contracted-key order independent
+/// of chunking). Work below `min_par_flops` stays on one worker.
 pub(crate) fn ss_contract(
     plan: &ContractPlan,
     a: &SparseTensor<f64>,
@@ -527,38 +562,46 @@ pub(crate) fn ss_contract(
     let SsPrep {
         out_shape,
         m,
+        n,
         row_axes,
-        col_axes: _,
-        b_by_ctr,
+        col_axes,
+        btab,
         mask_sorted,
         coords,
     } = prep;
     let row_axes = Arc::new(row_axes);
-    let b_by_ctr = Arc::new(b_by_ctr);
+    let col_axes = Arc::new(col_axes);
+    let btab = Arc::new(btab);
     let mask_sorted = mask_sorted.map(Arc::new);
 
     let nthreads = pool.map(|p| p.threads()).unwrap_or(1);
     // exact work model: an A entry costs one multiply-add per entry of its
-    // matching B group (zero when no group matches)
-    let coord_work = |c: &Coord| b_by_ctr.get(&c.1).map_or(0, |l| l.len() as u64);
+    // matching B key run (zero when no run matches)
+    let coord_work = |c: &Coord| btab.run_len(c.1) as u64;
     let total_work: u64 = coords.iter().map(&coord_work).sum();
     let chunks = if 2 * total_work < min_par_flops {
         1
     } else {
         nthreads
     };
-    let (_ranges, buckets) = bucket_by_volume(coords, m, chunks, coord_work);
+    let (ranges, buckets) = bucket_by_volume(coords, m, chunks, coord_work);
 
     let mut jobs: Vec<SsJob> = Vec::new();
-    for bucket in buckets {
-        let b_by_ctr = Arc::clone(&b_by_ctr);
+    for ((r0, r1), mut bucket) in ranges.into_iter().zip(buckets) {
+        let btab = Arc::clone(&btab);
         let row_axes = Arc::clone(&row_axes);
+        let col_axes = Arc::clone(&col_axes);
         let mask_sorted = mask_sorted.clone();
+        sort_bucket_by_key(&mut bucket);
         jobs.push(Box::new(move || {
             ss_chunk(
                 &bucket,
-                &b_by_ctr,
+                &btab,
+                r0,
+                r1,
+                n,
                 &row_axes,
+                &col_axes,
                 mask_sorted.as_ref().map(|m| m.as_slice()),
             )
         }));
@@ -781,6 +824,57 @@ mod tests {
         let (masked, _) = ss_contract(&plan, &a, &b, Some(&mask), None, 0).unwrap();
         for (off, _) in masked.entries() {
             assert!(mask.contains(&off));
+        }
+    }
+
+    mod ss_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The merge-join ss kernel agrees with the dense einsum
+            /// reference on arbitrary odd shapes/densities, every chunk
+            /// count is bitwise identical to sequential, and a mask is
+            /// exactly an extraction-time filter of the unmasked result.
+            #[test]
+            fn ss_contract_matches_naive_any_chunking(
+                m in 1usize..10,
+                kk in 1usize..8,
+                n in 1usize..9,
+                da in 0.1f64..0.9,
+                db in 0.1f64..0.9,
+                seed in 0u64..10_000,
+            ) {
+                let a = random_sparse(&[m, kk], da, seed);
+                let b = random_sparse(&[kk, n], db, seed.wrapping_add(1));
+                let plan = ContractPlan::parse("ik,kj->ji").unwrap();
+                let (seq, _) = ss_contract(&plan, &a, &b, None, None, 0).unwrap();
+                let seq_dense = seq.to_dense();
+                for threads in [2usize, 5] {
+                    let pool = ThreadPool::new(threads);
+                    let (par, _) = ss_contract(&plan, &a, &b, None, Some(&pool), 0).unwrap();
+                    let par_dense = par.to_dense();
+                    prop_assert_eq!(seq_dense.data(), par_dense.data());
+                }
+                let reference =
+                    tt_tensor::einsum("ik,kj->ji", &a.to_dense(), &b.to_dense()).unwrap();
+                prop_assert!(seq.to_dense().allclose(&reference, 1e-12));
+
+                // masked run (threaded) == unmasked result filtered to the
+                // mask pattern, value for value
+                let mask: Vec<u64> = (0..(m * n) as u64).filter(|o| o % 3 != 0).collect();
+                let pool = ThreadPool::new(3);
+                let (masked, _) =
+                    ss_contract(&plan, &a, &b, Some(&mask), Some(&pool), 0).unwrap();
+                let expect: Vec<(u64, f64)> = seq
+                    .entries()
+                    .filter(|(off, _)| mask.binary_search(off).is_ok())
+                    .collect();
+                let got: Vec<(u64, f64)> = masked.entries().collect();
+                prop_assert_eq!(got, expect);
+            }
         }
     }
 

@@ -33,11 +33,12 @@
 use super::wire::{read_frame, write_frame, Dec, Enc};
 use crate::kernels;
 use crate::{Error, Result};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 use tt_linalg::TruncSpec;
 use tt_tensor::einsum::ContractPlan;
 use tt_tensor::gemm::GemmPath;
+use tt_tensor::ssmerge::SsBTable;
 use tt_tensor::{Complex64, DenseTensor};
 
 /// Environment variable carrying the hub socket path to spawned workers.
@@ -168,13 +169,20 @@ pub(crate) enum Request {
         a: OpCoords,
         b: OpF,
     },
-    /// One volume-balanced sparse-sparse bucket against the grouped `B`
-    /// operand.
+    /// One work-balanced sparse-sparse bucket (key-sorted `A` coords over
+    /// fused rows `[r0, r1)`) merged against the sorted-run `B` table.
+    /// `ax_*` map fused rows and `cx_*` map fused `B` free columns (width
+    /// `n`) to output offsets.
     SsChunk {
         a: OpCoords,
         b: OpSs,
+        r0: u64,
+        r1: u64,
+        n: u64,
         ax_dims: Vec<u64>,
         ax_strides: Vec<u64>,
+        cx_dims: Vec<u64>,
+        cx_strides: Vec<u64>,
         mask: Option<Vec<u64>>,
     },
     /// Thin QR of a `rows × cols` matrix.
@@ -507,15 +515,25 @@ impl Request {
             Request::SsChunk {
                 a,
                 b,
+                r0,
+                r1,
+                n,
                 ax_dims,
                 ax_strides,
+                cx_dims,
+                cx_strides,
                 mask,
             } => {
                 e.put_u8(9);
                 a.put(&mut e);
                 b.put(&mut e);
+                e.put_u64(*r0);
+                e.put_u64(*r1);
+                e.put_u64(*n);
                 e.put_u64s(ax_dims);
                 e.put_u64s(ax_strides);
+                e.put_u64s(cx_dims);
+                e.put_u64s(cx_strides);
                 e.put_bool(mask.is_some());
                 if let Some(m) = mask {
                     e.put_u64s(m);
@@ -734,8 +752,13 @@ impl Request {
             9 => Request::SsChunk {
                 a: OpCoords::get(&mut d)?,
                 b: OpSs::get(&mut d)?,
+                r0: d.u64()?,
+                r1: d.u64()?,
+                n: d.u64()?,
                 ax_dims: d.u64s()?,
                 ax_strides: d.u64s()?,
+                cx_dims: d.u64s()?,
+                cx_strides: d.u64s()?,
                 mask: if d.bool()? { Some(d.u64s()?) } else { None },
             },
             10 => Request::QrThin {
@@ -951,36 +974,34 @@ impl Reply {
     }
 }
 
-/// The grouped sparse-sparse `B` operand in its resident (decoded) form.
+/// The grouped sparse-sparse `B` operand in its resident (decoded) form:
+/// the flat sorted-run table the merge kernel consumes directly. The wire
+/// shape (`keys`/`lens`/`cols`/`vals`) is already the table's internal
+/// layout, so decoding is a validation pass plus a prefix-sum — no
+/// per-entry tree inserts.
 pub(crate) struct SsTable {
-    pub(crate) b_by_ctr: BTreeMap<u64, Vec<(u64, f64)>>,
-    /// Stored entry count (for byte accounting).
-    entries: usize,
+    pub(crate) table: SsBTable<f64>,
 }
 
 impl SsTable {
-    fn build(keys: &[u64], lens: &[u64], cols: &[u64], vals: &[f64]) -> Result<Self> {
+    /// Validating constructor for wire data ([`SsBTable::from_runs`] only
+    /// `debug_assert`s its invariants; a malformed or malicious frame must
+    /// surface as a transport error, not UB-adjacent nonsense).
+    fn build(keys: Vec<u64>, lens: &[u64], cols: Vec<u64>, vals: Vec<f64>) -> Result<Self> {
         if cols.len() != vals.len() || keys.len() != lens.len() {
             return Err(Error::Transport("ss group table mismatch".into()));
         }
-        let mut b_by_ctr: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
-        let mut off = 0usize;
-        for (key, len) in keys.iter().zip(lens) {
-            let len = *len as usize;
-            if off + len > cols.len() {
-                return Err(Error::Transport("ss group table mismatch".into()));
-            }
-            let group = cols[off..off + len]
-                .iter()
-                .copied()
-                .zip(vals[off..off + len].iter().copied())
-                .collect();
-            b_by_ctr.insert(*key, group);
-            off += len;
+        let total: u64 = lens.iter().sum();
+        if total != cols.len() as u64 {
+            return Err(Error::Transport("ss group table mismatch".into()));
+        }
+        if !keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err(Error::Transport(
+                "ss group table keys not strictly ascending".into(),
+            ));
         }
         Ok(Self {
-            b_by_ctr,
-            entries: cols.len(),
+            table: SsBTable::from_runs(keys, lens, cols, vals),
         })
     }
 }
@@ -1000,7 +1021,7 @@ impl Cached {
             Cached::F64(v) => 8 * v.len() as u64,
             Cached::C64(v) => 16 * v.len() as u64,
             Cached::Coords(v) => 24 * v.len() as u64,
-            Cached::Ss(t) => 16 * t.entries as u64 + 24 * t.b_by_ctr.len() as u64,
+            Cached::Ss(t) => 16 * (t.table.n_entries() + t.table.n_keys()) as u64,
         }
     }
 }
@@ -1189,7 +1210,7 @@ impl WorkerState {
                 lens,
                 cols,
                 vals,
-            } => Ok(Arc::new(SsTable::build(&keys, &lens, &cols, &vals)?)),
+            } => Ok(Arc::new(SsTable::build(keys, &lens, cols, vals)?)),
             OpSs::Key(k) => self.get_ss(k),
         }
     }
@@ -1305,7 +1326,7 @@ impl WorkerState {
                 cols,
                 vals,
             } => {
-                let table = SsTable::build(&keys, &lens, &cols, &vals)?;
+                let table = SsTable::build(keys, &lens, cols, vals)?;
                 self.insert(key, Cached::Ss(Arc::new(table)), true);
                 Ok(Reply::Unit)
             }
@@ -1381,15 +1402,29 @@ impl WorkerState {
             Request::SsChunk {
                 a,
                 b,
+                r0,
+                r1,
+                n,
                 ax_dims,
                 ax_strides,
+                cx_dims,
+                cx_strides,
                 mask,
             } => {
                 let bucket = self.opcoords(a)?;
                 let table = self.opss(b)?;
                 let row_axes: Vec<(u64, u64)> = ax_dims.into_iter().zip(ax_strides).collect();
-                let (entries, flops) =
-                    kernels::ss_chunk(&bucket, &table.b_by_ctr, &row_axes, mask.as_deref());
+                let col_axes: Vec<(u64, u64)> = cx_dims.into_iter().zip(cx_strides).collect();
+                let (entries, flops) = kernels::ss_chunk(
+                    &bucket,
+                    &table.table,
+                    r0 as usize,
+                    r1 as usize,
+                    n,
+                    &row_axes,
+                    &col_axes,
+                    mask.as_deref(),
+                );
                 let (offs, vals) = entries.into_iter().unzip();
                 Ok(Reply::Entries { offs, vals, flops })
             }
@@ -1714,8 +1749,13 @@ mod tests {
                     cols: vec![4],
                     vals: vec![5.0],
                 },
+                r0: 0,
+                r1: 7,
+                n: 5,
                 ax_dims: vec![7],
-                ax_strides: vec![1],
+                ax_strides: vec![5],
+                cx_dims: vec![5],
+                cx_strides: vec![1],
                 mask: Some(vec![4]),
             },
             Request::QrThin {
@@ -1895,8 +1935,13 @@ mod tests {
                 Request::SsChunk {
                     a: OpCoords::Key(key),
                     b: OpSs::Key(key),
+                    r0: 0,
+                    r1: key,
+                    n: key,
                     ax_dims: rows.clone(),
                     ax_strides: rows.clone(),
+                    cx_dims: rows.clone(),
+                    cx_strides: rows.clone(),
                     mask: if inline { Some(rows.clone()) } else { None },
                 },
             ];

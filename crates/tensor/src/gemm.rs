@@ -5,9 +5,16 @@
 //! decomposition: `B` is packed once into `KC`-deep panels of `NR`-wide
 //! column strips, `A` is packed per `MC × KC` block into `MR`-tall
 //! micro-panels, and an unrolled `MR × NR` register-tiled microkernel does
-//! all the flops. The microkernel is generic over [`Scalar`] — for `f64`
-//! LLVM lowers the fixed-size accumulator to SIMD registers; `Complex64`
-//! runs the same code as the scalar fallback path.
+//! all the flops.
+//!
+//! The packed path stores operands as *planes* of `f64`: a real plane
+//! always, plus an imaginary plane when the element type is complex. The
+//! microkernel itself is `f64`-only and compiled in several
+//! `#[target_feature]` variants selected at runtime
+//! ([`crate::simd::simd_level`]); `Complex64` multiplies run as four plane
+//! passes over the same microkernel (`re += ar·br`, `re -= ai·bi`,
+//! `im += ar·bi`, `im += ai·br`) instead of falling back to scalar complex
+//! arithmetic.
 //!
 //! Three execution paths exist, chosen by [`gemm_path`] from `(k, n)`
 //! **only** — never from `m`. Row-disjoint chunks of the same multiply must
@@ -26,7 +33,9 @@
 
 use crate::dense::DenseTensor;
 use crate::scalar::Scalar;
+use crate::simd::{simd_level, SimdLevel};
 use crate::{Error, Result};
+use std::marker::PhantomData;
 
 /// Operand layout marker (row-major is native; `Transposed` reads the
 /// operand through swapped strides — no copy is made).
@@ -86,13 +95,28 @@ pub fn gemm_path(k: usize, n: usize) -> GemmPath {
 // packing
 // ---------------------------------------------------------------------------
 
+/// One `KC`-deep block of a packed `B`, produced by [`PackedB::pack_block`]
+/// so callers with a thread pool can pack blocks concurrently and assemble
+/// them with [`PackedB::from_blocks`]. Plane layout matches [`PackedB`].
+pub struct PackedBlock {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
 /// `B` packed for the microkernel: for each `KC`-deep row block (in
 /// ascending `k` order), `NR`-wide column strips stored contiguously, each
 /// strip row-major `kc × NR` with zero-padding in the last partial strip.
+///
+/// Storage is plane-split `f64`: the real parts of every element in packing
+/// order, plus (for complex `T` only) the imaginary parts in the same
+/// order. The split is what lets the `f64` SIMD microkernel run complex
+/// multiplies as four real plane passes.
 pub struct PackedB<T: Scalar> {
-    data: Vec<T>,
+    re: Vec<f64>,
+    im: Vec<f64>,
     k: usize,
     n: usize,
+    _elem: PhantomData<T>,
 }
 
 impl<T: Scalar> PackedB<T> {
@@ -100,22 +124,71 @@ impl<T: Scalar> PackedB<T> {
     /// `b[l*rs + j*cs]` (so `rs = n, cs = 1` for a row-major `B` and
     /// `rs = 1, cs = k_storage` reads a stored matrix transposed).
     pub fn pack(k: usize, n: usize, b: &[T], rs: usize, cs: usize) -> Self {
+        let blocks = (0..Self::block_count(k))
+            .map(|blk| Self::pack_block(k, n, b, rs, cs, blk))
+            .collect();
+        Self::from_blocks(k, n, blocks)
+    }
+
+    /// Number of `KC`-deep blocks a depth-`k` packing consists of — the
+    /// unit of work for parallel packing.
+    pub fn block_count(k: usize) -> usize {
+        k.div_ceil(KC).max(1)
+    }
+
+    /// Pack the single `KC`-deep block `blk` (covering packed rows
+    /// `[blk·KC, min((blk+1)·KC, k))`). Blocks are independent; packing
+    /// them on separate threads and assembling with [`Self::from_blocks`]
+    /// yields the same bytes as [`Self::pack`].
+    pub fn pack_block(
+        k: usize,
+        n: usize,
+        b: &[T],
+        rs: usize,
+        cs: usize,
+        blk: usize,
+    ) -> PackedBlock {
         let strips = n.div_ceil(NR);
-        let mut data = Vec::with_capacity(k * strips * NR);
-        for pc in (0..k).step_by(KC) {
-            let kc = (pc + KC).min(k) - pc;
-            for strip in 0..strips {
-                let j0 = strip * NR;
-                for l in 0..kc {
-                    let row = (pc + l) * rs;
-                    for c in 0..NR {
-                        let j = j0 + c;
-                        data.push(if j < n { b[row + j * cs] } else { T::zero() });
+        let pc = blk * KC;
+        let kc = (pc + KC).min(k).saturating_sub(pc);
+        let complex = T::is_complex();
+        let mut re = Vec::with_capacity(kc * strips * NR);
+        let mut im = Vec::with_capacity(if complex { kc * strips * NR } else { 0 });
+        for strip in 0..strips {
+            let j0 = strip * NR;
+            for l in 0..kc {
+                let row = (pc + l) * rs;
+                for c in 0..NR {
+                    let j = j0 + c;
+                    let v = if j < n { b[row + j * cs] } else { T::zero() };
+                    re.push(v.real());
+                    if complex {
+                        im.push(v.imag());
                     }
                 }
             }
         }
-        Self { data, k, n }
+        PackedBlock { re, im }
+    }
+
+    /// Assemble a packing from per-block pieces (must be every block of
+    /// `Self::block_count(k)`, in ascending block order).
+    pub fn from_blocks(k: usize, n: usize, blocks: Vec<PackedBlock>) -> Self {
+        debug_assert_eq!(blocks.len(), Self::block_count(k));
+        let strips = n.div_ceil(NR);
+        let mut re = Vec::with_capacity(k * strips * NR);
+        let mut im = Vec::new();
+        for blk in blocks {
+            re.extend_from_slice(&blk.re);
+            im.extend_from_slice(&blk.im);
+        }
+        Self {
+            re,
+            im,
+            k,
+            n,
+            _elem: PhantomData,
+        }
     }
 
     /// Contracted dimension.
@@ -128,22 +201,32 @@ impl<T: Scalar> PackedB<T> {
         self.n
     }
 
-    /// The `kc × NR` strip for k-block starting at `pc` and column strip
-    /// `strip`.
+    /// Real plane of the `kc × NR` strip for k-block starting at `pc` and
+    /// column strip `strip`.
     #[inline]
-    fn strip(&self, pc: usize, kc: usize, strip: usize) -> &[T] {
+    fn strip_re(&self, pc: usize, kc: usize, strip: usize) -> &[f64] {
         let strips = self.n.div_ceil(NR);
         let off = pc * strips * NR + strip * kc * NR;
-        &self.data[off..off + kc * NR]
+        &self.re[off..off + kc * NR]
+    }
+
+    /// Imaginary plane of the same strip (complex packings only).
+    #[inline]
+    fn strip_im(&self, pc: usize, kc: usize, strip: usize) -> &[f64] {
+        let strips = self.n.div_ceil(NR);
+        let off = pc * strips * NR + strip * kc * NR;
+        &self.im[off..off + kc * NR]
     }
 }
 
 /// Pack rows `[i0, i0+rows)` × cols `[p0, p0+kc)` of an effective matrix
 /// (element `(i, l)` at `a[i*rs + l*cs]`) into `MR`-tall micro-panels:
-/// panel-major, then `l`-major, then the `MR` rows (zero-padded).
+/// panel-major, then `l`-major, then the `MR` rows (zero-padded) — split
+/// into `f64` planes (`im` is filled only for complex `T`).
 #[allow(clippy::too_many_arguments)]
 fn pack_a_block<T: Scalar>(
-    buf: &mut Vec<T>,
+    re: &mut Vec<f64>,
+    im: &mut Vec<f64>,
     a: &[T],
     rs: usize,
     cs: usize,
@@ -152,28 +235,35 @@ fn pack_a_block<T: Scalar>(
     p0: usize,
     kc: usize,
 ) {
-    buf.clear();
+    re.clear();
+    im.clear();
+    let complex = T::is_complex();
     for ip in 0..rows.div_ceil(MR) {
         for l in 0..kc {
             let col = (p0 + l) * cs;
             for r in 0..MR {
                 let row = ip * MR + r;
-                buf.push(if row < rows {
+                let v = if row < rows {
                     a[(i0 + row) * rs + col]
                 } else {
                     T::zero()
-                });
+                };
+                re.push(v.real());
+                if complex {
+                    im.push(v.imag());
+                }
             }
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// kernels
+// microkernel variants + dispatch
 // ---------------------------------------------------------------------------
 
-/// The register-tiled `MR × NR` microkernel: `acc += Ap · Bp` over a
-/// `kc`-deep packed micro-panel pair.
+/// The register-tiled `MR × NR` microkernel body: `acc ±= Ap · Bp` over a
+/// `kc`-deep packed micro-panel pair (`SUB` selects the subtracting form,
+/// used for the `re -= ai·bi` pass of complex multiplies).
 ///
 /// The accumulator tile is copied into a local `regs` array for the loop
 /// and written back once at the end. The copy is load-bearing: operating
@@ -181,19 +271,102 @@ fn pack_a_block<T: Scalar>(
 /// pass in some inlining contexts and the whole tile silently scalarizes
 /// (measured 5× slower); the local array is reliably promoted to vector
 /// registers.
+///
+/// `f64`-only by design: complex data reaches this kernel as split
+/// real/imaginary planes. There is no FMA contraction (rustc never fuses
+/// `mul`+`add` without explicit intrinsics), so every `#[target_feature]`
+/// wrapper below computes bitwise-identical values — the feature gates
+/// change only how wide the independent accumulator lanes are vectorized.
 #[inline(always)]
-fn microkernel<T: Scalar>(kc: usize, ap: &[T], bp: &[T], acc: &mut [[T; NR]; MR]) {
+fn microkernel_body<const SUB: bool>(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
     let mut regs = *acc;
     for l in 0..kc {
-        let av: &[T; MR] = ap[l * MR..l * MR + MR].try_into().expect("MR panel");
-        let bv: &[T; NR] = bp[l * NR..l * NR + NR].try_into().expect("NR strip");
+        let av: &[f64; MR] = ap[l * MR..l * MR + MR].try_into().expect("MR panel");
+        let bv: &[f64; NR] = bp[l * NR..l * NR + NR].try_into().expect("NR strip");
         for (regr, &ar) in regs.iter_mut().zip(av.iter()) {
             for (regv, &bc) in regr.iter_mut().zip(bv.iter()) {
-                *regv += ar * bc;
+                if SUB {
+                    *regv -= ar * bc;
+                } else {
+                    *regv += ar * bc;
+                }
             }
         }
     }
     *acc = regs;
+}
+
+/// Baseline variant: ambient codegen flags only. `unsafe fn` purely for
+/// signature uniformity with the feature-gated variants (callable safely
+/// on any CPU).
+unsafe fn microkernel_baseline<const SUB: bool>(
+    kc: usize,
+    ap: &[f64],
+    bp: &[f64],
+    acc: &mut [[f64; NR]; MR],
+) {
+    microkernel_body::<SUB>(kc, ap, bp, acc);
+}
+
+/// AVX2+FMA variant. Safety: caller must have verified `avx2` and `fma`
+/// via feature detection (see [`crate::simd`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_avx2<const SUB: bool>(
+    kc: usize,
+    ap: &[f64],
+    bp: &[f64],
+    acc: &mut [[f64; NR]; MR],
+) {
+    microkernel_body::<SUB>(kc, ap, bp, acc);
+}
+
+/// AVX-512 variant (opt-in via `TT_SIMD=avx512`). Safety: caller must have
+/// verified `avx512f`/`avx512vl`/`avx512dq` via feature detection.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx512dq")]
+unsafe fn microkernel_avx512<const SUB: bool>(
+    kc: usize,
+    ap: &[f64],
+    bp: &[f64],
+    acc: &mut [[f64; NR]; MR],
+) {
+    microkernel_body::<SUB>(kc, ap, bp, acc);
+}
+
+type MicroFn = unsafe fn(usize, &[f64], &[f64], &mut [[f64; NR]; MR]);
+
+/// The adding and subtracting microkernel entry points for one SIMD level.
+#[derive(Copy, Clone)]
+struct MicroKernel {
+    add: MicroFn,
+    sub: MicroFn,
+}
+
+fn micro_kernel_for(level: SimdLevel) -> MicroKernel {
+    match level {
+        SimdLevel::Baseline => MicroKernel {
+            add: microkernel_baseline::<false>,
+            sub: microkernel_baseline::<true>,
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => MicroKernel {
+            add: microkernel_avx2::<false>,
+            sub: microkernel_avx2::<true>,
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => MicroKernel {
+            add: microkernel_avx512::<false>,
+            sub: microkernel_avx512::<true>,
+        },
+        // simd_level() never reports AVX levels off x86_64, but keep the
+        // match total for any direct caller
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => MicroKernel {
+            add: microkernel_baseline::<false>,
+            sub: microkernel_baseline::<true>,
+        },
+    }
 }
 
 /// Packed-path macro kernel for output rows `[i0, i1)`: packs `A` blocks on
@@ -203,7 +376,9 @@ fn microkernel<T: Scalar>(kc: usize, ap: &[T], bp: &[T], acc: &mut [[T; NR]; MR]
 /// Per output element the accumulation order is: ascending `KC`-block, one
 /// register-summed partial per block — independent of how rows were split
 /// across calls, which is what keeps threaded execution bitwise equal to
-/// sequential.
+/// sequential. Complex elements take four plane passes per tile
+/// (`re += ar·br`, `re -= ai·bi`, `im += ar·bi`, `im += ai·br`) and write
+/// back one complex partial per `KC` block.
 fn packed_rows<T: Scalar>(
     i0: usize,
     i1: usize,
@@ -213,27 +388,53 @@ fn packed_rows<T: Scalar>(
     pb: &PackedB<T>,
     c: &mut [T],
 ) {
+    let mk = micro_kernel_for(simd_level());
     let (k, n) = (pb.k, pb.n);
     let strips = n.div_ceil(NR);
-    let mut apack: Vec<T> = Vec::with_capacity(MC * KC);
+    let complex = T::is_complex();
+    let mut apack_re: Vec<f64> = Vec::with_capacity(MC * KC);
+    let mut apack_im: Vec<f64> = Vec::with_capacity(if complex { MC * KC } else { 0 });
     for ic in (i0..i1).step_by(MC) {
         let rows = (ic + MC).min(i1) - ic;
         for pc in (0..k).step_by(KC) {
             let kc = (pc + KC).min(k) - pc;
-            pack_a_block(&mut apack, a, a_rs, a_cs, ic, rows, pc, kc);
+            pack_a_block(
+                &mut apack_re,
+                &mut apack_im,
+                a,
+                a_rs,
+                a_cs,
+                ic,
+                rows,
+                pc,
+                kc,
+            );
             for s in 0..strips {
                 let j0 = s * NR;
                 let ncols = NR.min(n - j0);
-                let bp = pb.strip(pc, kc, s);
+                let bp_re = pb.strip_re(pc, kc, s);
                 for ip in 0..rows.div_ceil(MR) {
-                    let ap = &apack[ip * MR * kc..(ip + 1) * MR * kc];
-                    let mut acc = [[T::zero(); NR]; MR];
-                    microkernel(kc, ap, bp, &mut acc);
+                    let panel = ip * MR * kc..(ip + 1) * MR * kc;
+                    let ap_re = &apack_re[panel.clone()];
+                    let mut acc_re = [[0.0f64; NR]; MR];
+                    let mut acc_im = [[0.0f64; NR]; MR];
+                    // SAFETY: `mk` was selected by `simd_level()`, which
+                    // only reports levels whose features were detected.
+                    unsafe {
+                        (mk.add)(kc, ap_re, bp_re, &mut acc_re);
+                        if complex {
+                            let bp_im = pb.strip_im(pc, kc, s);
+                            let ap_im = &apack_im[panel];
+                            (mk.sub)(kc, ap_im, bp_im, &mut acc_re);
+                            (mk.add)(kc, ap_re, bp_im, &mut acc_im);
+                            (mk.add)(kc, ap_im, bp_re, &mut acc_im);
+                        }
+                    }
                     let rmax = MR.min(rows - ip * MR);
-                    for (r, accr) in acc.iter().enumerate().take(rmax) {
+                    for r in 0..rmax {
                         let crow0 = (ic - i0 + ip * MR + r) * n + j0;
-                        for (cj, &v) in c[crow0..crow0 + ncols].iter_mut().zip(accr.iter()) {
-                            *cj += v;
+                        for (j, cj) in c[crow0..crow0 + ncols].iter_mut().enumerate() {
+                            *cj += T::from_re_im(acc_re[r][j], acc_im[r][j]);
                         }
                     }
                 }
@@ -571,6 +772,78 @@ mod tests {
     }
 
     #[test]
+    fn complex_packed_rows_chunking_is_bitwise_invariant() {
+        // same contract for the four-pass complex plane path
+        use crate::Complex64 as C;
+        let mut rng = StdRng::seed_from_u64(57);
+        let (m, k, n) = (2 * MC + 5, 280, 40);
+        let a = DenseTensor::<C>::random([m, k], &mut rng);
+        let b = DenseTensor::<C>::random([k, n], &mut rng);
+        let mut whole = vec![C::zero(); m * n];
+        gemm_acc_slices(m, k, n, a.data(), b.data(), &mut whole);
+        let pb = PackedB::pack(k, n, b.data(), n, 1);
+        let mut chunked = Vec::with_capacity(m * n);
+        for r0 in (0..m).step_by(MC) {
+            let r1 = (r0 + MC).min(m);
+            let mut part = vec![C::zero(); (r1 - r0) * n];
+            gemm_acc_packed_rows(r0, r1, a.data(), k, 1, &pb, &mut part);
+            chunked.extend_from_slice(&part);
+        }
+        assert_eq!(whole, chunked, "complex row chunking changed bits");
+    }
+
+    #[test]
+    fn block_packing_matches_monolithic() {
+        // parallel per-block packing must assemble to the same planes
+        use crate::Complex64 as C;
+        let mut rng = StdRng::seed_from_u64(58);
+        let (k, n) = (3 * KC + 31, 45);
+        let b = DenseTensor::<f64>::random([k, n], &mut rng);
+        let whole = PackedB::pack(k, n, b.data(), n, 1);
+        let blocks = (0..PackedB::<f64>::block_count(k))
+            .map(|blk| PackedB::<f64>::pack_block(k, n, b.data(), n, 1, blk))
+            .collect();
+        let assembled = PackedB::<f64>::from_blocks(k, n, blocks);
+        assert_eq!(whole.re, assembled.re);
+        let bc = DenseTensor::<C>::random([k, n], &mut rng);
+        let wc = PackedB::pack(k, n, bc.data(), n, 1);
+        let blocks = (0..PackedB::<C>::block_count(k))
+            .map(|blk| PackedB::<C>::pack_block(k, n, bc.data(), n, 1, blk))
+            .collect();
+        let ac = PackedB::<C>::from_blocks(k, n, blocks);
+        assert_eq!(wc.re, ac.re);
+        assert_eq!(wc.im, ac.im);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn microkernel_variants_agree_bitwise() {
+        // the determinism contract is per-variant, but the variants are in
+        // fact bitwise identical (no FMA contraction, fixed order) — lock
+        // that in so a silent codegen change is caught
+        let mut rng = StdRng::seed_from_u64(59);
+        let kc = 173;
+        let ap = DenseTensor::<f64>::random([kc * MR, 1], &mut rng);
+        let bp = DenseTensor::<f64>::random([kc * NR, 1], &mut rng);
+        let mut base = [[0.25f64; NR]; MR];
+        unsafe { microkernel_baseline::<false>(kc, ap.data(), bp.data(), &mut base) };
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            let mut v2 = [[0.25f64; NR]; MR];
+            unsafe { microkernel_avx2::<false>(kc, ap.data(), bp.data(), &mut v2) };
+            assert_eq!(base, v2, "avx2 variant diverged from baseline");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+        {
+            let mut v5 = [[0.25f64; NR]; MR];
+            unsafe { microkernel_avx512::<false>(kc, ap.data(), bp.data(), &mut v5) };
+            assert_eq!(base, v5, "avx512 variant diverged from baseline");
+        }
+    }
+
+    #[test]
     fn dimension_mismatch_rejected() {
         let a = DenseTensor::<f64>::zeros([2, 3]);
         let b = DenseTensor::<f64>::zeros([4, 2]);
@@ -618,6 +891,29 @@ mod tests {
             }
         }
         assert!(max < 1e-11, "max dev {max}");
+    }
+
+    #[test]
+    fn complex_packed_matches_naive_odd_sizes() {
+        // plane-split complex kernel across tile edges, k > KC, padding
+        use crate::Complex64 as C;
+        let mut rng = StdRng::seed_from_u64(54);
+        for (m, k, n) in [(3, 130, 17), (65, 300, 33), (130, 2 * KC + 9, 18)] {
+            let a = DenseTensor::<C>::random([m, k], &mut rng);
+            let b = DenseTensor::<C>::random([k, n], &mut rng);
+            let c = gemm(&a, Layout::Normal, &b, Layout::Normal).unwrap();
+            let mut max = 0.0f64;
+            for i in 0..m {
+                for j in 0..n {
+                    let mut s = C::new(0.0, 0.0);
+                    for l in 0..k {
+                        s += a.at(&[i, l]) * b.at(&[l, j]);
+                    }
+                    max = max.max((c.at(&[i, j]) - s).abs());
+                }
+            }
+            assert!(max < 1e-10, "{m}x{k}x{n} max dev {max}");
+        }
     }
 
     #[test]

@@ -25,16 +25,20 @@ pub mod einsum;
 pub mod gemm;
 pub mod scalar;
 pub mod shape;
+pub mod simd;
 pub mod sparse;
+pub mod ssmerge;
 pub mod transpose;
 
 pub use counter::{flops, reset_flops, FlopGuard};
 pub use dense::DenseTensor;
 pub use einsum::{einsum, einsum_into, ContractPlan};
-pub use gemm::{gemm, gemm_f64, gemm_path, GemmPath, Layout, PackedB};
+pub use gemm::{gemm, gemm_f64, gemm_path, GemmPath, Layout, PackedB, PackedBlock};
 pub use scalar::{Complex64, Scalar};
 pub use shape::Shape;
+pub use simd::{simd_level, SimdLevel};
 pub use sparse::SparseTensor;
+pub use ssmerge::SsBTable;
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -51,6 +51,12 @@ pub trait Scalar:
     fn from_f64(x: f64) -> Self;
     /// Real part.
     fn real(self) -> f64;
+    /// Imaginary part (zero for reals).
+    fn imag(self) -> f64;
+    /// Reassemble from real and imaginary parts (imaginary part is
+    /// discarded for real types; kernels that split complex arithmetic
+    /// into per-plane passes use this for the writeback).
+    fn from_re_im(re: f64, im: f64) -> Self;
     /// Multiply by a real scalar.
     fn scale(self, x: f64) -> Self;
     /// Uniform sample in `[-1, 1]` (each component for complex).
@@ -83,6 +89,14 @@ impl Scalar for f64 {
     #[inline(always)]
     fn real(self) -> f64 {
         self
+    }
+    #[inline(always)]
+    fn imag(self) -> f64 {
+        0.0
+    }
+    #[inline(always)]
+    fn from_re_im(re: f64, _im: f64) -> Self {
+        re
     }
     #[inline(always)]
     fn scale(self, x: f64) -> Self {
@@ -227,6 +241,14 @@ impl Scalar for Complex64 {
     #[inline(always)]
     fn real(self) -> f64 {
         self.re
+    }
+    #[inline(always)]
+    fn imag(self) -> f64 {
+        self.im
+    }
+    #[inline(always)]
+    fn from_re_im(re: f64, im: f64) -> Self {
+        Self::new(re, im)
     }
     #[inline(always)]
     fn scale(self, x: f64) -> Self {

@@ -14,7 +14,7 @@ use crate::einsum::ContractPlan;
 use crate::scalar::Scalar;
 use crate::shape::Shape;
 use crate::{Error, Result};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// A sparse tensor storing `(linear offset, value)` pairs sorted by offset.
 ///
@@ -264,8 +264,9 @@ impl<T: Scalar> SparseTensor<T> {
     /// Sparse × sparse contraction producing a sparse tensor.
     ///
     /// The kernel under the *sparse-sparse* algorithm: both operands are
-    /// fused to sparse matrices, matched on the contracted key, and the
-    /// output is accumulated in a hash map.
+    /// fused to sparse matrices, key-sorted once, joined by a two-pointer
+    /// merge over contracted-key runs, and accumulated in a dense panel
+    /// ([`crate::ssmerge`]).
     pub fn contract_sparse(&self, spec: &str, b: &Self) -> Result<Self> {
         self.contract_sparse_impl(spec, b, None)
     }
@@ -282,23 +283,26 @@ impl<T: Scalar> SparseTensor<T> {
         let out_dims = plan.output_dims(self.dims(), b.dims())?;
         let out_shape = Shape::from(out_dims.clone());
 
+        let m: u64 = plan
+            .free_a_positions()
+            .iter()
+            .map(|&m| self.dims()[m] as u64)
+            .product();
         let n: u64 = plan
             .free_b_positions()
             .iter()
             .map(|&m| b.dims()[m] as u64)
             .product();
 
-        // group A by contracted key
-        let mut a_by_ctr: HashMap<u64, Vec<(u64, T)>> = HashMap::new();
-        for (row, col, v) in self.to_matrix_coords(plan.free_a_positions(), plan.ctr_a_positions())
-        {
-            a_by_ctr.entry(col).or_default().push((row, v));
-        }
-        // group B by contracted key (note: B fused as (ctr=row, free=col))
-        let mut b_by_ctr: HashMap<u64, Vec<(u64, T)>> = HashMap::new();
-        for (ctr, free, v) in b.to_matrix_coords(plan.ctr_b_positions(), plan.free_b_positions()) {
-            b_by_ctr.entry(ctr).or_default().push((free, v));
-        }
+        // A as (row, ctr) triples, stably key-sorted; B grouped by key
+        let mut a_coords = self.to_matrix_coords(plan.free_a_positions(), plan.ctr_a_positions());
+        a_coords.sort_by_key(|e| e.1);
+        let btab = crate::ssmerge::SsBTable::build(
+            b.to_matrix_coords(plan.ctr_b_positions(), plan.free_b_positions()),
+        );
+
+        let (triples, flops) = crate::ssmerge::merge_chunk(&a_coords, &btab, 0, m.max(1), n);
+        crate::counter::add_flops(flops);
 
         // natural-order output strides: (free_a fused) * n + (free_b fused)
         // then convert to requested output order via permutation of indices.
@@ -317,30 +321,21 @@ impl<T: Scalar> SparseTensor<T> {
             out_shape.offset(&out_idx).expect("in bounds") as u64
         };
 
+        // masking filters at extraction: each output element accumulates
+        // independently, so this is value-identical to per-product masking
         let mask_set: Option<HashSet<u64>> = mask.map(|m| m.iter().copied().collect());
-
-        let mut acc: HashMap<u64, T> = HashMap::new();
-        let mut flops = 0u64;
-        for (ctr, a_list) in &a_by_ctr {
-            if let Some(b_list) = b_by_ctr.get(ctr) {
-                flops += 2 * a_list.len() as u64 * b_list.len() as u64;
-                for &(ra, va) in a_list {
-                    let base = ra * n;
-                    for &(cb, vb) in b_list {
-                        let out_off = natural_to_out(base + cb);
-                        if let Some(ref ms) = mask_set {
-                            if !ms.contains(&out_off) {
-                                continue;
-                            }
-                        }
-                        *acc.entry(out_off).or_insert_with(T::zero) += va * vb;
-                    }
+        let mut entries = Vec::with_capacity(triples.len());
+        for (row, col, v) in triples {
+            let out_off = natural_to_out(row * n + col);
+            if let Some(ref ms) = mask_set {
+                if !ms.contains(&out_off) {
+                    continue;
                 }
             }
+            entries.push((out_off, v));
         }
-        crate::counter::add_flops(flops);
 
-        Self::from_entries(out_shape, acc.into_iter().collect())
+        Self::from_entries(out_shape, entries)
     }
 }
 

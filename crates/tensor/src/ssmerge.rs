@@ -1,0 +1,471 @@
+//! Sorted-merge sparse×sparse contraction kernel.
+//!
+//! The paper's *sparse-sparse* algorithm multiplies two sparse operands
+//! fused to matrices: `A` as `(row, ctr)` and `B` as `(ctr, col)`. The
+//! first-generation kernel in this repo joined them through a per-entry
+//! `BTreeMap` lookup and accumulated every product into another map —
+//! ~0.04 GFlop/s, a ~600× cliff below the packed dense GEMM. This module
+//! is the replacement:
+//!
+//! 1. **Sort once, merge many.** `B` is grouped into a [`SsBTable`]: runs
+//!    of entries sharing a contracted key, flat arrays, ascending key
+//!    order. `A` entries are stably sorted by contracted key. Both sorts
+//!    happen once per operand (the distributed executor caches the sorted
+//!    forms in its resident-operand store, amortizing them across the many
+//!    contractions of a Davidson solve).
+//! 2. **Two-pointer merge.** Matching key runs are found by a linear merge
+//!    over the two sorted key sequences — no per-entry map lookups.
+//! 3. **Dense micro-accumulator.** Each matching `A`-run × `B`-run pair is
+//!    an outer product scattered into a dense `rows × n` panel (flat adds
+//!    at computed offsets), with a hash-map fallback when the panel would
+//!    be unreasonably large. Both accumulators apply the *same products in
+//!    the same order* per output element, so which one runs never changes
+//!    a bit of the result.
+//!
+//! ## Determinism
+//!
+//! For each output element `(row, col)` the products are applied in
+//! ascending contracted-key order, with ties (duplicate `(row, key)`
+//! entries) in input order. That order depends only on the *content* of
+//! the row's entries — not on how rows were split across chunks — which is
+//! what keeps row-chunked threaded/multi-process execution bitwise equal
+//! to sequential execution. Returned triples are sorted by `(row, col)`.
+//!
+//! The kernel is generic over [`Scalar`], so the same code serves `f64`
+//! DMRG and `Complex64` (TDVP-style) workloads.
+
+use crate::scalar::Scalar;
+use std::collections::HashMap;
+
+/// Above this many panel elements (`rows × n`), [`merge_chunk`] switches
+/// from the dense panel accumulator to a hash map. 2²² f64 elements is a
+/// 32 MiB panel — comfortably larger than every benched DMRG block, so the
+/// fallback only triggers for pathologically wide outputs.
+const PANEL_MAX_ELEMS: u64 = 1 << 22;
+
+/// `B` side of a sparse×sparse contraction, grouped by contracted key:
+/// ascending distinct keys, and for each key a run of `(col, val)` entries
+/// in flat arrays. `col` is the *fused free index* (`0..n`) — deliberately
+/// independent of the other operand's dims and of the output permutation,
+/// so a cached table is reusable across contractions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsBTable<T> {
+    keys: Vec<u64>,
+    starts: Vec<usize>,
+    cols: Vec<u64>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> SsBTable<T> {
+    /// Group `(ctr, col, val)` entries. Entries are stably sorted by
+    /// `ctr`, so within a run the input order is preserved.
+    pub fn build(mut entries: Vec<(u64, u64, T)>) -> Self {
+        entries.sort_by_key(|e| e.0);
+        let mut keys = Vec::new();
+        let mut starts = Vec::new();
+        let mut cols = Vec::with_capacity(entries.len());
+        let mut vals = Vec::with_capacity(entries.len());
+        for (ctr, col, v) in entries {
+            if keys.last() != Some(&ctr) {
+                keys.push(ctr);
+                starts.push(cols.len());
+            }
+            cols.push(col);
+            vals.push(v);
+        }
+        starts.push(cols.len());
+        Self {
+            keys,
+            starts,
+            cols,
+            vals,
+        }
+    }
+
+    /// Reassemble from the flat wire form: `keys[i]` has `lens[i]`
+    /// entries, laid out consecutively in `cols`/`vals`. Keys must be
+    /// strictly ascending (as produced by [`Self::run_lens`] round trips).
+    pub fn from_runs(keys: Vec<u64>, lens: &[u64], cols: Vec<u64>, vals: Vec<T>) -> Self {
+        debug_assert_eq!(keys.len(), lens.len());
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let mut starts = Vec::with_capacity(keys.len() + 1);
+        let mut at = 0usize;
+        starts.push(0);
+        for &l in lens {
+            at += l as usize;
+            starts.push(at);
+        }
+        debug_assert_eq!(at, cols.len());
+        debug_assert_eq!(cols.len(), vals.len());
+        Self {
+            keys,
+            starts,
+            cols,
+            vals,
+        }
+    }
+
+    /// Distinct contracted keys, ascending.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Run length per key (wire form companion of [`Self::keys`]).
+    pub fn run_lens(&self) -> impl Iterator<Item = u64> + '_ {
+        self.starts.windows(2).map(|w| (w[1] - w[0]) as u64)
+    }
+
+    /// Fused free-index of every entry, run-concatenated.
+    pub fn cols(&self) -> &[u64] {
+        &self.cols
+    }
+
+    /// Value of every entry, run-concatenated.
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Total stored entries.
+    pub fn n_entries(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of distinct keys.
+    pub fn n_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Length of the run for `key` (0 if absent) — the per-entry work
+    /// estimate used for volume-balanced chunking.
+    pub fn run_len(&self, key: u64) -> usize {
+        match self.keys.binary_search(&key) {
+            Ok(i) => self.starts[i + 1] - self.starts[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// The `(cols, vals)` run for key index `i`.
+    #[inline]
+    fn run(&self, i: usize) -> (&[u64], &[T]) {
+        let (s, e) = (self.starts[i], self.starts[i + 1]);
+        (&self.cols[s..e], &self.vals[s..e])
+    }
+}
+
+/// Product accumulator abstraction: panel or hash map, bitwise-identical
+/// results (same products, same per-element order). Statically dispatched —
+/// `add` sits on the innermost loop.
+trait SsAcc<T: Scalar> {
+    fn add(&mut self, idx: u64, p: T);
+    fn finish(self) -> Vec<(u64, T)>;
+}
+
+struct PanelAcc<T> {
+    panel: Vec<T>,
+    touched: Vec<bool>,
+    order: Vec<u64>,
+}
+
+impl<T: Scalar> SsAcc<T> for PanelAcc<T> {
+    #[inline(always)]
+    fn add(&mut self, idx: u64, p: T) {
+        let i = idx as usize;
+        if !self.touched[i] {
+            self.touched[i] = true;
+            self.order.push(idx);
+        }
+        self.panel[i] += p;
+    }
+    fn finish(mut self) -> Vec<(u64, T)> {
+        self.order.sort_unstable();
+        self.order
+            .iter()
+            .map(|&idx| (idx, self.panel[idx as usize]))
+            .collect()
+    }
+}
+
+struct HashAcc<T> {
+    map: HashMap<u64, T>,
+}
+
+impl<T: Scalar> SsAcc<T> for HashAcc<T> {
+    #[inline(always)]
+    fn add(&mut self, idx: u64, p: T) {
+        *self.map.entry(idx).or_insert_with(T::zero) += p;
+    }
+    fn finish(self) -> Vec<(u64, T)> {
+        let mut out: Vec<(u64, T)> = self.map.into_iter().collect();
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+}
+
+/// The merge loop, monomorphized per accumulator type.
+fn merge_into<T: Scalar, A: SsAcc<T>>(
+    a: &[(u64, u64, T)],
+    btab: &SsBTable<T>,
+    r0: u64,
+    n: u64,
+    acc: &mut A,
+) -> u64 {
+    let mut flops = 0u64;
+    let mut ai = 0usize;
+    let mut bi = 0usize;
+    while ai < a.len() && bi < btab.n_keys() {
+        let key = a[ai].1;
+        let mut aj = ai + 1;
+        while aj < a.len() && a[aj].1 == key {
+            aj += 1;
+        }
+        while bi < btab.n_keys() && btab.keys[bi] < key {
+            bi += 1;
+        }
+        if bi < btab.n_keys() && btab.keys[bi] == key {
+            let (bcols, bvals) = btab.run(bi);
+            flops += 2 * (aj - ai) as u64 * bcols.len() as u64;
+            for &(row, _, va) in &a[ai..aj] {
+                let base = (row - r0) * n;
+                for (&col, &vb) in bcols.iter().zip(bvals.iter()) {
+                    acc.add(base + col, va * vb);
+                }
+            }
+        }
+        ai = aj;
+    }
+    flops
+}
+
+/// Contract one row-chunk of `A` against a grouped `B` table.
+///
+/// * `a` — `(row, key, val)` entries with `r0 <= row < r1`, sorted
+///   **stably** by `key` (ties in original stored order).
+/// * `btab` — the grouped `B` operand.
+/// * `r0, r1` — the fused row range this chunk covers.
+/// * `n` — the fused free dimension of `B` (panel width).
+///
+/// Returns `(row, col, value)` triples sorted by `(row, col)` — only
+/// elements that received at least one product, matching the sparsity
+/// semantics of hash-join kernels — plus the flop count (2 per product,
+/// counted before any caller-side masking).
+pub fn merge_chunk<T: Scalar>(
+    a: &[(u64, u64, T)],
+    btab: &SsBTable<T>,
+    r0: u64,
+    r1: u64,
+    n: u64,
+) -> (Vec<(u64, u64, T)>, u64) {
+    debug_assert!(a.iter().all(|&(row, _, _)| r0 <= row && row < r1));
+    debug_assert!(a.windows(2).all(|w| w[0].1 <= w[1].1), "A not key-sorted");
+    let rows = r1.saturating_sub(r0);
+    let (flat, flops) = if rows.checked_mul(n).is_some_and(|e| e <= PANEL_MAX_ELEMS) {
+        let mut acc = PanelAcc {
+            panel: vec![T::zero(); (rows * n) as usize],
+            touched: vec![false; (rows * n) as usize],
+            order: Vec::new(),
+        };
+        let flops = merge_into(a, btab, r0, n, &mut acc);
+        (acc.finish(), flops)
+    } else {
+        let mut acc = HashAcc {
+            map: HashMap::new(),
+        };
+        let flops = merge_into(a, btab, r0, n, &mut acc);
+        (acc.finish(), flops)
+    };
+    let out = flat
+        .into_iter()
+        .map(|(idx, v)| (r0 + idx / n, idx % n, v))
+        .collect();
+    (out, flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    /// Naive triple-loop reference: for every (a, b) entry pair with equal
+    /// key, accumulate into a dense map — key-ascending per element like
+    /// the kernel.
+    fn naive<T: Scalar>(a: &[(u64, u64, T)], b: &[(u64, u64, T)], n: u64) -> Vec<(u64, u64, T)> {
+        let mut keys: Vec<u64> = a.iter().map(|e| e.1).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut acc: HashMap<(u64, u64), T> = HashMap::new();
+        for key in keys {
+            for &(row, ka, va) in a.iter().filter(|e| e.1 == key) {
+                let _ = ka;
+                for &(kb, col, vb) in b.iter().filter(|e| e.0 == key) {
+                    let _ = kb;
+                    *acc.entry((row, col)).or_insert_with(T::zero) += va * vb;
+                }
+            }
+        }
+        let mut out: Vec<(u64, u64, T)> = acc.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+        out.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let _ = n;
+        out
+    }
+
+    fn sorted_a<T: Scalar>(mut a: Vec<(u64, u64, T)>) -> Vec<(u64, u64, T)> {
+        a.sort_by_key(|e| e.1);
+        a
+    }
+
+    #[test]
+    fn small_merge_matches_naive() {
+        let a = vec![(0, 2, 1.5), (1, 2, -2.0), (0, 5, 3.0), (2, 7, 1.0)];
+        let b = vec![(2, 0, 2.0), (2, 3, 1.0), (5, 1, -1.0), (6, 0, 9.0)];
+        let btab = SsBTable::build(b.clone());
+        let (got, flops) = merge_chunk(&sorted_a(a.clone()), &btab, 0, 3, 4);
+        assert_eq!(got, naive(&a, &b, 4));
+        // key 2: 2 A × 2 B = 4 products, key 5: 1×1 — 5 products total
+        assert_eq!(flops, 10);
+    }
+
+    #[test]
+    fn empty_and_disjoint_runs() {
+        let btab = SsBTable::build(Vec::<(u64, u64, f64)>::new());
+        let (got, flops) = merge_chunk(&[(0, 1, 1.0)], &btab, 0, 1, 4);
+        assert!(got.is_empty());
+        assert_eq!(flops, 0);
+        // keys present on both sides but never equal
+        let btab = SsBTable::build(vec![(0, 0, 1.0), (2, 1, 1.0)]);
+        let a = sorted_a(vec![(0, 1, 1.0), (0, 3, 1.0)]);
+        let (got, flops) = merge_chunk(&a, &btab, 0, 1, 4);
+        assert!(got.is_empty());
+        assert_eq!(flops, 0);
+    }
+
+    #[test]
+    fn duplicate_key_entries_accumulate_in_order() {
+        // duplicate (row, key) pairs on the A side and duplicate
+        // (key, col) pairs on the B side must all contribute
+        let a = vec![(0, 1, 2.0), (0, 1, 3.0)];
+        let b = vec![(1, 0, 1.0), (1, 0, 10.0)];
+        let btab = SsBTable::build(b.clone());
+        let (got, _) = merge_chunk(&sorted_a(a.clone()), &btab, 0, 1, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], (0, 0, (2.0 + 3.0) * 11.0));
+    }
+
+    #[test]
+    fn complex_merge_matches_naive() {
+        let c = Complex64::new;
+        let a = vec![
+            (0, 0, c(1.0, 2.0)),
+            (1, 0, c(0.0, -1.0)),
+            (0, 3, c(2.0, 0.5)),
+        ];
+        let b = vec![
+            (0, 1, c(0.5, 0.5)),
+            (3, 0, c(-1.0, 1.0)),
+            (3, 1, c(2.0, 2.0)),
+        ];
+        let btab = SsBTable::build(b.clone());
+        let (got, _) = merge_chunk(&sorted_a(a.clone()), &btab, 0, 2, 2);
+        let want = naive(&a, &b, 2);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!((g.0, g.1), (w.0, w.1));
+            assert!((g.2 - w.2).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn chunked_rows_equal_whole_bitwise() {
+        // splitting A by row ranges and concatenating must be bitwise
+        // equal to one chunk over all rows
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let (m, k, n) = (40u64, 23u64, 17u64);
+        let mut a = Vec::new();
+        for row in 0..m {
+            for key in 0..k {
+                if rng.gen_bool(0.3) {
+                    a.push((row, key, rng.gen_range(-1.0..1.0f64)));
+                }
+            }
+        }
+        let mut b = Vec::new();
+        for key in 0..k {
+            for col in 0..n {
+                if rng.gen_bool(0.3) {
+                    b.push((key, col, rng.gen_range(-1.0..1.0f64)));
+                }
+            }
+        }
+        let btab = SsBTable::build(b);
+        let (whole, wf) = merge_chunk(&sorted_a(a.clone()), &btab, 0, m, n);
+        for splits in [2u64, 3, 7] {
+            let mut parts = Vec::new();
+            let mut pf = 0;
+            for s in 0..splits {
+                let (r0, r1) = (s * m / splits, (s + 1) * m / splits);
+                let chunk: Vec<_> = a
+                    .iter()
+                    .copied()
+                    .filter(|&(row, _, _)| r0 <= row && row < r1)
+                    .collect();
+                let (part, f) = merge_chunk(&sorted_a(chunk), &btab, r0, r1, n);
+                parts.extend(part);
+                pf += f;
+            }
+            // chunks are row-disjoint and row-sorted, so concatenation is
+            // already (row, col)-sorted
+            assert_eq!(whole, parts, "split {splits} changed bits");
+            assert_eq!(wf, pf);
+        }
+    }
+
+    #[test]
+    fn hash_fallback_is_bitwise_identical() {
+        // same input through both accumulators: force the hash path by a
+        // huge row range, then compare against the panel path shifted back
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 8u64;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for key in 0..16u64 {
+            for row in 0..8u64 {
+                if rng.gen_bool(0.5) {
+                    a.push((row, key, rng.gen_range(-1.0..1.0f64)));
+                }
+            }
+            for col in 0..n {
+                if rng.gen_bool(0.5) {
+                    b.push((key, col, rng.gen_range(-1.0..1.0f64)));
+                }
+            }
+        }
+        let btab = SsBTable::build(b);
+        let (panel, _) = merge_chunk(&sorted_a(a.clone()), &btab, 0, 8, n);
+        // rows < PANEL_MAX but rows*n above it → hash accumulator
+        let wide_r1 = PANEL_MAX_ELEMS; // rows * 8 > PANEL_MAX_ELEMS
+        let (hash, _) = merge_chunk(&sorted_a(a), &btab, 0, wide_r1, n);
+        assert_eq!(panel, hash);
+    }
+
+    #[test]
+    fn table_wire_roundtrip() {
+        let b = vec![(3u64, 1u64, 4.0f64), (1, 0, 2.0), (3, 2, 5.0), (9, 9, 1.0)];
+        let t = SsBTable::build(b);
+        assert_eq!(t.keys(), &[1, 3, 9]);
+        let lens: Vec<u64> = t.run_lens().collect();
+        assert_eq!(lens, vec![1, 2, 1]);
+        assert_eq!(t.run_len(3), 2);
+        assert_eq!(t.run_len(2), 0);
+        let rt = SsBTable::from_runs(
+            t.keys().to_vec(),
+            &lens,
+            t.cols().to_vec(),
+            t.vals().to_vec(),
+        );
+        assert_eq!(t, rt);
+        assert_eq!(rt.n_entries(), 4);
+    }
+}

@@ -1,7 +1,19 @@
 //! Property-based tests for the local tensor kernels.
 
 use proptest::prelude::*;
+use tt_tensor::ssmerge::{merge_chunk, SsBTable};
 use tt_tensor::{einsum, gemm, Complex64, DenseTensor, Layout, Scalar, SparseTensor};
+
+/// Raw `(row, key, val)` / `(key, col, val)` entry lists for the sparse
+/// merge kernel — duplicates (same coordinates twice) and absent keys
+/// (empty runs on either side) arise naturally from the generator.
+fn ss_raw_entries(
+    rows: u64,
+    keys: u64,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    prop::collection::vec((0..rows, 0..keys, -1.0f64..1.0), 0..max_len)
+}
 
 fn small_dims() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..5, 1..4)
@@ -189,5 +201,127 @@ proptest! {
         let mut perm: Vec<usize> = (0..n).collect();
         perm.shuffle(&mut rng);
         prop_assert!((t.permute(&perm).unwrap().norm() - t.norm()).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sorted-merge ss kernel agrees with a naive quadratic reference
+    /// on raw entry lists — including duplicate `(row, key)` entries and
+    /// keys with empty runs on either side — and reports exactly
+    /// `2 · (matched A×B pairs)` flops. The output must come back sorted
+    /// by `(row, col)` with the touched pattern matching the reference.
+    #[test]
+    fn ss_merge_matches_naive(
+        m in 1u64..10,
+        kk in 1u64..8,
+        n in 1u64..9,
+        a_raw in ss_raw_entries(10, 8, 40),
+        b_raw in ss_raw_entries(8, 9, 40),
+    ) {
+        let a_raw: Vec<_> = a_raw.into_iter()
+            .filter(|e| e.0 < m && e.1 < kk).collect();
+        let b_raw: Vec<_> = b_raw.into_iter()
+            .filter(|e| e.0 < kk && e.1 < n).collect();
+        let mut a = a_raw.clone();
+        a.sort_by_key(|e| e.1);
+        let btab = SsBTable::build(b_raw.clone());
+        let (got, flops) = merge_chunk(&a, &btab, 0, m, n);
+
+        let mut pairs = 0u64;
+        for &(_, ka, _) in &a_raw {
+            pairs += b_raw.iter().filter(|e| e.0 == ka).count() as u64;
+        }
+        prop_assert_eq!(flops, 2 * pairs);
+
+        prop_assert!(got.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "output not sorted by (row, col)");
+
+        let mut acc = vec![0.0f64; (m * n) as usize];
+        let mut touched = vec![false; (m * n) as usize];
+        for &(r, ka, va) in &a_raw {
+            for &(kb, c, vb) in &b_raw {
+                if ka == kb {
+                    let idx = (r * n + c) as usize;
+                    acc[idx] += va * vb;
+                    touched[idx] = true;
+                }
+            }
+        }
+        let got_map: std::collections::HashMap<(u64, u64), f64> =
+            got.iter().map(|&(r, c, v)| ((r, c), v)).collect();
+        prop_assert_eq!(got_map.len(), got.len());
+        for r in 0..m {
+            for c in 0..n {
+                let idx = (r * n + c) as usize;
+                match got_map.get(&(r, c)) {
+                    Some(&v) => {
+                        prop_assert!(touched[idx], "spurious entry at ({}, {})", r, c);
+                        prop_assert!((v - acc[idx]).abs() < 1e-9);
+                    }
+                    None => prop_assert!(!touched[idx], "missing entry at ({}, {})", r, c),
+                }
+            }
+        }
+    }
+
+    /// Splitting the row range at arbitrary points and stitching the chunk
+    /// results is *bitwise* identical to one whole-range merge — the
+    /// invariant the threaded and multi-process backends rest on — for
+    /// both f64 and Complex64.
+    #[test]
+    fn ss_merge_chunking_bitwise(
+        m in 1u64..12,
+        a_raw in ss_raw_entries(12, 8, 48),
+        b_raw in ss_raw_entries(8, 9, 48),
+        splits in prop::collection::vec(0u64..13, 0..4),
+    ) {
+        let n = 9u64;
+        let a_raw: Vec<_> = a_raw.into_iter().filter(|e| e.0 < m).collect();
+        let mut cuts: Vec<u64> = splits.into_iter().map(|s| s % (m + 1)).collect();
+        cuts.push(0);
+        cuts.push(m);
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        // f64
+        let mut a = a_raw.clone();
+        a.sort_by_key(|e| e.1);
+        let btab = SsBTable::build(b_raw.clone());
+        let (whole, _) = merge_chunk(&a, &btab, 0, m, n);
+        let mut stitched = Vec::new();
+        for w in cuts.windows(2) {
+            let part: Vec<_> = a.iter().copied()
+                .filter(|e| e.0 >= w[0] && e.0 < w[1]).collect();
+            let (res, _) = merge_chunk(&part, &btab, w[0], w[1], n);
+            stitched.extend(res);
+        }
+        prop_assert_eq!(whole.len(), stitched.len());
+        for (x, y) in whole.iter().zip(&stitched) {
+            prop_assert_eq!((x.0, x.1, x.2.to_bits()), (y.0, y.1, y.2.to_bits()));
+        }
+
+        // Complex64 over the same coordinates (im is a distinct function
+        // of the value so both lanes are exercised)
+        let lift = |e: &(u64, u64, f64)| (e.0, e.1, Complex64::new(e.2, -0.5 * e.2 + 0.125));
+        let mut ac: Vec<_> = a_raw.iter().map(lift).collect();
+        ac.sort_by_key(|e| e.1);
+        let btab_c = SsBTable::build(b_raw.iter().map(lift).collect());
+        let (whole_c, _) = merge_chunk(&ac, &btab_c, 0, m, n);
+        let mut stitched_c = Vec::new();
+        for w in cuts.windows(2) {
+            let part: Vec<_> = ac.iter().copied()
+                .filter(|e| e.0 >= w[0] && e.0 < w[1]).collect();
+            let (res, _) = merge_chunk(&part, &btab_c, w[0], w[1], n);
+            stitched_c.extend(res);
+        }
+        prop_assert_eq!(whole_c.len(), stitched_c.len());
+        for (x, y) in whole_c.iter().zip(&stitched_c) {
+            prop_assert_eq!(
+                (x.0, x.1, x.2.re.to_bits(), x.2.im.to_bits()),
+                (y.0, y.1, y.2.re.to_bits(), y.2.im.to_bits())
+            );
+        }
     }
 }
