@@ -14,24 +14,188 @@
 //! [`crate::Comm::operand_bytes`]). These count what the driver actually
 //! moved — they are how the resident-operand cache win is measured and
 //! regression-tested.
+//!
+//! ## Fault recovery
+//!
+//! When the transport supports recovery (the multi-process backend), the
+//! cluster additionally keeps a per-rank **journal**: the encoded bytes of
+//! every state-mutating request (`Put*`, `Upload*`, `Summa*`, `Chain*`,
+//! `SetCacheCap`) the rank has *acknowledged*. A rank fault
+//! ([`crate::FaultKind::is_rank_fault`]) triggers, transparently inside
+//! [`Cluster::call`]/[`Cluster::call_all`]:
+//!
+//! 1. **respawn** — a fresh worker process for the failed rank (the
+//!    transport retries with capped exponential backoff), falling back to
+//!    **retire** (re-route the logical rank onto a surviving worker) when
+//!    respawn is exhausted or vetoed;
+//! 2. **replay** — the acked journal is re-sent in order, reconstructing
+//!    the rank's resident store exactly (all content is driver-issued:
+//!    operands re-upload from the journaled bytes, derived buffers and
+//!    chain results re-derive from their journaled producing requests);
+//! 3. **re-issue** — every request that was in flight (sent, not yet
+//!    acked) is re-sent in order under fresh tags, and the awaited tags
+//!    are remapped, so the interrupted superstep simply retries.
+//!
+//! A respawned worker starts empty and replay restores precisely the
+//! acked prefix, so requests apply exactly once without sequence numbers.
+//! Journal hygiene is dependency-aware: a `Free`/`Download`/`Release` ack
+//! deletes the key's producing entries unless a later journaled request
+//! references the key as an operand — then a `Free` fixup entry is
+//! appended instead, keeping replay order-correct. All recovery traffic is
+//! metered under [`CostTracker::bytes_recovery`], keeping
+//! `bytes_operands`/`bytes_results` equal to the fault-free run.
 
 use crate::cost::CostTracker;
-use crate::transport::worker::{Reply, Request};
+use crate::transport::worker::{OpC, OpCoords, OpF, Reply, Request};
 use crate::transport::{InProcTransport, Transport};
-use crate::{Error, Result};
+use crate::{Error, FaultKind, Result};
 use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// How many successive recoveries one reply wait may attempt before the
+/// fault is surfaced to the caller (covers a respawned rank dying again
+/// mid-replay without looping forever).
+const MAX_RECOVERY_ROUNDS: usize = 3;
+
+/// One acked journal entry: the encoded request that (re)creates worker
+/// state, the store key it produces (`op`), the resident keys it reads
+/// (`deps`), and — for `Free` fixups — the key it removes.
+struct JEntry {
+    op: Option<u64>,
+    deps: Vec<u64>,
+    frees: Option<u64>,
+    bytes: Arc<Vec<u8>>,
+}
+
+/// How a request interacts with the journal.
+enum JClass {
+    /// No worker state mutated (probe, fetch, pure compute).
+    Skip,
+    /// Creates/mutates worker state: journal on ack.
+    Store { op: Option<u64>, deps: Vec<u64> },
+    /// Removes worker state under `key`: prune the journal on ack.
+    Remove { key: u64 },
+}
+
+/// A sent-but-unacked request (re-issued verbatim after recovery).
+struct Inflight {
+    tag: u64,
+    bytes: Arc<Vec<u8>>,
+    class: JClass,
+}
+
+/// Per-rank recovery books.
+#[derive(Default)]
+struct RankLog {
+    acked: Vec<JEntry>,
+    inflight: VecDeque<Inflight>,
+}
+
+/// Classify a request for the journal. Operand `Key`s become dependency
+/// edges; `store` keys (and uploaded keys) become the entry's `op`.
+fn journal_class(req: &Request) -> JClass {
+    fn f(op: &OpF, deps: &mut Vec<u64>) {
+        if let OpF::Key(k) = op {
+            deps.push(*k);
+        }
+    }
+    fn c(op: &OpC, deps: &mut Vec<u64>) {
+        if let OpC::Key(k) = op {
+            deps.push(*k);
+        }
+    }
+    fn coords(op: &OpCoords, deps: &mut Vec<u64>) {
+        if let OpCoords::Key(k) = op {
+            deps.push(*k);
+        }
+    }
+    let store = |key: u64| JClass::Store {
+        op: Some(key),
+        deps: Vec::new(),
+    };
+    match req {
+        Request::Put { key, .. }
+        | Request::PutC64 { key, .. }
+        | Request::Upload { key, .. }
+        | Request::UploadC64 { key, .. }
+        | Request::UploadCoords { key, .. }
+        | Request::UploadSs { key, .. }
+        | Request::SummaInit { key, .. }
+        | Request::SummaPanel { key, .. } => store(*key),
+        Request::SetCacheCap { .. } => JClass::Store {
+            op: None,
+            deps: Vec::new(),
+        },
+        Request::ChainDense { a, b, store, .. } => {
+            let mut deps = Vec::new();
+            f(a, &mut deps);
+            f(b, &mut deps);
+            JClass::Store {
+                op: Some(*store),
+                deps,
+            }
+        }
+        Request::ChainDenseC64 { a, b, store, .. } => {
+            let mut deps = Vec::new();
+            c(a, &mut deps);
+            c(b, &mut deps);
+            JClass::Store {
+                op: Some(*store),
+                deps,
+            }
+        }
+        Request::ChainSd { a, b, store, .. } => {
+            let mut deps = Vec::new();
+            coords(a, &mut deps);
+            f(b, &mut deps);
+            JClass::Store {
+                op: Some(*store),
+                deps,
+            }
+        }
+        Request::Free { key } | Request::Release { key } | Request::Download { key } => {
+            JClass::Remove { key: *key }
+        }
+        // pure probes, fetches and value-returning compute: nothing to
+        // reconstruct (their operands, when keyed, are journaled by the
+        // uploads that pinned them)
+        Request::Ping
+        | Request::Get { .. }
+        | Request::GetC64 { .. }
+        | Request::CacheStats
+        | Request::DenseChunk { .. }
+        | Request::DenseChunkC64 { .. }
+        | Request::DensePair { .. }
+        | Request::SdChunk { .. }
+        | Request::SsChunk { .. }
+        | Request::QrThin { .. }
+        | Request::SvdTrunc { .. }
+        | Request::Shutdown => JClass::Skip,
+    }
+}
 
 /// A handle on `p` rank endpoints, ready to execute tasks.
 pub struct Cluster {
     transport: Box<dyn Transport>,
     tracker: Option<Arc<Mutex<CostTracker>>>,
     next_key: u64,
+    /// Per-rank journal + in-flight books; empty when the transport
+    /// cannot recover ranks (the in-process backends).
+    logs: Vec<RankLog>,
+    /// `(rank, original tag)` → re-issued tag, for replies awaited across
+    /// a recovery. Tags are never reused, so stale entries are inert.
+    remap: HashMap<(usize, u64), u64>,
 }
 
 impl Cluster {
     /// Cluster over an arbitrary transport.
     pub fn new(transport: Box<dyn Transport>) -> Self {
+        let logs = if transport.supports_recovery() {
+            (0..transport.ranks()).map(|_| RankLog::default()).collect()
+        } else {
+            Vec::new()
+        };
         Self {
             transport,
             tracker: None,
@@ -40,6 +204,8 @@ impl Cluster {
             // handle keys occupy the full 64-bit space and collide with
             // neither in practice
             next_key: 1 << 32,
+            logs,
+            remap: HashMap::new(),
         }
     }
 
@@ -54,6 +220,20 @@ impl Cluster {
         Ok(Self::new(Box::new(crate::transport::ProcTransport::spawn(
             ranks, spec,
         )?)))
+    }
+
+    /// Cluster over `ranks` real worker processes with explicit
+    /// [`ProcOptions`](crate::ProcOptions) (fault injection, deadline,
+    /// respawn budget).
+    #[cfg(unix)]
+    pub fn multi_process_with(
+        ranks: usize,
+        spec: &crate::transport::SpawnSpec,
+        opts: crate::ProcOptions,
+    ) -> Result<Self> {
+        Ok(Self::new(Box::new(
+            crate::transport::ProcTransport::spawn_with(ranks, spec, opts)?,
+        )))
     }
 
     /// Meter this cluster's data-plane traffic into `tracker`'s
@@ -93,12 +273,26 @@ impl Cluster {
         }
     }
 
+    fn count_recovery(&self, bytes: usize) {
+        if let Some(t) = &self.tracker {
+            t.lock().bytes_recovery += bytes as u64;
+        }
+    }
+
+    /// Cheap liveness probe: ping `rank` and await its pong (faults
+    /// surface typed, and trigger recovery, exactly like any other call).
+    pub fn probe(&mut self, rank: usize) -> Result<()> {
+        match self.call(rank, &Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(Error::transport(format!(
+                "rank {rank}: probe answered {other:?}"
+            ))),
+        }
+    }
+
     /// Execute one request on one rank and wait for its reply.
     pub(crate) fn call(&mut self, rank: usize, req: &Request) -> Result<Reply> {
-        let tag = self.transport.next_tag();
-        let bytes = req.encode();
-        self.count_operand(bytes.len());
-        self.transport.send(rank, tag, &bytes)?;
+        let tag = self.dispatch(rank, req)?;
         self.reply(rank, tag)
     }
 
@@ -107,10 +301,7 @@ impl Cluster {
     pub(crate) fn call_all(&mut self, reqs: Vec<(usize, Request)>) -> Result<Vec<Reply>> {
         let mut routes = Vec::with_capacity(reqs.len());
         for (rank, req) in reqs {
-            let tag = self.transport.next_tag();
-            let bytes = req.encode();
-            self.count_operand(bytes.len());
-            self.transport.send(rank, tag, &bytes)?;
+            let tag = self.dispatch(rank, &req)?;
             routes.push((rank, tag));
         }
         routes
@@ -119,13 +310,188 @@ impl Cluster {
             .collect()
     }
 
-    fn reply(&mut self, rank: usize, tag: u64) -> Result<Reply> {
-        let bytes = self.transport.recv(rank, tag)?;
-        self.count_result(bytes.len());
-        match Reply::decode(&bytes)? {
-            Reply::Fail(msg) => Err(Error::Transport(format!("rank {rank}: {msg}"))),
-            reply => Ok(reply),
+    /// Encode, meter, book and send one request; returns the tag to await.
+    /// A rank fault during the send triggers recovery — the request is
+    /// already booked in flight, so the recovery re-issue delivers it.
+    fn dispatch(&mut self, rank: usize, req: &Request) -> Result<u64> {
+        let tag = self.transport.next_tag();
+        let bytes = Arc::new(req.encode());
+        self.count_operand(bytes.len());
+        if !self.logs.is_empty() {
+            let class = journal_class(req);
+            self.logs[rank].inflight.push_back(Inflight {
+                tag,
+                bytes: Arc::clone(&bytes),
+                class,
+            });
         }
+        if let Err(e) = self.transport.send(rank, tag, &bytes) {
+            self.recover_from(e)?;
+        }
+        Ok(tag)
+    }
+
+    /// Await the reply for `tag` from `rank`, recovering from rank faults
+    /// (bounded rounds) by respawn/retire + journal replay + re-issue.
+    fn reply(&mut self, rank: usize, tag: u64) -> Result<Reply> {
+        let mut rounds = 0;
+        loop {
+            match self.try_reply(rank, tag) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if rounds < MAX_RECOVERY_ROUNDS => {
+                    rounds += 1;
+                    self.recover_from(e)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One receive attempt (tag remapped across recoveries). Successful
+    /// decodes ack the in-flight request and update the journal; a frame
+    /// that fails to decode is a [`FaultKind::Decode`] rank fault.
+    fn try_reply(&mut self, rank: usize, tag: u64) -> Result<Reply> {
+        // follow the remap chain: each recovery re-issues under a new tag
+        let mut tag = tag;
+        while let Some(&t) = self.remap.get(&(rank, tag)) {
+            tag = t;
+        }
+        let bytes = self.transport.recv(rank, tag)?;
+        match Reply::decode(&bytes) {
+            Ok(reply) => {
+                self.count_result(bytes.len());
+                self.ack(rank, tag, matches!(reply, Reply::Fail(_)));
+                match reply {
+                    Reply::Fail(msg) => Err(Error::fault(
+                        FaultKind::Task,
+                        rank,
+                        format!("rank {rank}: {msg}"),
+                    )),
+                    reply => Ok(reply),
+                }
+            }
+            Err(_) => {
+                // the bytes moved, but only because of the fault
+                self.count_recovery(bytes.len());
+                Err(Error::fault(
+                    FaultKind::Decode,
+                    rank,
+                    "reply frame failed to decode",
+                ))
+            }
+        }
+    }
+
+    /// Acknowledge the in-flight request awaited under `tag`: drop it from
+    /// the in-flight queue and fold it into the journal. `Fail` replies
+    /// ack (the worker processed and refused the request deterministically)
+    /// but never journal — replaying a refused request would refuse again.
+    fn ack(&mut self, rank: usize, tag: u64, failed: bool) {
+        if self.logs.is_empty() {
+            return;
+        }
+        let log = &mut self.logs[rank];
+        let Some(i) = log.inflight.iter().position(|f| f.tag == tag) else {
+            return;
+        };
+        let fl = log.inflight.remove(i).expect("index just found");
+        if failed {
+            return;
+        }
+        match fl.class {
+            JClass::Skip => {}
+            JClass::Store { op, deps } => log.acked.push(JEntry {
+                op,
+                deps,
+                frees: None,
+                bytes: fl.bytes,
+            }),
+            JClass::Remove { key } => {
+                if log.acked.iter().any(|e| e.deps.contains(&key)) {
+                    // a journaled request reads this key: keep its
+                    // producers and append a Free fixup so replay still
+                    // ends with the key absent, in the right order
+                    log.acked.push(JEntry {
+                        op: None,
+                        deps: Vec::new(),
+                        frees: Some(key),
+                        bytes: Arc::new(Request::Free { key }.encode()),
+                    });
+                } else {
+                    log.acked
+                        .retain(|e| e.op != Some(key) && e.frees != Some(key));
+                }
+            }
+        }
+    }
+
+    /// Attempt recovery from `err`; `Ok(())` means the fault was handled
+    /// (respawn or retire + replay + re-issue) and the caller may retry.
+    fn recover_from(&mut self, err: Error) -> Result<()> {
+        let recoverable = !self.logs.is_empty()
+            && err
+                .as_fault()
+                .is_some_and(|f| f.kind.is_rank_fault() && f.rank.is_some());
+        if !recoverable {
+            return Err(err);
+        }
+        let rank = err.as_fault().and_then(|f| f.rank).expect("checked above");
+        // every logical rank served by the failed physical worker loses
+        // its state; all of them replay (after a retire, onto the
+        // surviving worker the transport re-routed them to)
+        let affected = self.transport.peers(rank);
+        if self.transport.respawn(rank).is_err() {
+            self.transport.retire(rank)?;
+        }
+        for r in affected {
+            self.replay(r)?;
+            self.reissue(r)?;
+        }
+        Ok(())
+    }
+
+    /// Re-send rank `r`'s acked journal in order, awaiting each ack —
+    /// reconstructing its resident store bit-for-bit.
+    fn replay(&mut self, r: usize) -> Result<()> {
+        let entries: Vec<Arc<Vec<u8>>> = self.logs[r]
+            .acked
+            .iter()
+            .map(|e| Arc::clone(&e.bytes))
+            .collect();
+        for bytes in entries {
+            let tag = self.transport.next_tag();
+            self.count_recovery(bytes.len());
+            self.transport.send(r, tag, &bytes)?;
+            let reply = self.transport.recv(r, tag)?;
+            self.count_recovery(reply.len());
+            if let Reply::Fail(msg) = Reply::decode(&reply)? {
+                return Err(Error::fault(
+                    FaultKind::Task,
+                    r,
+                    format!("journal replay refused: {msg}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-send rank `r`'s in-flight requests in order under fresh tags,
+    /// remapping the tags their callers await. First-send bytes were
+    /// already metered as operands; the duplicates are recovery traffic.
+    fn reissue(&mut self, r: usize) -> Result<()> {
+        for i in 0..self.logs[r].inflight.len() {
+            let new_tag = self.transport.next_tag();
+            let (old_tag, bytes) = {
+                let fl = &mut self.logs[r].inflight[i];
+                let old = fl.tag;
+                fl.tag = new_tag;
+                (old, Arc::clone(&fl.bytes))
+            };
+            self.remap.insert((r, old_tag), new_tag);
+            self.count_recovery(bytes.len());
+            self.transport.send(r, new_tag, &bytes)?;
+        }
+        Ok(())
     }
 }
 
@@ -294,5 +660,155 @@ mod tests {
         let b = cl.fresh_key();
         assert_ne!(a, b);
         assert!(a >= 1 << 32);
+    }
+
+    #[test]
+    fn probe_answers_on_a_live_rank() {
+        let mut cl = Cluster::in_process(2);
+        cl.probe(0).unwrap();
+        cl.probe(1).unwrap();
+    }
+
+    #[cfg(unix)]
+    mod recovery {
+        use super::*;
+        use crate::transport::SpawnSpec;
+        use crate::{FaultKind, FaultPlan, ProcOptions};
+        use std::time::Duration;
+
+        fn spec() -> SpawnSpec {
+            SpawnSpec::SelfExec(vec!["spawned_worker_entry".into()])
+        }
+
+        fn cluster_with(ranks: usize, plan: &str) -> (Cluster, Arc<Mutex<CostTracker>>) {
+            let opts = ProcOptions {
+                plan: Some(FaultPlan::parse(plan).unwrap()),
+                deadline: Some(Duration::from_secs(20)),
+                ..Default::default()
+            };
+            let mut cl = Cluster::multi_process_with(ranks, &spec(), opts).unwrap();
+            let tracker = Arc::new(Mutex::new(CostTracker::new(Machine::local(), ranks)));
+            cl.attach_tracker(Arc::clone(&tracker));
+            (cl, tracker)
+        }
+
+        #[test]
+        fn killed_rank_recovers_resident_state_transparently() {
+            let (mut cl, tracker) = cluster_with(2, "kill:1@3");
+            cl.call(
+                1,
+                &Request::Upload {
+                    key: 5,
+                    data: vec![1.0, 2.0],
+                },
+            )
+            .unwrap();
+            cl.call(
+                1,
+                &Request::Put {
+                    key: 6,
+                    data: vec![3.0],
+                },
+            )
+            .unwrap();
+            // the third send kills the worker; recovery respawns it,
+            // replays both journaled stores and re-issues this Get
+            assert_eq!(
+                cl.call(1, &Request::Get { key: 5 }).unwrap(),
+                Reply::F64s(vec![1.0, 2.0])
+            );
+            assert_eq!(
+                cl.call(1, &Request::Get { key: 6 }).unwrap(),
+                Reply::F64s(vec![3.0])
+            );
+            let t = tracker.lock();
+            assert!(t.bytes_recovery > 0, "replay traffic is metered apart");
+        }
+
+        #[test]
+        fn exhausted_respawn_degrades_onto_a_survivor() {
+            let (mut cl, _) = cluster_with(2, "kill:1@2,nospawn:1");
+            cl.call(
+                1,
+                &Request::Upload {
+                    key: 7,
+                    data: vec![4.5],
+                },
+            )
+            .unwrap();
+            // kill fires; respawn is vetoed, so rank 1 retires onto the
+            // survivor — with its journal replayed there
+            assert_eq!(
+                cl.call(1, &Request::Get { key: 7 }).unwrap(),
+                Reply::F64s(vec![4.5])
+            );
+            // both logical ranks stay serviceable
+            cl.probe(0).unwrap();
+            cl.probe(1).unwrap();
+        }
+
+        #[test]
+        fn corrupted_reply_triggers_decode_recovery() {
+            let (mut cl, tracker) = cluster_with(1, "corrupt:0@2");
+            cl.call(
+                0,
+                &Request::Upload {
+                    key: 9,
+                    data: vec![0.25],
+                },
+            )
+            .unwrap();
+            // this reply arrives corrupted → Decode fault → respawn +
+            // replay + re-issue → the retried Get answers correctly
+            assert_eq!(
+                cl.call(0, &Request::Get { key: 9 }).unwrap(),
+                Reply::F64s(vec![0.25])
+            );
+            assert!(tracker.lock().bytes_recovery > 0);
+        }
+
+        #[test]
+        fn freed_keys_leave_the_journal() {
+            let (mut cl, _) = cluster_with(1, "kill:0@4");
+            cl.call(
+                0,
+                &Request::Upload {
+                    key: 11,
+                    data: vec![1.0],
+                },
+            )
+            .unwrap();
+            cl.call(0, &Request::Free { key: 11 }).unwrap();
+            cl.call(
+                0,
+                &Request::Upload {
+                    key: 12,
+                    data: vec![2.0],
+                },
+            )
+            .unwrap();
+            // kill + recovery: replay must not resurrect the freed key
+            assert_eq!(
+                cl.call(0, &Request::Get { key: 12 }).unwrap(),
+                Reply::F64s(vec![2.0])
+            );
+            let err = cl.call(0, &Request::Get { key: 11 }).unwrap_err();
+            assert!(
+                matches!(err.as_fault().map(|f| f.kind), Some(FaultKind::Task)),
+                "freed key must stay absent after replay: {err:?}"
+            );
+        }
+
+        #[test]
+        fn task_failures_do_not_trigger_recovery() {
+            let (mut cl, tracker) = cluster_with(1, "");
+            let err = cl.call(0, &Request::Get { key: 404 }).unwrap_err();
+            assert!(matches!(
+                err.as_fault().map(|f| f.kind),
+                Some(FaultKind::Task)
+            ));
+            assert_eq!(tracker.lock().bytes_recovery, 0);
+            cl.probe(0).unwrap();
+        }
     }
 }

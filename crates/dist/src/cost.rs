@@ -83,6 +83,12 @@ pub struct CostTracker {
     /// Result bytes workers actually returned to the driver (reply
     /// payloads on the multi-process data plane).
     pub bytes_results: u64,
+    /// Bytes moved only because of fault recovery: journal replay and
+    /// re-issued in-flight requests after a worker respawn/retire, plus
+    /// undecodable reply frames. Kept separate so `bytes_operands` /
+    /// `bytes_results` stay equal to the fault-free run — the
+    /// determinism-under-recovery contract.
+    pub bytes_recovery: u64,
     /// Simulated time breakdown.
     pub sim: SimTime,
 }
@@ -98,6 +104,7 @@ impl CostTracker {
             bytes_critical: 0,
             bytes_operands: 0,
             bytes_results: 0,
+            bytes_recovery: 0,
             sim: SimTime::default(),
         }
     }
@@ -109,6 +116,7 @@ impl CostTracker {
         self.bytes_critical = 0;
         self.bytes_operands = 0;
         self.bytes_results = 0;
+        self.bytes_recovery = 0;
         self.sim = SimTime::default();
     }
 

@@ -264,7 +264,7 @@ impl WireScalar for Complex64 {
     fn expect(reply: Reply) -> Result<Vec<Self>> {
         match reply {
             Reply::C64s(v) => Ok(v),
-            other => Err(Error::Transport(format!(
+            other => Err(Error::transport(format!(
                 "expected Complex64 payload, got {other:?}"
             ))),
         }
@@ -531,6 +531,40 @@ impl Executor {
         Self::with_backend(machine, nodes, Backend::MultiProcess { workers, spawn })
     }
 
+    /// Multi-process executor with explicit [`ProcOptions`] — detection
+    /// deadline, respawn budget and the [`FaultPlan`] injection layer
+    /// (both types re-exported at the crate root).
+    ///
+    /// [`ProcOptions`]: crate::ProcOptions
+    /// [`FaultPlan`]: crate::FaultPlan
+    #[cfg(unix)]
+    pub fn multi_process_opts(
+        machine: Machine,
+        nodes: usize,
+        workers: usize,
+        spawn: SpawnSpec,
+        opts: crate::ProcOptions,
+    ) -> Result<Self> {
+        let nodes = nodes.max(1);
+        let ranks = nodes * machine.procs_per_node.max(1);
+        let tracker = Arc::new(Mutex::new(CostTracker::new(machine.clone(), ranks)));
+        let mut cl = Cluster::multi_process_with(workers, &spawn, opts)?;
+        cl.attach_tracker(Arc::clone(&tracker));
+        Ok(Self {
+            machine,
+            nodes,
+            ranks,
+            mode: ExecMode::Sequential,
+            backend: Backend::MultiProcess { workers, spawn },
+            tracker,
+            pool: None,
+            cluster: Some(Mutex::new(cl)),
+            residency: Mutex::new(Residency::default()),
+            next_result: Mutex::new(1 << 48),
+            chain_cursor: Mutex::new(0),
+        })
+    }
+
     /// The machine model being simulated.
     pub fn machine(&self) -> &Machine {
         &self.machine
@@ -603,6 +637,14 @@ impl Executor {
     /// Result bytes workers actually returned since the last reset.
     pub fn result_bytes(&self) -> u64 {
         self.tracker.lock().bytes_results
+    }
+
+    /// Bytes moved only because of fault recovery (journal replay and
+    /// re-issued in-flight requests) since the last reset. Zero on a
+    /// fault-free run; `operand_bytes`/`result_bytes` stay equal to the
+    /// fault-free run regardless.
+    pub fn recovery_bytes(&self) -> u64 {
+        self.tracker.lock().bytes_recovery
     }
 
     /// Zero all cost counters.
@@ -711,7 +753,7 @@ impl Executor {
                     entries,
                     pinned,
                 } => Ok((bytes, entries, pinned)),
-                other => Err(Error::Transport(format!("expected stats, got {other:?}"))),
+                other => Err(Error::transport(format!("expected stats, got {other:?}"))),
             })
             .collect()
     }
@@ -1387,7 +1429,7 @@ impl Executor {
                 pending.push((to, Request::UploadC64 { key, data }))
             }
             (_, other) => {
-                return Err(Error::Transport(format!(
+                return Err(Error::transport(format!(
                     "redistribute of {key:#x} returned {other:?}"
                 )))
             }
@@ -1576,7 +1618,7 @@ impl Executor {
             self.residency.lock().forget_result(h.key);
             match reply {
                 Reply::C64s(v) => Ok(DenseTensor::from_vec(h.dims.clone(), v)?),
-                other => Err(Error::Transport(format!(
+                other => Err(Error::transport(format!(
                     "expected Complex64 payload, got {other:?}"
                 ))),
             }
@@ -1754,7 +1796,7 @@ impl Executor {
             for (pair, &chg) in pairs.iter().zip(&charges) {
                 let reply = pair_replies
                     .next()
-                    .ok_or_else(|| Error::Transport("missing pair reply in batch".into()))?;
+                    .ok_or_else(|| Error::transport("missing pair reply in batch"))?;
                 let (at, bt) = (pair.0.tensor()?, pair.1.tensor()?);
                 let dims = plan.output_dims(at.dims(), bt.dims())?;
                 out.push(DenseTensor::from_vec(dims, expect_f64s(reply)?)?);
@@ -2222,7 +2264,7 @@ impl Executor {
                     flops += f;
                 }
                 other => {
-                    return Err(Error::Transport(format!(
+                    return Err(Error::transport(format!(
                         "expected sparse entries, got {other:?}"
                     )))
                 }
@@ -2539,9 +2581,9 @@ impl Executor {
                     .zip(is_task)
                     .filter_map(|(rep, keep)| keep.then_some(rep));
                 for h in mats {
-                    let reply = task_replies.next().ok_or_else(|| {
-                        Error::Transport("missing factorization reply in batch".into())
-                    })?;
+                    let reply = task_replies
+                        .next()
+                        .ok_or_else(|| Error::transport("missing factorization reply in batch"))?;
                     out.push(decode(reply)?);
                     self.charge_factorization_h(h, flop_coeff)?;
                 }
@@ -2881,7 +2923,7 @@ fn slab_fields<T: WireScalar>(
 fn expect_f64s(reply: Reply) -> Result<Vec<f64>> {
     match reply {
         Reply::F64s(v) => Ok(v),
-        other => Err(Error::Transport(format!(
+        other => Err(Error::transport(format!(
             "expected f64 payload, got {other:?}"
         ))),
     }
@@ -2940,7 +2982,7 @@ fn decode_svd(reply: Reply) -> Result<TruncatedSvd> {
             trunc_err,
             n_discarded: n_discarded as usize,
         }),
-        other => Err(Error::Transport(format!("expected SVD, got {other:?}"))),
+        other => Err(Error::transport(format!("expected SVD, got {other:?}"))),
     }
 }
 
@@ -2958,7 +3000,7 @@ fn decode_qr(reply: Reply) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> {
             DenseTensor::from_vec([q_rows, q_cols], q)?,
             DenseTensor::from_vec([r_rows, r_cols], r)?,
         )),
-        other => Err(Error::Transport(format!("expected QR, got {other:?}"))),
+        other => Err(Error::transport(format!("expected QR, got {other:?}"))),
     }
 }
 

@@ -52,10 +52,98 @@ pub use summa::DistMatrix;
 #[cfg(unix)]
 pub use transport::ProcTransport;
 pub use transport::{maybe_serve, InProcTransport, SpawnSpec, Transport};
+#[cfg(unix)]
+pub use transport::{FaultPlan, ProcOptions};
 pub use tsqr::{tsqr, tsqr_on, tsqr_on_h};
+
+// DistError / FaultKind are defined below and exported from the crate
+// root alongside Error/Result.
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// What class of transport-layer fault occurred — the driver's typed view
+/// of "something went wrong talking to a rank", precise enough for the
+/// recovery machinery to pick a response (respawn, retire, retry, abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker process exited or closed its connection.
+    WorkerDied,
+    /// A read or write missed its deadline (wedged rank).
+    Timeout,
+    /// A frame or message failed to decode (corruption, protocol skew).
+    Decode,
+    /// Socket- or OS-level I/O failure.
+    Io,
+    /// Spawning (or respawning) a worker process failed.
+    Spawn,
+    /// The task itself failed on a healthy worker ([`Reply::Fail`] —
+    /// not a transport fault; never triggers recovery).
+    Task,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::WorkerDied => "worker died",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Decode => "decode",
+            FaultKind::Io => "io",
+            FaultKind::Spawn => "spawn",
+            FaultKind::Task => "task",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FaultKind {
+    /// Whether this fault means the rank's resident state is suspect and
+    /// the recovery machinery should respawn/replay (task failures and
+    /// plain config errors are not recoverable-by-respawn).
+    pub fn is_rank_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::WorkerDied | FaultKind::Timeout | FaultKind::Decode
+        )
+    }
+}
+
+/// A typed transport-layer failure: what happened, on which rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistError {
+    /// Fault classification.
+    pub kind: FaultKind,
+    /// The logical rank the fault concerns, when attributable.
+    pub rank: Option<usize>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl DistError {
+    /// A fault of `kind` on `rank`.
+    pub fn new(kind: FaultKind, rank: Option<usize>, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            rank,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.rank {
+            Some(r) => write!(f, "{} (rank {r}): {}", self.kind, self.detail),
+            None => write!(f, "{}: {}", self.kind, self.detail),
+        }
+    }
+}
+
+impl From<DistError> for Error {
+    fn from(e: DistError) -> Self {
+        Error::Transport(e)
+    }
+}
 
 /// Errors from the distributed runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,9 +154,29 @@ pub enum Error {
     Linalg(tt_linalg::Error),
     /// Invalid runtime configuration or operand (rank counts, distributions).
     Runtime(String),
-    /// Transport-layer failure: spawn, socket, framing, or a task that
-    /// failed on a worker process.
-    Transport(String),
+    /// Transport-layer failure: spawn, socket, framing, timeout, or a task
+    /// that failed on a worker process.
+    Transport(DistError),
+}
+
+impl Error {
+    /// Generic transport failure with no rank attribution ([`FaultKind::Io`]).
+    pub(crate) fn transport(detail: impl Into<String>) -> Self {
+        Error::Transport(DistError::new(FaultKind::Io, None, detail))
+    }
+
+    /// A classified fault on a specific rank.
+    pub(crate) fn fault(kind: FaultKind, rank: usize, detail: impl Into<String>) -> Self {
+        Error::Transport(DistError::new(kind, Some(rank), detail))
+    }
+
+    /// The transport fault inside, if this is one.
+    pub fn as_fault(&self) -> Option<&DistError> {
+        match self {
+            Error::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl From<tt_tensor::Error> for Error {
@@ -89,7 +197,7 @@ impl std::fmt::Display for Error {
             Error::Tensor(e) => write!(f, "tensor kernel: {e}"),
             Error::Linalg(e) => write!(f, "linear algebra: {e}"),
             Error::Runtime(s) => write!(f, "runtime: {s}"),
-            Error::Transport(s) => write!(f, "transport: {s}"),
+            Error::Transport(e) => write!(f, "transport: {e}"),
         }
     }
 }

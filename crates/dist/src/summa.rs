@@ -220,7 +220,7 @@ impl DistMatrix {
             match reply {
                 Reply::F64s(v) => c.extend_from_slice(&v),
                 other => {
-                    return Err(Error::Transport(format!(
+                    return Err(Error::transport(format!(
                         "expected summa slab, got {other:?}"
                     )))
                 }

@@ -47,7 +47,7 @@ impl Transport for InProcTransport {
 
     fn send(&mut self, to: usize, tag: u64, msg: &[u8]) -> Result<()> {
         if to >= self.workers.len() {
-            return Err(Error::Transport(format!("no rank {to}")));
+            return Err(Error::transport(format!("no rank {to}")));
         }
         let req = Request::decode(msg)?;
         if let Some(reply) = self.workers[to].handle(req) {
@@ -61,12 +61,12 @@ impl Transport for InProcTransport {
 
     fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>> {
         if from >= self.workers.len() {
-            return Err(Error::Transport(format!("no rank {from}")));
+            return Err(Error::transport(format!("no rank {from}")));
         }
         self.outbox[from]
             .get_mut(&tag)
             .and_then(|q| q.pop_front())
-            .ok_or_else(|| Error::Transport(format!("no reply from rank {from} under tag {tag}")))
+            .ok_or_else(|| Error::transport(format!("no reply from rank {from} under tag {tag}")))
     }
 }
 

@@ -28,7 +28,7 @@ pub(crate) mod worker;
 
 pub use inproc::InProcTransport;
 #[cfg(unix)]
-pub use process::ProcTransport;
+pub use process::{FaultPlan, ProcOptions, ProcTransport};
 pub use worker::maybe_serve;
 #[cfg(unix)]
 pub use worker::{serve_from_env, worker_loop};
@@ -71,6 +71,58 @@ pub trait Transport: Send {
     /// Blocking-receive the reply from rank `from` under `tag`.
     fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>>;
 
+    /// Whether dead ranks can be brought back ([`Transport::respawn`] /
+    /// [`Transport::retire`]). When true, the driver-side [`Cluster`]
+    /// journals state-mutating requests so a respawned rank's resident
+    /// store can be reconstructed; when false (the in-process backend,
+    /// whose ranks cannot die) no journal is kept.
+    ///
+    /// [`Cluster`]: crate::Cluster
+    fn supports_recovery(&self) -> bool {
+        false
+    }
+
+    /// Replace the endpoint serving `rank` with a fresh one (respawn the
+    /// worker process), discarding whatever state it held. The caller is
+    /// responsible for reconstructing resident state afterwards.
+    fn respawn(&mut self, rank: usize) -> Result<()> {
+        Err(Error::fault(
+            crate::FaultKind::Spawn,
+            rank,
+            "this transport cannot respawn ranks",
+        ))
+    }
+
+    /// Permanently retire a failed rank, re-routing its logical id onto a
+    /// surviving endpoint (degraded operation: placement, keys and cost
+    /// charges all stay in logical rank space). Returns the physical
+    /// endpoint index now serving the rank.
+    fn retire(&mut self, rank: usize) -> Result<usize> {
+        Err(Error::fault(
+            crate::FaultKind::Spawn,
+            rank,
+            "this transport cannot retire ranks",
+        ))
+    }
+
+    /// The logical ranks served by the same physical endpoint as `rank`
+    /// (including `rank` itself). When a worker dies, *all* of its
+    /// logical ranks lose their resident state and must be reconstructed;
+    /// degradation ([`Transport::retire`]) is what makes this set grow
+    /// beyond the singleton.
+    fn peers(&self, rank: usize) -> Vec<usize> {
+        vec![rank]
+    }
+
+    /// Bound every blocking receive (and stalled send) by `deadline`, so a
+    /// dead or wedged rank surfaces as a typed [`FaultKind::Timeout`] /
+    /// [`FaultKind::WorkerDied`] fault instead of a hang. No-op on
+    /// transports whose operations cannot block.
+    ///
+    /// [`FaultKind::Timeout`]: crate::FaultKind::Timeout
+    /// [`FaultKind::WorkerDied`]: crate::FaultKind::WorkerDied
+    fn set_deadline(&mut self, _deadline: std::time::Duration) {}
+
     /// Rendezvous with every rank: each must answer a ping before any
     /// result is returned.
     fn barrier(&mut self) -> Result<()> {
@@ -79,7 +131,7 @@ pub trait Transport: Send {
             match recv_reply(self, rank, tag)? {
                 Reply::Pong => {}
                 other => {
-                    return Err(Error::Transport(format!(
+                    return Err(Error::transport(format!(
                         "barrier: rank {rank} answered {other:?}"
                     )))
                 }
@@ -92,7 +144,7 @@ pub trait Transport: Send {
     /// have exactly one entry per rank.
     fn scatter(&mut self, key: u64, parts: &[Vec<f64>]) -> Result<()> {
         if parts.len() != self.ranks() {
-            return Err(Error::Transport(format!(
+            return Err(Error::transport(format!(
                 "scatter wants {} parts, got {}",
                 self.ranks(),
                 parts.len()
@@ -116,7 +168,7 @@ pub trait Transport: Send {
             match recv_reply(self, rank, tag)? {
                 Reply::Unit => {}
                 other => {
-                    return Err(Error::Transport(format!(
+                    return Err(Error::transport(format!(
                         "rank {rank}: expected ack, got {other:?}"
                     )))
                 }
@@ -144,7 +196,7 @@ pub trait Transport: Send {
         let mut sum = parts[0].clone();
         for (rank, part) in parts.iter().enumerate().skip(1) {
             if part.len() != sum.len() {
-                return Err(Error::Transport(format!(
+                return Err(Error::transport(format!(
                     "allreduce: rank {rank} holds {} words, rank 0 holds {}",
                     part.len(),
                     sum.len()
@@ -177,7 +229,7 @@ fn send_all_same(t: &mut (impl Transport + ?Sized), req: &Request) -> Result<Vec
 /// Receive and decode one reply, surfacing worker-side failures.
 fn recv_reply(t: &mut (impl Transport + ?Sized), rank: usize, tag: u64) -> Result<Reply> {
     match Reply::decode(&t.recv(rank, tag)?)? {
-        Reply::Fail(msg) => Err(Error::Transport(format!("rank {rank}: {msg}"))),
+        Reply::Fail(msg) => Err(Error::transport(format!("rank {rank}: {msg}"))),
         reply => Ok(reply),
     }
 }
@@ -190,7 +242,7 @@ fn gather_parts(t: &mut (impl Transport + ?Sized), key: u64) -> Result<Vec<Vec<f
         match recv_reply(t, rank, tag)? {
             Reply::F64s(v) => parts.push(v),
             other => {
-                return Err(Error::Transport(format!(
+                return Err(Error::transport(format!(
                     "rank {rank}: expected buffer, got {other:?}"
                 )))
             }

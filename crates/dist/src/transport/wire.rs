@@ -14,8 +14,9 @@ use std::io::{Read, Write};
 use tt_tensor::Complex64;
 
 /// Refuse frames larger than this (corrupt headers would otherwise ask the
-/// reader to allocate terabytes).
-const MAX_FRAME_BYTES: u64 = 1 << 34;
+/// reader to allocate terabytes). Shared with the driver's pumping reader,
+/// which peels frames out of its own buffer.
+pub(crate) const MAX_FRAME_BYTES: u64 = 1 << 34;
 
 /// Append-only message encoder.
 #[derive(Default)]
@@ -110,7 +111,7 @@ impl<'a> Dec<'a> {
     fn take_elems(&mut self, count: usize, width: usize) -> Result<&'a [u8]> {
         let bytes = count
             .checked_mul(width)
-            .ok_or_else(|| Error::Transport(format!("absurd element count {count} in message")))?;
+            .ok_or_else(|| Error::transport(format!("absurd element count {count} in message")))?;
         self.take(bytes)
     }
 
@@ -118,9 +119,9 @@ impl<'a> Dec<'a> {
         let end = self
             .pos
             .checked_add(n)
-            .ok_or_else(|| Error::Transport("decode offset overflow".into()))?;
+            .ok_or_else(|| Error::transport("decode offset overflow"))?;
         if end > self.buf.len() {
-            return Err(Error::Transport(format!(
+            return Err(Error::transport(format!(
                 "truncated message: wanted {n} bytes at {}, have {}",
                 self.pos,
                 self.buf.len()
@@ -144,7 +145,7 @@ impl<'a> Dec<'a> {
 
     /// Read a `u64` and narrow it to `usize`.
     pub fn usize(&mut self) -> Result<usize> {
-        usize::try_from(self.u64()?).map_err(|_| Error::Transport("length exceeds usize".into()))
+        usize::try_from(self.u64()?).map_err(|_| Error::transport("length exceeds usize"))
     }
 
     /// Read a little-endian `f64` (exact bit pattern).
@@ -194,7 +195,7 @@ impl<'a> Dec<'a> {
     pub fn str(&mut self) -> Result<String> {
         let n = self.usize()?;
         let b = self.take(n)?;
-        String::from_utf8(b.to_vec()).map_err(|_| Error::Transport("invalid UTF-8 string".into()))
+        String::from_utf8(b.to_vec()).map_err(|_| Error::transport("invalid UTF-8 string"))
     }
 }
 
@@ -206,22 +207,22 @@ pub fn write_frame(w: &mut impl Write, tag: u64, payload: &[u8]) -> Result<()> {
     frame.extend_from_slice(payload);
     w.write_all(&frame)
         .and_then(|()| w.flush())
-        .map_err(|e| Error::Transport(format!("write frame: {e}")))
+        .map_err(|e| Error::transport(format!("write frame: {e}")))
 }
 
 /// Blocking-read one frame; returns `(tag, payload)`.
 pub fn read_frame(r: &mut impl Read) -> Result<(u64, Vec<u8>)> {
     let mut header = [0u8; 16];
     r.read_exact(&mut header)
-        .map_err(|e| Error::Transport(format!("read frame header: {e}")))?;
+        .map_err(|e| Error::transport(format!("read frame header: {e}")))?;
     let tag = u64::from_le_bytes(header[..8].try_into().unwrap());
     let len = u64::from_le_bytes(header[8..].try_into().unwrap());
     if len > MAX_FRAME_BYTES {
-        return Err(Error::Transport(format!("frame of {len} bytes refused")));
+        return Err(Error::transport(format!("frame of {len} bytes refused")));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)
-        .map_err(|e| Error::Transport(format!("read frame payload: {e}")))?;
+        .map_err(|e| Error::transport(format!("read frame payload: {e}")))?;
     Ok((tag, payload))
 }
 
@@ -279,6 +280,45 @@ mod tests {
         assert!(d.f64s().is_err());
         let mut d = Dec::new(&[0xff; 8]);
         assert!(d.f64s().is_err(), "absurd length prefix must error");
+    }
+
+    #[test]
+    fn garbage_never_panics_the_primitive_decoders() {
+        // deterministic xorshift garbage through every Dec getter: typed
+        // errors only, no panics, no absurd allocations
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..256 {
+            let len = (next() % 64) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let mut d = Dec::new(&bytes);
+            match round % 8 {
+                0 => drop(d.u8()),
+                1 => drop(d.u64()),
+                2 => drop(d.usize()),
+                3 => drop(d.f64()),
+                4 => drop(d.f64s()),
+                5 => drop(d.u64s()),
+                6 => drop(d.c64s()),
+                _ => drop(d.str()),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frame_headers_are_refused() {
+        // a corrupt length field must not ask the reader to allocate
+        // terabytes — the frame is refused before the payload read
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 32]);
+        assert!(read_frame(&mut &buf[..]).is_err());
     }
 
     #[test]

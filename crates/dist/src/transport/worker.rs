@@ -319,7 +319,7 @@ fn path_from_u8(v: u8) -> Result<GemmPath> {
         0 => Ok(GemmPath::Gemv),
         1 => Ok(GemmPath::Scalar),
         2 => Ok(GemmPath::Packed),
-        _ => Err(Error::Transport(format!("bad gemm path tag {v}"))),
+        _ => Err(Error::transport(format!("bad gemm path tag {v}"))),
     }
 }
 
@@ -353,7 +353,7 @@ impl OpF {
         Ok(match d.u8()? {
             0 => OpF::Inline(d.f64s()?),
             1 => OpF::Key(d.u64()?),
-            t => return Err(Error::Transport(format!("bad operand tag {t}"))),
+            t => return Err(Error::transport(format!("bad operand tag {t}"))),
         })
     }
 }
@@ -376,7 +376,7 @@ impl OpC {
         Ok(match d.u8()? {
             0 => OpC::Inline(d.c64s()?),
             1 => OpC::Key(d.u64()?),
-            t => return Err(Error::Transport(format!("bad operand tag {t}"))),
+            t => return Err(Error::transport(format!("bad operand tag {t}"))),
         })
     }
 }
@@ -405,7 +405,7 @@ impl OpCoords {
                 vals: d.f64s()?,
             },
             1 => OpCoords::Key(d.u64()?),
-            t => return Err(Error::Transport(format!("bad operand tag {t}"))),
+            t => return Err(Error::transport(format!("bad operand tag {t}"))),
         })
     }
 }
@@ -441,7 +441,7 @@ impl OpSs {
                 vals: d.f64s()?,
             },
             1 => OpSs::Key(d.u64()?),
-            t => return Err(Error::Transport(format!("bad operand tag {t}"))),
+            t => return Err(Error::transport(format!("bad operand tag {t}"))),
         })
     }
 }
@@ -850,7 +850,7 @@ impl Request {
                 store: d.u64()?,
             },
             26 => Request::Download { key: d.u64()? },
-            op => return Err(Error::Transport(format!("unknown request opcode {op}"))),
+            op => return Err(Error::transport(format!("unknown request opcode {op}"))),
         };
         Ok(req)
     }
@@ -968,7 +968,7 @@ impl Reply {
                 entries: d.u64()?,
                 pinned: d.u64()?,
             },
-            op => return Err(Error::Transport(format!("unknown reply opcode {op}"))),
+            op => return Err(Error::transport(format!("unknown reply opcode {op}"))),
         };
         Ok(rep)
     }
@@ -989,15 +989,15 @@ impl SsTable {
     /// surface as a transport error, not UB-adjacent nonsense).
     fn build(keys: Vec<u64>, lens: &[u64], cols: Vec<u64>, vals: Vec<f64>) -> Result<Self> {
         if cols.len() != vals.len() || keys.len() != lens.len() {
-            return Err(Error::Transport("ss group table mismatch".into()));
+            return Err(Error::transport("ss group table mismatch"));
         }
         let total: u64 = lens.iter().sum();
         if total != cols.len() as u64 {
-            return Err(Error::Transport("ss group table mismatch".into()));
+            return Err(Error::transport("ss group table mismatch"));
         }
         if !keys.windows(2).all(|w| w[0] < w[1]) {
-            return Err(Error::Transport(
-                "ss group table keys not strictly ascending".into(),
+            return Err(Error::transport(
+                "ss group table keys not strictly ascending",
             ));
         }
         Ok(Self {
@@ -1124,7 +1124,7 @@ impl WorkerState {
         let e = self
             .store
             .get_mut(&key)
-            .ok_or_else(|| Error::Transport(format!("no buffer under key {key:#x}")))?;
+            .ok_or_else(|| Error::transport(format!("no buffer under key {key:#x}")))?;
         e.last_use = stamp;
         Ok(e)
     }
@@ -1132,14 +1132,14 @@ impl WorkerState {
     fn get_f64(&mut self, key: u64) -> Result<Arc<Vec<f64>>> {
         match &self.touch(key)?.val {
             Cached::F64(v) => Ok(Arc::clone(v)),
-            _ => Err(Error::Transport(format!("key {key:#x} is not f64 data"))),
+            _ => Err(Error::transport(format!("key {key:#x} is not f64 data"))),
         }
     }
 
     fn get_c64(&mut self, key: u64) -> Result<Arc<Vec<Complex64>>> {
         match &self.touch(key)?.val {
             Cached::C64(v) => Ok(Arc::clone(v)),
-            _ => Err(Error::Transport(format!(
+            _ => Err(Error::transport(format!(
                 "key {key:#x} is not Complex64 data"
             ))),
         }
@@ -1148,7 +1148,7 @@ impl WorkerState {
     fn get_coords(&mut self, key: u64) -> Result<Arc<Vec<kernels::Coord>>> {
         match &self.touch(key)?.val {
             Cached::Coords(v) => Ok(Arc::clone(v)),
-            _ => Err(Error::Transport(format!(
+            _ => Err(Error::transport(format!(
                 "key {key:#x} is not a coordinate bucket"
             ))),
         }
@@ -1157,7 +1157,7 @@ impl WorkerState {
     fn get_ss(&mut self, key: u64) -> Result<Arc<SsTable>> {
         match &self.touch(key)?.val {
             Cached::Ss(v) => Ok(Arc::clone(v)),
-            _ => Err(Error::Transport(format!(
+            _ => Err(Error::transport(format!(
                 "key {key:#x} is not a grouped ss operand"
             ))),
         }
@@ -1189,7 +1189,7 @@ impl WorkerState {
         match op {
             OpCoords::Inline { rows, cols, vals } => {
                 if rows.len() != cols.len() || rows.len() != vals.len() {
-                    return Err(Error::Transport("coordinate arity mismatch".into()));
+                    return Err(Error::transport("coordinate arity mismatch"));
                 }
                 Ok(Arc::new(
                     rows.into_iter()
@@ -1229,15 +1229,13 @@ impl WorkerState {
         let entry = self
             .store
             .get_mut(&key)
-            .ok_or_else(|| Error::Transport(format!("no chain result under key {key:#x}")))?;
+            .ok_or_else(|| Error::transport(format!("no chain result under key {key:#x}")))?;
         entry.last_use = stamp;
         let Cached::F64(buf) = &mut entry.val else {
-            return Err(Error::Transport(
-                "chain result has wrong payload type".into(),
-            ));
+            return Err(Error::transport("chain result has wrong payload type"));
         };
         if buf.len() != data.len() {
-            return Err(Error::Transport("chain partial shape mismatch".into()));
+            return Err(Error::transport("chain partial shape mismatch"));
         }
         for (c, p) in Arc::make_mut(buf).iter_mut().zip(&data) {
             *c += p;
@@ -1255,15 +1253,13 @@ impl WorkerState {
         let entry = self
             .store
             .get_mut(&key)
-            .ok_or_else(|| Error::Transport(format!("no chain result under key {key:#x}")))?;
+            .ok_or_else(|| Error::transport(format!("no chain result under key {key:#x}")))?;
         entry.last_use = stamp;
         let Cached::C64(buf) = &mut entry.val else {
-            return Err(Error::Transport(
-                "chain result has wrong payload type".into(),
-            ));
+            return Err(Error::transport("chain result has wrong payload type"));
         };
         if buf.len() != data.len() {
-            return Err(Error::Transport("chain partial shape mismatch".into()));
+            return Err(Error::transport("chain partial shape mismatch"));
         }
         for (c, p) in Arc::make_mut(buf).iter_mut().zip(&data) {
             *c += *p;
@@ -1360,7 +1356,7 @@ impl WorkerState {
                 let a = self.opf(a)?;
                 let b = self.opf(b)?;
                 if a.len() != rows * k || b.len() != k * n {
-                    return Err(Error::Transport("dense chunk operand size mismatch".into()));
+                    return Err(Error::transport("dense chunk operand size mismatch"));
                 }
                 Ok(Reply::F64s(kernels::dense_chunk(path, rows, k, n, &a, &b)))
             }
@@ -1375,7 +1371,7 @@ impl WorkerState {
                 let a = self.opc(a)?;
                 let b = self.opc(b)?;
                 if a.len() != rows * k || b.len() != k * n {
-                    return Err(Error::Transport("dense chunk operand size mismatch".into()));
+                    return Err(Error::transport("dense chunk operand size mismatch"));
                 }
                 Ok(Reply::C64s(kernels::dense_chunk(path, rows, k, n, &a, &b)))
             }
@@ -1530,12 +1526,12 @@ impl WorkerState {
                 let entry = self
                     .store
                     .remove(&key)
-                    .ok_or_else(|| Error::Transport(format!("no result under key {key:#x}")))?;
+                    .ok_or_else(|| Error::transport(format!("no result under key {key:#x}")))?;
                 self.bytes -= entry.val.bytes();
                 match entry.val {
                     Cached::F64(v) => Ok(Reply::F64s(Self::take(v))),
                     Cached::C64(v) => Ok(Reply::C64s(Self::take(v))),
-                    _ => Err(Error::Transport(format!(
+                    _ => Err(Error::transport(format!(
                         "key {key:#x} does not hold a downloadable dense buffer"
                     ))),
                 }
@@ -1554,19 +1550,19 @@ impl WorkerState {
                 b,
             } => {
                 if a.len() != rows * w || b.len() != w * n {
-                    return Err(Error::Transport("summa panel size mismatch".into()));
+                    return Err(Error::transport("summa panel size mismatch"));
                 }
                 let stamp = self.tick();
                 let entry = self
                     .store
                     .get_mut(&key)
-                    .ok_or_else(|| Error::Transport(format!("no summa slab under key {key}")))?;
+                    .ok_or_else(|| Error::transport(format!("no summa slab under key {key}")))?;
                 entry.last_use = stamp;
                 let Cached::F64(slab) = &mut entry.val else {
-                    return Err(Error::Transport("summa slab has wrong payload type".into()));
+                    return Err(Error::transport("summa slab has wrong payload type"));
                 };
                 if slab.len() != rows * n {
-                    return Err(Error::Transport("summa slab shape mismatch".into()));
+                    return Err(Error::transport("summa slab shape mismatch"));
                 }
                 tt_tensor::gemm::gemm_acc_slices(
                     rows,
@@ -1625,13 +1621,13 @@ pub fn worker_loop(mut stream: std::os::unix::net::UnixStream) -> Result<()> {
 #[cfg(unix)]
 pub fn serve_from_env() -> Result<()> {
     let path =
-        std::env::var(ENV_SOCKET).map_err(|_| Error::Transport(format!("{ENV_SOCKET} not set")))?;
+        std::env::var(ENV_SOCKET).map_err(|_| Error::transport(format!("{ENV_SOCKET} not set")))?;
     let rank: u64 = std::env::var(ENV_RANK)
         .ok()
         .and_then(|r| r.parse().ok())
-        .ok_or_else(|| Error::Transport(format!("{ENV_RANK} not set")))?;
+        .ok_or_else(|| Error::transport(format!("{ENV_RANK} not set")))?;
     let mut stream = std::os::unix::net::UnixStream::connect(&path)
-        .map_err(|e| Error::Transport(format!("connect {path}: {e}")))?;
+        .map_err(|e| Error::transport(format!("connect {path}: {e}")))?;
     // hello frame: tag 0, payload = rank
     let mut e = Enc::new();
     e.put_u64(rank);
@@ -1960,6 +1956,67 @@ mod tests {
             for rep in reps {
                 let bytes = rep.encode();
                 prop_assert_eq!(Reply::decode(&bytes).unwrap().encode(), bytes);
+            }
+        }
+
+        /// Pure garbage never panics the decoders — a malformed frame from
+        /// a misbehaving worker must surface as a typed error, never crash
+        /// the driver (and vice versa for requests on the worker side).
+        #[test]
+        fn garbage_bytes_never_panic_the_decoders(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = Request::decode(&bytes);
+            let _ = Reply::decode(&bytes);
+        }
+    }
+
+    /// Every truncation of every valid message decodes to an error (or a
+    /// shorter valid message for payload-trailing truncations) without
+    /// panicking.
+    #[test]
+    fn truncated_messages_never_panic() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                let _ = Request::decode(&bytes[..cut]);
+            }
+        }
+        let rep = Reply::Entries {
+            offs: vec![1, 2, 3],
+            vals: vec![0.5, 0.25, 0.125],
+            flops: 99,
+        }
+        .encode();
+        for cut in 0..rep.len() {
+            let _ = Reply::decode(&rep[..cut]);
+        }
+    }
+
+    /// Deterministic byte-flip fuzzing: xorshift-driven single- and
+    /// multi-byte corruptions of valid encodings must never panic either
+    /// decoder (they may decode to a different valid message — corruption
+    /// detection beyond framing is not the codec's contract).
+    #[test]
+    fn bit_flipped_messages_never_panic() {
+        let mut state = 0x243F_6A88_85A3_08D3u64; // deterministic seed
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for req in sample_requests() {
+            let bytes = req.encode();
+            if bytes.is_empty() {
+                continue;
+            }
+            for _ in 0..64 {
+                let mut m = bytes.clone();
+                for _ in 0..(1 + next() % 4) {
+                    let at = (next() as usize) % m.len();
+                    m[at] ^= (next() % 255 + 1) as u8;
+                }
+                let _ = Request::decode(&m);
+                let _ = Reply::decode(&m);
             }
         }
     }

@@ -105,7 +105,7 @@ fn decode_factors(reply: Reply) -> Result<(DenseTensor<f64>, DenseTensor<f64>)> 
             DenseTensor::from_vec([q_rows, q_cols], q)?,
             DenseTensor::from_vec([r_rows, r_cols], r)?,
         )),
-        other => Err(Error::Transport(format!(
+        other => Err(Error::transport(format!(
             "expected slab factors, got {other:?}"
         ))),
     }
