@@ -4,12 +4,20 @@
 //! paper). The paper's headline: 5.9× (m=4096) to 99× (m=32768) speedups
 //! at ~1.5× relative cost, with the Blue Waters Pareto frontier made up
 //! entirely of list-algorithm points.
+//!
+//! The model tables are followed by a **live** section: a concurrent
+//! bond-dimension scan submitted as jobs of a real solve-service daemon
+//! sharing one multi-process worker fleet — every point is a tenant, and
+//! identical Hamiltonian operands dedup across tenants worker-side.
 
-use tt_bench::{baseline_rate, model_step, System, Table, PAPER_MS};
+use tt_bench::{pareto_frontier, pareto_scan, pareto_table, System, PAPER_MS};
 use tt_blocks::Algorithm;
 use tt_dist::Machine;
 
 fn main() {
+    // when re-executed as a solve-service fleet worker, serve and exit
+    tt_dist::maybe_serve();
+
     for (mname, machines) in [
         (
             "BlueWaters",
@@ -18,56 +26,26 @@ fn main() {
         ("Stampede2", vec![Machine::stampede2(64)]),
     ] {
         println!("=== Fig. 10 ({mname}): relative time vs relative cost ===\n");
-        let mut t = Table::new(&[
-            "algo",
-            "ppn",
-            "nodes",
-            "m",
-            "rel time",
-            "rel cost",
-            "rate speedup",
-        ]);
-        let mut pareto: Vec<(f64, f64, String)> = Vec::new();
+        let mut points = Vec::new();
         for machine in &machines {
-            // baseline: single node at the same m (extrapolated when the
-            // state exceeds node memory, as the paper does)
-            for &m in &PAPER_MS[1..] {
-                let base = baseline_rate(System::Spins, machine, m);
-                for algo in [Algorithm::List, Algorithm::SparseDense] {
-                    for nodes in [4usize, 8, 16, 32, 64, 128, 256] {
-                        let run = model_step(System::Spins, algo, machine, nodes, m);
-                        if run.mem_per_node > machine.mem_per_node_gb * 1e9 {
-                            continue;
-                        }
-                        let rel_time = run.total() / base.total();
-                        let rel_cost = rel_time * nodes as f64;
-                        let rate_speedup = (run.flops / run.total()) / (base.flops / base.total());
-                        t.row(vec![
-                            algo.to_string(),
-                            machine.procs_per_node.to_string(),
-                            nodes.to_string(),
-                            m.to_string(),
-                            format!("{rel_time:.4}"),
-                            format!("{rel_cost:.2}"),
-                            format!("{rate_speedup:.1}"),
-                        ]);
-                        pareto.push((rel_cost, rel_time, format!("{algo} m={m} n={nodes}")));
-                    }
-                }
-            }
+            points.extend(pareto_scan(
+                System::Spins,
+                machine,
+                &[Algorithm::List, Algorithm::SparseDense],
+                &[4, 8, 16, 32, 64, 128, 256],
+                &PAPER_MS[1..],
+            ));
         }
+        let t = pareto_table(&points, true);
         t.print();
         let _ = t.write_csv(&format!("fig10_{mname}"));
 
-        // Pareto frontier: minimal time for given cost
-        pareto.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
-        let mut best = f64::INFINITY;
         println!("\nPareto frontier ({mname}):");
-        for (cost, time, label) in &pareto {
-            if *time < best {
-                best = *time;
-                println!("  cost {cost:>8.2}  time {time:.4}  {label}");
-            }
+        for p in pareto_frontier(&points) {
+            println!(
+                "  cost {:>8.2}  time {:.4}  {} m={} n={}",
+                p.rel_cost, p.rel_time, p.algo, p.m, p.nodes
+            );
         }
         println!();
     }
@@ -76,4 +54,66 @@ fn main() {
          gives larger rate speedups (5.9x at m=4096 up to ~99x at m=32768) at\n\
          modest relative cost."
     );
+    live_concurrent_scan();
 }
+
+/// Live section: the same scan shape as the model tables, run small —
+/// every bond-dimension point is one job of a solve-service daemon, all
+/// submitted up-front over one connection and scheduled concurrently on a
+/// shared 3-worker fleet.
+#[cfg(unix)]
+fn live_concurrent_scan() {
+    use tt_bench::{service_scan, Table};
+    use tt_dist::service::{AlgoSpec, DavidsonSpec, DmrgJobSpec, ModelSpec};
+
+    println!("\n== live concurrent scan (solve service, shared 3-worker fleet) ==\n");
+    let ms_points: &[u64] = &[12, 16, 24];
+    let specs: Vec<DmrgJobSpec> = ms_points
+        .iter()
+        .map(|&m| DmrgJobSpec {
+            model: ModelSpec::HeisenbergChain { n: 8, j2: 0.5 },
+            algo: AlgoSpec::List,
+            ms: vec![8, m],
+            sweeps_per_m: 1,
+            cutoff: 1e-10,
+            noise: 1e-4,
+            davidson: DavidsonSpec {
+                max_iter: 4,
+                max_subspace: 2,
+                tol: 1e-10,
+                seed: 0x1234,
+            },
+            timeout_ms: 0,
+            resident_cap_bytes: 0,
+        })
+        .collect();
+    let (reports, fleet) = match service_scan(&specs, 3, specs.len()) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("(skipped: could not run the solve service: {e})");
+            return;
+        }
+    };
+    let mut t = Table::new(&["m", "energy", "flops", "operand MB", "result MB", "sim s"]);
+    for (&m, r) in ms_points.iter().zip(&reports) {
+        t.row(vec![
+            m.to_string(),
+            format!("{:.8}", r.energy),
+            format!("{:.3e}", r.meter.flops as f64),
+            format!("{:.2}", r.meter.bytes_operands as f64 / 1e6),
+            format!("{:.2}", r.meter.bytes_results as f64 / 1e6),
+            format!("{:.3}", r.meter.sim_seconds),
+        ]);
+    }
+    t.print();
+    let hits: u64 = fleet.iter().map(|s| s.hits).sum();
+    let misses: u64 = fleet.iter().map(|s| s.misses).sum();
+    println!(
+        "\nfleet cache after the scan: {hits} hits / {misses} misses across {} ranks — \
+         concurrent tenants sharing the Hamiltonian reuse worker-resident operands",
+        fleet.len()
+    );
+}
+
+#[cfg(not(unix))]
+fn live_concurrent_scan() {}

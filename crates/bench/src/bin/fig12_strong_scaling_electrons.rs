@@ -116,6 +116,20 @@ fn live_driver_bytes() {
         last = now;
     }
 
+    // per-rank worker cache residency after the sweeps
+    if let Ok(stats) = exec.cache_stats() {
+        println!(
+            "\n{:<6} {:>12} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            "rank", "bytes", "entries", "pinned", "hits", "misses", "evictions"
+        );
+        for (r, s) in stats.iter().enumerate() {
+            println!(
+                "{:<6} {:>12} {:>8} {:>8} {:>10} {:>10} {:>10}",
+                r, s.bytes, s.entries, s.pinned, s.hits, s.misses, s.evictions
+            );
+        }
+    }
+
     // one local eigensolve at a middle bond, value-passing vs resident
     let envs = Environments::initialize(&exec, Algorithm::List, &psi, &mpo).expect("envs");
     let j = n / 2 - 1;

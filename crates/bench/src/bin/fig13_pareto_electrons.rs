@@ -4,42 +4,42 @@
 //! speedup at ~serial cost (0.98×); sparse-sparse reaches a 14× rate
 //! speedup at 4.5× cost; on S2 list gives 2× at 1.9× cost and sparse 3.9×
 //! at 8× cost.
+//!
+//! Ends with a **live** section: a concurrent Hubbard-chain scan run as
+//! jobs of a real solve-service daemon over one shared worker fleet,
+//! exercising both block algorithms side by side.
 
-use tt_bench::{baseline_rate, model_step, System, Table, PAPER_MS};
+use tt_bench::{pareto_frontier, pareto_scan, pareto_table, System, PAPER_MS};
 use tt_blocks::Algorithm;
 use tt_dist::Machine;
 
 fn main() {
+    // when re-executed as a solve-service fleet worker, serve and exit
+    tt_dist::maybe_serve();
+
     for machine in [Machine::blue_waters(16), Machine::stampede2(64)] {
         println!(
             "=== Fig. 13 ({}): relative time vs cost ===\n",
             machine.name
         );
-        let mut t = Table::new(&["algo", "nodes", "m", "rel time", "rel cost", "rate speedup"]);
-        for &m in &PAPER_MS[1..] {
-            let base = baseline_rate(System::Electrons, &machine, m);
-            for algo in [Algorithm::List, Algorithm::SparseSparse] {
-                for nodes in [1usize, 2, 4, 8, 16, 32] {
-                    let run = model_step(System::Electrons, algo, &machine, nodes, m);
-                    if run.mem_per_node > machine.mem_per_node_gb * 1e9 {
-                        continue;
-                    }
-                    let rel_time = run.total() / base.total();
-                    let rel_cost = rel_time * nodes as f64;
-                    let rate_speedup = (run.flops / run.total()) / (base.flops / base.total());
-                    t.row(vec![
-                        algo.to_string(),
-                        nodes.to_string(),
-                        m.to_string(),
-                        format!("{rel_time:.4}"),
-                        format!("{rel_cost:.2}"),
-                        format!("{rate_speedup:.1}"),
-                    ]);
-                }
-            }
-        }
+        let points = pareto_scan(
+            System::Electrons,
+            &machine,
+            &[Algorithm::List, Algorithm::SparseSparse],
+            &[1, 2, 4, 8, 16, 32],
+            &PAPER_MS[1..],
+        );
+        let t = pareto_table(&points, false);
         t.print();
         let _ = t.write_csv(&format!("fig13_{}", machine.name));
+
+        println!("\nPareto frontier ({}):", machine.name);
+        for p in pareto_frontier(&points) {
+            println!(
+                "  cost {:>8.2}  time {:.4}  {} m={} n={}",
+                p.rel_cost, p.rel_time, p.algo, p.m, p.nodes
+            );
+        }
         println!();
     }
     println!(
@@ -47,4 +47,69 @@ fn main() {
          serial flops); sparse-sparse buys more speedup at multiple of the\n\
          cost — the paper's 14x @ 4.5x (BW) and 3.9x @ 8x (S2) pattern."
     );
+    live_concurrent_scan();
 }
+
+/// Live section: one Hubbard chain, both block algorithms at two bond
+/// dimensions — four tenants of one solve-service daemon running
+/// concurrently on a shared 3-worker fleet.
+#[cfg(unix)]
+fn live_concurrent_scan() {
+    use tt_bench::{service_scan, Table};
+    use tt_dist::service::{AlgoSpec, DavidsonSpec, DmrgJobSpec, ModelSpec};
+
+    println!("\n== live concurrent scan (solve service, shared 3-worker fleet) ==\n");
+    let points: &[(AlgoSpec, u64)] = &[
+        (AlgoSpec::List, 12),
+        (AlgoSpec::List, 16),
+        (AlgoSpec::SparseSparse, 12),
+        (AlgoSpec::SparseSparse, 16),
+    ];
+    let specs: Vec<DmrgJobSpec> = points
+        .iter()
+        .map(|&(algo, m)| DmrgJobSpec {
+            model: ModelSpec::HubbardChain { n: 6, u: 8.5 },
+            algo,
+            ms: vec![8, m],
+            sweeps_per_m: 1,
+            cutoff: 1e-10,
+            noise: 1e-4,
+            davidson: DavidsonSpec {
+                max_iter: 4,
+                max_subspace: 2,
+                tol: 1e-10,
+                seed: 0x1234,
+            },
+            timeout_ms: 0,
+            resident_cap_bytes: 0,
+        })
+        .collect();
+    let (reports, fleet) = match service_scan(&specs, 3, specs.len()) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("(skipped: could not run the solve service: {e})");
+            return;
+        }
+    };
+    let mut t = Table::new(&["algo", "m", "energy", "flops", "operand MB", "sim s"]);
+    for (&(algo, m), r) in points.iter().zip(&reports) {
+        t.row(vec![
+            format!("{algo:?}"),
+            m.to_string(),
+            format!("{:.8}", r.energy),
+            format!("{:.3e}", r.meter.flops as f64),
+            format!("{:.2}", r.meter.bytes_operands as f64 / 1e6),
+            format!("{:.3}", r.meter.sim_seconds),
+        ]);
+    }
+    t.print();
+    let hits: u64 = fleet.iter().map(|s| s.hits).sum();
+    let misses: u64 = fleet.iter().map(|s| s.misses).sum();
+    println!(
+        "\nfleet cache after the scan: {hits} hits / {misses} misses across {} ranks",
+        fleet.len()
+    );
+}
+
+#[cfg(not(unix))]
+fn live_concurrent_scan() {}

@@ -18,7 +18,12 @@ pub mod scaling;
 pub mod workload;
 
 pub use scaling::{baseline_rate, model_step, rel_efficiency, ModelPoint, PAPER_MS};
-pub use workload::{grow_state, measure_middle_step, InstrumentedStep, System, WarmState};
+#[cfg(unix)]
+pub use workload::service_scan;
+pub use workload::{
+    grow_state, measure_middle_step, pareto_frontier, pareto_scan, pareto_table, InstrumentedStep,
+    ParetoPoint, System, WarmState,
+};
 
 /// Simple fixed-width table printer for figure binaries.
 pub struct Table {

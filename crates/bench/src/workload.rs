@@ -178,9 +178,184 @@ pub fn measure_middle_step(warm: &WarmState, exec: &Executor, algo: Algorithm) -
     }
 }
 
+/// One point of a Pareto model scan (Figs. 10 and 13): an
+/// (algorithm, node count, bond dimension) configuration placed on the
+/// relative-time / relative-node-hour-cost plane against the single-node
+/// baseline at the same `m`.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// Contraction algorithm of the run.
+    pub algo: Algorithm,
+    /// Processes per node of the machine model.
+    pub ppn: usize,
+    /// Node count.
+    pub nodes: usize,
+    /// Bond dimension.
+    pub m: usize,
+    /// Step time relative to the single-node baseline.
+    pub rel_time: f64,
+    /// Node-hour cost relative to the baseline (`rel_time × nodes`).
+    pub rel_cost: f64,
+    /// Flop-rate speedup over the baseline.
+    pub rate_speedup: f64,
+}
+
+/// Model-scan the (time, cost) plane for `system` on one machine:
+/// every `algo × nodes × m` point that fits in node memory, relative to
+/// the single-node baseline at the same `m` — the shared engine behind
+/// Figs. 10 and 13.
+pub fn pareto_scan(
+    system: System,
+    machine: &tt_dist::Machine,
+    algos: &[Algorithm],
+    nodes_list: &[usize],
+    ms: &[usize],
+) -> Vec<ParetoPoint> {
+    use crate::scaling::{baseline_rate, model_step};
+    let mut points = Vec::new();
+    for &m in ms {
+        let base = baseline_rate(system, machine, m);
+        for &algo in algos {
+            for &nodes in nodes_list {
+                let run = model_step(system, algo, machine, nodes, m);
+                if run.mem_per_node > machine.mem_per_node_gb * 1e9 {
+                    continue;
+                }
+                let rel_time = run.total() / base.total();
+                points.push(ParetoPoint {
+                    algo,
+                    ppn: machine.procs_per_node,
+                    nodes,
+                    m,
+                    rel_time,
+                    rel_cost: rel_time * nodes as f64,
+                    rate_speedup: (run.flops / run.total()) / (base.flops / base.total()),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Lay `points` out as the figures' table (the `ppn` column only when
+/// the scan spans machine variants).
+pub fn pareto_table(points: &[ParetoPoint], with_ppn: bool) -> crate::Table {
+    let headers: &[&str] = if with_ppn {
+        &[
+            "algo",
+            "ppn",
+            "nodes",
+            "m",
+            "rel time",
+            "rel cost",
+            "rate speedup",
+        ]
+    } else {
+        &["algo", "nodes", "m", "rel time", "rel cost", "rate speedup"]
+    };
+    let mut t = crate::Table::new(headers);
+    for p in points {
+        let mut row = vec![p.algo.to_string()];
+        if with_ppn {
+            row.push(p.ppn.to_string());
+        }
+        row.extend([
+            p.nodes.to_string(),
+            p.m.to_string(),
+            format!("{:.4}", p.rel_time),
+            format!("{:.2}", p.rel_cost),
+            format!("{:.1}", p.rate_speedup),
+        ]);
+        t.row(row);
+    }
+    t
+}
+
+/// The Pareto frontier of `points`: minimal relative time at each
+/// relative cost, in increasing-cost order.
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| a.rel_cost.partial_cmp(&b.rel_cost).expect("no NaN"));
+    let mut best = f64::INFINITY;
+    let mut front = Vec::new();
+    for p in sorted {
+        if p.rel_time < best {
+            best = p.rel_time;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Run `specs` as **concurrent jobs** of a freshly-started solve service
+/// (workers are re-execs of the current binary — the caller's `main` must
+/// start with `tt_dist::maybe_serve()`), returning each job's report in
+/// submission order plus the fleet-wide cache stats at completion.
+///
+/// This is the live half of Figs. 10/13: all scan points are submitted
+/// up-front over one client connection and the daemon schedules them onto
+/// the shared fleet, so identical operands across points dedup
+/// worker-side.
+#[cfg(unix)]
+pub fn service_scan(
+    specs: &[tt_dist::service::DmrgJobSpec],
+    workers: usize,
+    concurrent: usize,
+) -> tt_dist::Result<(
+    Vec<tt_dist::service::JobReport>,
+    Vec<tt_dist::RankCacheStats>,
+)> {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tt_dist::service::{Service, ServiceClient, ServiceConfig};
+    use tt_dist::SpawnSpec;
+
+    let socket = std::env::temp_dir().join(format!("tt-bench-scan-{}.sock", std::process::id()));
+    let mut cfg = ServiceConfig::new(&socket, workers);
+    cfg.spawn = SpawnSpec::SelfExec(vec![]);
+    cfg.max_concurrent = concurrent.max(1);
+    cfg.max_queued = specs.len().max(1);
+    let service = Service::start(cfg, Some(Arc::new(dmrg::DmrgSolveRunner)))?;
+    let mut client = ServiceClient::connect(&socket, Duration::from_secs(10))?;
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| client.submit_dmrg(s))
+        .collect::<tt_dist::Result<_>>()?;
+    let reports: Vec<_> = ids
+        .into_iter()
+        .map(|id| client.wait(id))
+        .collect::<tt_dist::Result<_>>()?;
+    let fleet = service.executor().cache_stats()?;
+    drop(client);
+    service.stop();
+    Ok((reports, fleet))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pareto_scan_and_frontier() {
+        let machine = tt_dist::Machine::blue_waters(16);
+        let points = pareto_scan(
+            System::Spins,
+            &machine,
+            &[Algorithm::List, Algorithm::SparseDense],
+            &[4, 8, 16],
+            &[4096, 8192],
+        );
+        assert!(!points.is_empty());
+        let front = pareto_frontier(&points);
+        assert!(!front.is_empty() && front.len() <= points.len());
+        // frontier is strictly improving in time, increasing in cost
+        for w in front.windows(2) {
+            assert!(w[1].rel_cost >= w[0].rel_cost);
+            assert!(w[1].rel_time < w[0].rel_time);
+        }
+        let t = pareto_table(&points, true);
+        assert_eq!(t.headers.len(), 7);
+    }
 
     #[test]
     fn grow_small_spin_state() {

@@ -263,19 +263,19 @@ impl Cluster {
 
     fn count_operand(&self, bytes: usize) {
         if let Some(t) = &self.tracker {
-            t.lock().bytes_operands += bytes as u64;
+            crate::cost::charge(t, |tr| tr.bytes_operands += bytes as u64);
         }
     }
 
     fn count_result(&self, bytes: usize) {
         if let Some(t) = &self.tracker {
-            t.lock().bytes_results += bytes as u64;
+            crate::cost::charge(t, |tr| tr.bytes_results += bytes as u64);
         }
     }
 
     fn count_recovery(&self, bytes: usize) {
         if let Some(t) = &self.tracker {
-            t.lock().bytes_recovery += bytes as u64;
+            crate::cost::charge(t, |tr| tr.bytes_recovery += bytes as u64);
         }
     }
 
@@ -316,7 +316,10 @@ impl Cluster {
     fn dispatch(&mut self, rank: usize, req: &Request) -> Result<u64> {
         let tag = self.transport.next_tag();
         let bytes = Arc::new(req.encode());
-        self.count_operand(bytes.len());
+        // operand metering counts the payload the request actually
+        // carries — a task whose operands are all worker-resident ships
+        // control framing only, and meters zero
+        self.count_operand(req.payload_bytes());
         if !self.logs.is_empty() {
             let class = journal_class(req);
             self.logs[rank].inflight.push_back(Inflight {

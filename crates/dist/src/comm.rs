@@ -6,7 +6,7 @@
 //! would cost under the α–β model (tree collectives: `⌈log₂ p⌉`
 //! supersteps).
 
-use crate::cost::CostTracker;
+use crate::cost::{self, CostTracker};
 use crate::exec::ExecMode;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -65,7 +65,7 @@ impl Comm {
 
     /// Point-to-point message of `bytes`: one superstep, full volume.
     pub fn charge_p2p(&self, bytes: u64) {
-        self.tracker.lock().charge_superstep(bytes);
+        cost::charge(&self.tracker, |t| t.charge_superstep(bytes));
     }
 
     /// Allreduce of `words` f64 values: `⌈log₂ p⌉` supersteps, ~2·bytes on
@@ -75,9 +75,9 @@ impl Comm {
             return;
         }
         let bytes = 2 * 8 * words;
-        self.tracker
-            .lock()
-            .charge_supersteps(self.tree_depth(), bytes);
+        cost::charge(&self.tracker, |t| {
+            t.charge_supersteps(self.tree_depth(), bytes)
+        });
     }
 
     /// Allgather where each rank contributes `words_per_rank` f64 values:
@@ -88,9 +88,9 @@ impl Comm {
         }
         let p = self.ranks as u64;
         let bytes = 8 * words_per_rank * (p - 1);
-        self.tracker
-            .lock()
-            .charge_supersteps(self.tree_depth(), bytes);
+        cost::charge(&self.tracker, |t| {
+            t.charge_supersteps(self.tree_depth(), bytes)
+        });
     }
 
     /// Scatter of `words_total` f64 values from one root: `⌈log₂ p⌉`
@@ -101,9 +101,9 @@ impl Comm {
         }
         let p = self.ranks as u64;
         let bytes = 8 * words_total * (p - 1) / p;
-        self.tracker
-            .lock()
-            .charge_supersteps(self.tree_depth(), bytes);
+        cost::charge(&self.tracker, |t| {
+            t.charge_supersteps(self.tree_depth(), bytes)
+        });
     }
 }
 

@@ -1,6 +1,23 @@
 //! BSP cost accounting: simulated time, supersteps, critical-path bytes.
+//!
+//! Besides the shared [`CostTracker`] every executor owns, this module
+//! hosts the **job scope** machinery used by the multi-tenant solve
+//! service (`tt_dist::service`): a thread-local [`JobScope`] guard that
+//! mirrors every charge made on the calling thread into a second,
+//! per-job tracker, keeps a per-job *logical charge book* (so a job's
+//! miss/hit sequence is exactly what a fresh executor would see — the
+//! as-if-run-alone meter), tracks the job's retained operand footprint,
+//! and carries an optional per-job request deadline that overrides the
+//! transport default. With no scope installed every helper is a no-op
+//! passthrough, so single-job callers are unaffected.
 
 use crate::machine::Machine;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Simulated wall time of one run, split into the Fig. 7 categories.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -136,6 +153,199 @@ impl CostTracker {
     }
 }
 
+/// Live operand-footprint meter for one job: net retained words and the
+/// peak, fed by the executor's upload/free paths while a [`JobScope`] is
+/// installed. Shared with the service scheduler, which enforces the
+/// per-job resident-byte cap against [`ResidentMeter::peak_bytes`].
+#[derive(Debug, Default)]
+pub struct ResidentMeter {
+    words: AtomicI64,
+    peak_words: AtomicU64,
+}
+
+impl ResidentMeter {
+    /// Fresh meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account a retain (+words) or release (-words).
+    fn account(&self, delta_words: i64) {
+        let now = self.words.fetch_add(delta_words, Ordering::Relaxed) + delta_words;
+        if now > 0 {
+            self.peak_words.fetch_max(now as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Currently retained operand bytes (8 bytes per word).
+    pub fn bytes(&self) -> u64 {
+        self.words.load(Ordering::Relaxed).max(0) as u64 * 8
+    }
+
+    /// Peak retained operand bytes over the scope's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_words.load(Ordering::Relaxed) * 8
+    }
+}
+
+/// The scope's private mirror of the driver's logical charge book,
+/// with the same lifecycle as [`Residency`](crate::handle): lkeys charge
+/// once per *resident period* of their content, and the job's final free
+/// of a content forgets its lkeys — so a later re-upload re-charges,
+/// exactly as it would on a fresh single-tenant executor.
+#[derive(Default)]
+struct ScopeBook {
+    /// Logical derived keys already charged.
+    charged: HashSet<u64>,
+    /// Per-content upload refcount and the lkeys charged under it.
+    contents: std::collections::HashMap<u64, (usize, Vec<u64>)>,
+}
+
+impl ScopeBook {
+    fn retain(&mut self, content: u64) {
+        self.contents.entry(content).or_insert((0, Vec::new())).0 += 1;
+    }
+
+    fn observe(&mut self, content: u64, lkey: u64) -> bool {
+        if !self.charged.insert(lkey) {
+            return false;
+        }
+        if let Some((_, lkeys)) = self.contents.get_mut(&content) {
+            lkeys.push(lkey);
+        }
+        true
+    }
+
+    fn release(&mut self, content: u64) {
+        if let Some((rc, lkeys)) = self.contents.get_mut(&content) {
+            *rc = rc.saturating_sub(1);
+            if *rc == 0 {
+                for k in lkeys.drain(..) {
+                    self.charged.remove(&k);
+                }
+                self.contents.remove(&content);
+            }
+        }
+    }
+}
+
+struct ScopeState {
+    tracker: Arc<Mutex<CostTracker>>,
+    book: ScopeBook,
+    resident: Arc<ResidentMeter>,
+    deadline: Option<Duration>,
+}
+
+thread_local! {
+    static JOB_SCOPE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+/// RAII guard installing a per-job cost scope on the **current thread**.
+///
+/// While alive, every α–β / flop / byte charge made on this thread is
+/// mirrored into `tracker` (in addition to the executor's shared
+/// tracker), operand hit/miss classification consults the scope's own
+/// logical charge book instead of the executor-wide one, retained
+/// operand words are accounted into `resident`, and blocking transport
+/// operations use `deadline` (when set) instead of the fleet default.
+///
+/// The multi-process backend executes entirely on the calling thread, so
+/// thread-local attribution captures a job completely. Scopes do not
+/// nest: installing a second scope on the same thread panics.
+pub struct JobScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl JobScope {
+    /// Install a scope on this thread. `tracker` should be fresh
+    /// (`CostTracker::new` with the executor's machine and rank count)
+    /// so the mirrored charges read as a standalone run.
+    pub fn enter(
+        tracker: Arc<Mutex<CostTracker>>,
+        resident: Arc<ResidentMeter>,
+        deadline: Option<Duration>,
+    ) -> Self {
+        JOB_SCOPE.with(|s| {
+            let mut slot = s.borrow_mut();
+            assert!(slot.is_none(), "job scopes do not nest");
+            *slot = Some(ScopeState {
+                tracker,
+                book: ScopeBook::default(),
+                resident,
+                deadline,
+            });
+        });
+        JobScope {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for JobScope {
+    fn drop(&mut self) {
+        JOB_SCOPE.with(|s| s.borrow_mut().take());
+    }
+}
+
+/// Apply `f` to the shared tracker and, when a [`JobScope`] is installed
+/// on this thread, to the job's tracker too. The two locks are taken
+/// sequentially, never nested.
+pub(crate) fn charge(main: &Mutex<CostTracker>, f: impl Fn(&mut CostTracker)) {
+    f(&mut main.lock());
+    JOB_SCOPE.with(|s| {
+        if let Some(state) = s.borrow().as_ref() {
+            f(&mut state.tracker.lock());
+        }
+    });
+}
+
+/// When a scope is installed, record one upload of `content` in the
+/// job's charge book.
+pub(crate) fn scope_retain(content: u64) {
+    JOB_SCOPE.with(|s| {
+        if let Some(state) = s.borrow_mut().as_mut() {
+            state.book.retain(content);
+        }
+    });
+}
+
+/// When a scope is installed, record `lkey` (derived from `content`) in
+/// the job's charge book and return `Some(first_sighting)`; `None` means
+/// no scope (use the executor-wide book).
+pub(crate) fn scope_observe(content: u64, lkey: u64) -> Option<bool> {
+    JOB_SCOPE.with(|s| {
+        s.borrow_mut()
+            .as_mut()
+            .map(|state| state.book.observe(content, lkey))
+    })
+}
+
+/// When a scope is installed, record one free of `content`: the last
+/// free forgets the content's charged lkeys, so a re-upload re-charges
+/// as it would on a fresh executor.
+pub(crate) fn scope_release(content: u64) {
+    JOB_SCOPE.with(|s| {
+        if let Some(state) = s.borrow_mut().as_mut() {
+            state.book.release(content);
+        }
+    });
+}
+
+/// The per-job deadline of the scope installed on this thread, if any.
+pub(crate) fn scope_deadline() -> Option<Duration> {
+    JOB_SCOPE.with(|s| s.borrow().as_ref().and_then(|state| state.deadline))
+}
+
+/// Account retained operand words (+retain / -release) to the scope's
+/// resident meter, if one is installed.
+pub(crate) fn scope_account(delta_words: i64) {
+    JOB_SCOPE.with(|s| {
+        if let Some(state) = s.borrow().as_ref() {
+            state.resident.account(delta_words);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +377,53 @@ mod tests {
         t.reset();
         assert_eq!(t.supersteps, 0);
         assert_eq!(t.sim.total(), 0.0);
+    }
+
+    #[test]
+    fn job_scope_mirrors_charges_and_books_independently() {
+        let main = Mutex::new(CostTracker::new(Machine::local(), 2));
+        // No scope: helpers are passthrough.
+        assert_eq!(scope_observe(1, 7), None);
+        assert_eq!(scope_deadline(), None);
+        charge(&main, |t| t.flops += 10);
+        assert_eq!(main.lock().flops, 10);
+
+        let job = Arc::new(Mutex::new(CostTracker::new(Machine::local(), 2)));
+        let meter = Arc::new(ResidentMeter::new());
+        {
+            let _scope = JobScope::enter(
+                Arc::clone(&job),
+                Arc::clone(&meter),
+                Some(Duration::from_millis(250)),
+            );
+            charge(&main, |t| {
+                t.flops += 5;
+                t.charge_superstep(800);
+            });
+            // The job's book starts empty even though the main side saw 7.
+            scope_retain(1);
+            assert_eq!(scope_observe(1, 7), Some(true));
+            assert_eq!(scope_observe(1, 7), Some(false));
+            // A second upload of the content keeps the book entry alive
+            // across the first free; the last free forgets it.
+            scope_retain(1);
+            scope_release(1);
+            assert_eq!(scope_observe(1, 7), Some(false));
+            scope_release(1);
+            assert_eq!(scope_observe(1, 7), Some(true));
+            assert_eq!(scope_deadline(), Some(Duration::from_millis(250)));
+            scope_account(100);
+            scope_account(-40);
+            scope_account(60);
+        }
+        assert_eq!(main.lock().flops, 15);
+        assert_eq!(job.lock().flops, 5);
+        assert_eq!(job.lock().supersteps, 1);
+        assert_eq!(job.lock().bytes_critical, 800);
+        assert_eq!(meter.bytes(), 120 * 8);
+        assert_eq!(meter.peak_bytes(), 120 * 8);
+        // Guard dropped: thread-local cleared.
+        assert_eq!(scope_observe(1, 9), None);
+        assert_eq!(scope_deadline(), None);
     }
 }

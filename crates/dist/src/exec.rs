@@ -27,7 +27,7 @@
 
 use crate::cluster::{Cluster, Placement};
 use crate::comm::Comm;
-use crate::cost::{CostTracker, SimTime};
+use crate::cost::{self, CostTracker, SimTime};
 use crate::handle::{
     derive, hseq, Fnv, LocalResult, OpHandle, Payload, Residency, ResultHandle, ResultInfo,
     ResultKind,
@@ -192,6 +192,7 @@ pub(crate) trait WireScalar: Scalar {
     ) -> Request;
     fn expect(reply: Reply) -> Result<Vec<Self>>;
     fn from_handle(h: &OpHandle) -> Result<&DenseTensor<Self>>;
+    fn payload(t: &DenseTensor<Self>) -> Payload;
 }
 
 impl WireScalar for f64 {
@@ -229,6 +230,10 @@ impl WireScalar for f64 {
 
     fn from_handle(h: &OpHandle) -> Result<&DenseTensor<Self>> {
         h.dense()
+    }
+
+    fn payload(t: &DenseTensor<Self>) -> Payload {
+        Payload::F64(Arc::new(t.clone()))
     }
 }
 
@@ -272,6 +277,10 @@ impl WireScalar for Complex64 {
 
     fn from_handle(h: &OpHandle) -> Result<&DenseTensor<Self>> {
         h.dense_c64()
+    }
+
+    fn payload(t: &DenseTensor<Self>) -> Payload {
+        Payload::C64(Arc::new(t.clone()))
     }
 }
 
@@ -463,6 +472,55 @@ pub struct Executor {
     /// advanced once per [`Executor::chain`] call, so one chain's
     /// unanchored steps stay together on one rank.
     chain_cursor: Mutex<usize>,
+    /// Cross-job retention cache (see [`Executor::set_retention_cap`]).
+    retention: Mutex<Retention>,
+}
+
+/// LRU book of contents the executor keeps resident beyond their
+/// uploaders' lifetimes so identical re-uploads (other tenants, later
+/// solves) hit the worker stores instead of re-shipping bytes. Holds one
+/// registry refcount per entry; front of `held` is the eviction victim.
+#[derive(Default)]
+struct Retention {
+    cap_bytes: u64,
+    bytes: u64,
+    held: Vec<(u64, u64)>,
+}
+
+impl Retention {
+    /// Pop oldest entries until within budget; returns the keys to release.
+    fn evict_over_cap(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        while self.bytes > self.cap_bytes && !self.held.is_empty() {
+            let (key, b) = self.held.remove(0);
+            self.bytes -= b;
+            out.push(key);
+        }
+        out
+    }
+}
+
+/// One rank's resident-store cache counters, as returned by
+/// [`Executor::cache_stats`]: footprint (`bytes`/`entries`), the pinned
+/// subset (refcounted by live result handles — exempt from LRU
+/// eviction), and the lifetime hit/miss/eviction counters that make
+/// cross-job operand dedup observable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankCacheStats {
+    /// Resident bytes in the store.
+    pub bytes: u64,
+    /// Resident entries in the store.
+    pub entries: u64,
+    /// Entries currently pinned (nonzero refcount).
+    pub pinned: u64,
+    /// Bytes held by pinned entries.
+    pub pinned_bytes: u64,
+    /// Keyed lookups served from the store since worker start.
+    pub hits: u64,
+    /// Fresh insertions (content not already resident) since start.
+    pub misses: u64,
+    /// LRU evictions since start.
+    pub evictions: u64,
 }
 
 impl Executor {
@@ -517,6 +575,7 @@ impl Executor {
             residency: Mutex::new(Residency::default()),
             next_result: Mutex::new(1 << 48),
             chain_cursor: Mutex::new(0),
+            retention: Mutex::new(Retention::default()),
         })
     }
 
@@ -562,6 +621,7 @@ impl Executor {
             residency: Mutex::new(Residency::default()),
             next_result: Mutex::new(1 << 48),
             chain_cursor: Mutex::new(0),
+            retention: Mutex::new(Retention::default()),
         })
     }
 
@@ -673,22 +733,32 @@ impl Executor {
     /// per block.
     pub fn upload_shared(&self, t: &Arc<DenseTensor<f64>>) -> OpHandle {
         let h = OpHandle::new(Payload::F64(Arc::clone(t)));
-        self.residency.lock().retain(h.key());
+        self.finish_upload(&h);
         h
     }
 
     /// Upload a dense [`Complex64`] tensor.
     pub fn upload_c64(&self, t: &DenseTensor<Complex64>) -> OpHandle {
         let h = OpHandle::new(Payload::C64(Arc::new(t.clone())));
-        self.residency.lock().retain(h.key());
+        self.finish_upload(&h);
         h
     }
 
     /// Upload a flattened sparse `f64` tensor.
     pub fn upload_sparse(&self, t: &SparseTensor<f64>) -> OpHandle {
         let h = OpHandle::new(Payload::Sparse(Arc::new(t.clone())));
-        self.residency.lock().retain(h.key());
+        self.finish_upload(&h);
         h
+    }
+
+    /// Common upload tail: register the refcount, account the retained
+    /// words to the current job scope (if any), and note the content in
+    /// the cross-job retention cache.
+    fn finish_upload(&self, h: &OpHandle) {
+        self.residency.lock().retain(h.key());
+        cost::scope_retain(h.key());
+        cost::scope_account(h.words() as i64);
+        self.note_retention(h);
     }
 
     /// A fresh driver-issued key for a resident contraction result.
@@ -706,22 +776,129 @@ impl Executor {
     /// them merely evictable would let unreachable garbage linger up to
     /// the LRU cap.
     pub fn free(&self, h: &OpHandle) -> Result<()> {
-        let leftovers = self.residency.lock().release(h.key())?;
-        if let (Some(left), Some(cl)) = (leftovers, &self.cluster) {
-            let reqs: Vec<(usize, Request)> = left
-                .physical
-                .iter()
-                .flat_map(|(wkey, ranks)| {
-                    ranks
+        cost::scope_release(h.key());
+        cost::scope_account(-(h.words() as i64));
+        self.release_key(h.key())
+    }
+
+    /// Drop one refcount of a resident content key, issuing worker-side
+    /// frees if it was the last. The cluster lock is taken *before* the
+    /// registry release and held across the `Free` requests, so a
+    /// concurrent job re-uploading the same content cannot interleave
+    /// between the registry drop and the worker-side frees (which would
+    /// delete the other job's live buffers).
+    fn release_key(&self, key: u64) -> Result<()> {
+        match &self.cluster {
+            Some(cl) => {
+                let mut cl = cl.lock();
+                if let Some(left) = self.residency.lock().release(key)? {
+                    let reqs: Vec<(usize, Request)> = left
+                        .physical
                         .iter()
-                        .map(move |&r| (r, Request::Free { key: *wkey }))
-                })
-                .collect();
-            if !reqs.is_empty() {
-                cl.lock().call_all(reqs)?;
+                        .flat_map(|(wkey, ranks)| {
+                            ranks
+                                .iter()
+                                .map(move |&r| (r, Request::Free { key: *wkey }))
+                        })
+                        .collect();
+                    if !reqs.is_empty() {
+                        cl.call_all(reqs)?;
+                    }
+                }
+            }
+            None => {
+                self.residency.lock().release(key)?;
             }
         }
         Ok(())
+    }
+
+    /// Byte budget for the cross-job **retention cache**: an executor-held
+    /// LRU of recently-uploaded contents, each pinned with one extra
+    /// registry refcount so its worker-side buffers outlive the
+    /// uploader's `free`. A later upload of identical content (same
+    /// content key — e.g. a second tenant solving the same Hamiltonian)
+    /// then finds every derived buffer already resident and ships zero
+    /// operand bytes. `0` (the default) disables retention; shrinking the
+    /// budget evicts oldest-first through the normal free path. Size it
+    /// below the worker LRU cap ([`Executor::set_worker_cache_cap`]) —
+    /// retained buffers are pinned and the worker LRU cannot evict them.
+    pub fn set_retention_cap(&self, bytes: u64) -> Result<()> {
+        let evict: Vec<u64> = {
+            let mut r = self.retention.lock();
+            r.cap_bytes = bytes;
+            r.evict_over_cap()
+        };
+        for key in evict {
+            self.release_key(key)?;
+        }
+        Ok(())
+    }
+
+    /// Record an uploaded content in the retention cache (refresh on
+    /// re-upload), evicting oldest entries beyond the byte budget.
+    /// Returns whether the cache holds the content afterwards.
+    fn note_retention(&self, h: &OpHandle) -> bool {
+        let evict: Vec<u64> = {
+            let mut r = self.retention.lock();
+            if r.cap_bytes == 0 {
+                return false;
+            }
+            let bytes = 8 * h.words() as u64;
+            if let Some(pos) = r.held.iter().position(|&(k, _)| k == h.key()) {
+                let entry = r.held.remove(pos);
+                r.held.push(entry);
+            } else if bytes <= r.cap_bytes {
+                self.residency.lock().retain(h.key());
+                r.held.push((h.key(), bytes));
+                r.bytes += bytes;
+            } else {
+                return false;
+            }
+            r.evict_over_cap()
+        };
+        for key in evict {
+            // Best-effort: eviction failure must not fail the upload.
+            let _ = self.release_key(key);
+        }
+        true
+    }
+
+    /// Whether the cross-job retention cache is active (real cluster,
+    /// nonzero byte budget) — the gate for value-operand auto-residency.
+    fn retention_enabled(&self) -> bool {
+        self.cluster.is_some() && self.retention.lock().cap_bytes > 0
+    }
+
+    /// Content-key a *value* operand through the retention cache so its
+    /// worker-side buffers persist and dedup across calls (and jobs)
+    /// exactly like uploaded handles. Purely physical: the caller must
+    /// keep charging the logical cost model on the value path. Returns
+    /// `None` (ship inline, as without retention) when the cache is off
+    /// or the tensor exceeds its budget. The returned handle carries one
+    /// registry refcount guarding the contraction in flight; pass it to
+    /// [`Executor::finish_auto`] when the requests have been answered.
+    fn auto_handle<T: WireScalar>(&self, op: &DenseOpT<T>, t: &DenseTensor<T>) -> Option<OpHandle> {
+        if op.handle().is_some() || !self.retention_enabled() {
+            return None;
+        }
+        let h = OpHandle::new(T::payload(t));
+        self.residency.lock().retain(h.key());
+        if self.note_retention(&h) {
+            Some(h)
+        } else {
+            let _ = self.release_key(h.key());
+            None
+        }
+    }
+
+    /// Drop an auto-residency guard taken by [`Executor::auto_handle`]:
+    /// the retention cache keeps its own pin, so the content stays
+    /// resident until evicted.
+    fn finish_auto(&self, h: Option<OpHandle>) {
+        if let Some(h) = h {
+            let _ = self.release_key(h.key());
+        }
     }
 
     /// Set the worker-side resident-store LRU byte cap on every rank
@@ -738,8 +915,20 @@ impl Executor {
     }
 
     /// Worker resident-store footprint as `(bytes, entries, pinned)` per
-    /// rank (empty in-process).
+    /// rank (empty in-process). Compatibility shim over
+    /// [`Executor::cache_stats`].
     pub fn worker_cache_stats(&self) -> Result<Vec<(u64, u64, u64)>> {
+        Ok(self
+            .cache_stats()?
+            .into_iter()
+            .map(|s| (s.bytes, s.entries, s.pinned))
+            .collect())
+    }
+
+    /// Per-rank resident-store cache counters (empty in-process): the
+    /// footprint plus the lifetime hit/miss/eviction counts the solve
+    /// service reports as fleet-wide residency stats.
+    pub fn cache_stats(&self) -> Result<Vec<RankCacheStats>> {
         let Some(cl) = &self.cluster else {
             return Ok(Vec::new());
         };
@@ -752,7 +941,19 @@ impl Executor {
                     bytes,
                     entries,
                     pinned,
-                } => Ok((bytes, entries, pinned)),
+                    pinned_bytes,
+                    hits,
+                    misses,
+                    evictions,
+                } => Ok(RankCacheStats {
+                    bytes,
+                    entries,
+                    pinned,
+                    pinned_bytes,
+                    hits,
+                    misses,
+                    evictions,
+                }),
                 other => Err(Error::transport(format!("expected stats, got {other:?}"))),
             })
             .collect()
@@ -765,12 +966,26 @@ impl Executor {
         match handle {
             None => OpCharge::Value(words),
             Some(h) => {
-                if self.residency.lock().observe(h.key(), lkey) {
+                if self.observe_logical(h.key(), lkey) {
                     OpCharge::Miss(words)
                 } else {
                     OpCharge::Hit
                 }
             }
+        }
+    }
+
+    /// First-sighting test for a logical operand key. With a per-job
+    /// [`cost::JobScope`] on this thread, the *job's* charge book decides
+    /// (so a multi-tenant job's miss/hit sequence reads as if it ran
+    /// alone), while the executor-wide book is still updated for
+    /// release-time cleanup; without a scope, the executor-wide book
+    /// decides as before.
+    fn observe_logical(&self, content: u64, lkey: u64) -> bool {
+        let shared = self.residency.lock().observe(content, lkey);
+        match cost::scope_observe(content, lkey) {
+            Some(first) => first,
+            None => shared,
         }
     }
 
@@ -806,44 +1021,45 @@ impl Executor {
         };
         let t_compute = flops as f64 / (rate * p);
 
-        let mut tr = self.tracker.lock();
-        if self.ranks > 1 {
-            // one-time resident-operand uploads: one superstep each,
-            // moving the operand's full stored volume
-            for op in [a, b] {
-                if let OpCharge::Miss(w) = op {
-                    tr.charge_superstep(8 * w as u64);
+        cost::charge(&self.tracker, |tr| {
+            if self.ranks > 1 {
+                // one-time resident-operand uploads: one superstep each,
+                // moving the operand's full stored volume
+                for op in [a, b] {
+                    if let OpCharge::Miss(w) = op {
+                        tr.charge_superstep(8 * w as u64);
+                    }
                 }
             }
-        }
-        tr.flops += flops;
-        if sparse {
-            tr.sim.sparse += t_compute;
-        } else {
-            tr.sim.gemm += t_compute;
-        }
+            tr.flops += flops;
+            if sparse {
+                tr.sim.sparse += t_compute;
+            } else {
+                tr.sim.gemm += t_compute;
+            }
 
-        // TTGT packing: locally-handled operands + result through memory
-        // twice (resident reuse skips the pack).
-        let moved_bytes = 8.0 * 2.0 * (a.local_words() + b.local_words() + words_c) as f64;
-        tr.sim.transpose += moved_bytes / (self.machine.rank_mem_bw() * p);
-        tr.sim.other += MAP_OVERHEAD_S;
+            // TTGT packing: locally-handled operands + result through memory
+            // twice (resident reuse skips the pack).
+            let moved_bytes = 8.0 * 2.0 * (a.local_words() + b.local_words() + words_c) as f64;
+            tr.sim.transpose += moved_bytes / (self.machine.rank_mem_bw() * p);
+            tr.sim.other += MAP_OVERHEAD_S;
 
-        if self.ranks > 1 {
-            // Tile imbalance on the process grid.
-            let (pr, pc) = process_grid(self.ranks);
-            let lambda = (m.div_ceil(pr) * pr) as f64 / m.max(1) as f64
-                * ((n.div_ceil(pc) * pc) as f64 / n.max(1) as f64)
-                - 1.0;
-            tr.sim.imbalance += t_compute * lambda.max(0.0);
+            if self.ranks > 1 {
+                // Tile imbalance on the process grid.
+                let (pr, pc) = process_grid(self.ranks);
+                let lambda = (m.div_ceil(pr) * pr) as f64 / m.max(1) as f64
+                    * ((n.div_ceil(pc) * pc) as f64 / n.max(1) as f64)
+                    - 1.0;
+                tr.sim.imbalance += t_compute * lambda.max(0.0);
 
-            // SUMMA: value operand panels travel √p-reduced, resident
-            // operands move nothing, the result is reduced once — all in
-            // the one fused scatter+compute superstep.
-            let words =
-                ((a.beta_words() + b.beta_words()) as f64 / p.sqrt() + words_c as f64 / p) as u64;
-            tr.charge_superstep(8 * words);
-        }
+                // SUMMA: value operand panels travel √p-reduced, resident
+                // operands move nothing, the result is reduced once — all in
+                // the one fused scatter+compute superstep.
+                let words = ((a.beta_words() + b.beta_words()) as f64 / p.sqrt()
+                    + words_c as f64 / p) as u64;
+                tr.charge_superstep(8 * words);
+            }
+        });
     }
 
     /// Distributed dense × dense contraction (einsum grammar).
@@ -886,11 +1102,22 @@ impl Executor {
     ) -> Result<DenseTensor<T>> {
         let plan = ContractPlan::parse(spec)?;
         let (at, bt) = (a.tensor()?, b.tensor()?);
+        // Value-operand auto-residency: with the retention cache enabled
+        // the physical dispatch sees content-keyed handles (payloads ship
+        // once fleet-wide, then dedup), while the logical α–β charges
+        // below still see the original value operands — simulated cost is
+        // unchanged, only the bytes actually shipped shrink.
+        let auto_a = self.auto_handle(&a, at);
+        let auto_b = self.auto_handle(&b, bt);
         let c = if let Some(cl) = &self.cluster {
-            self.dense_over_cluster(&mut cl.lock(), &plan, &a, &b)?
+            let a_phys = auto_a.as_ref().map(DenseOpT::from).unwrap_or(a);
+            let b_phys = auto_b.as_ref().map(DenseOpT::from).unwrap_or(b);
+            self.dense_over_cluster(&mut cl.lock(), &plan, &a_phys, &b_phys)?
         } else {
             kernels::dense_contract(&plan, at, bt, self.pool())?
         };
+        self.finish_auto(auto_a);
+        self.finish_auto(auto_b);
         let (m, k, n) = kernels::fused_dims(&plan, at.dims(), bt.dims());
         let flops = plan.flop_count(at.dims(), bt.dims());
         let (perm_a, perm_b) = operand_perms(&plan);
@@ -2624,8 +2851,10 @@ impl Executor {
     /// first use, then the standard factorization cost.
     fn charge_factorization_h(&self, h: &OpHandle, flop_coeff: f64) -> Result<()> {
         let lkey = derive(&[h.key(), TAG_WHOLE]);
-        if self.residency.lock().observe(h.key(), lkey) && self.ranks > 1 {
-            self.tracker.lock().charge_superstep(8 * h.words() as u64);
+        if self.observe_logical(h.key(), lkey) && self.ranks > 1 {
+            cost::charge(&self.tracker, |tr| {
+                tr.charge_superstep(8 * h.words() as u64);
+            });
         }
         self.charge_factorization(h.dense()?.dims(), flop_coeff);
         Ok(())
@@ -2672,14 +2901,15 @@ impl Executor {
         let flops = (flop_coeff * (m.max(n) as f64) * (k as f64) * (k as f64)) as u64;
         let p = self.ranks as f64;
         let rate = self.machine.dense_rate((k as f64 / p.sqrt()).max(1.0));
-        let mut tr = self.tracker.lock();
-        tr.flops += flops;
-        tr.sim.svd += flops as f64 / (0.5 * rate * p);
-        tr.sim.other += MAP_OVERHEAD_S;
-        if self.ranks > 1 {
-            let levels = (usize::BITS - (self.ranks - 1).leading_zeros()) as u64;
-            tr.charge_supersteps(levels, levels * 8 * (k * k) as u64);
-        }
+        cost::charge(&self.tracker, |tr| {
+            tr.flops += flops;
+            tr.sim.svd += flops as f64 / (0.5 * rate * p);
+            tr.sim.other += MAP_OVERHEAD_S;
+            if self.ranks > 1 {
+                let levels = (usize::BITS - (self.ranks - 1).leading_zeros()) as u64;
+                tr.charge_supersteps(levels, levels * 8 * (k * k) as u64);
+            }
+        });
     }
 }
 

@@ -35,15 +35,18 @@ mod handle;
 mod kernels;
 mod machine;
 mod pool;
+#[cfg(unix)]
+pub mod service;
 mod summa;
 pub mod transport;
 mod tsqr;
 
 pub use cluster::Cluster;
 pub use comm::Comm;
-pub use cost::{CostTracker, SimTime};
+pub use cost::{CostTracker, JobScope, ResidentMeter, SimTime};
 pub use exec::{
-    Backend, ChainSrc, ChainStep, DenseOp, DenseOpC, DenseOpT, ExecMode, Executor, SparseOp,
+    Backend, ChainSrc, ChainStep, DenseOp, DenseOpC, DenseOpT, ExecMode, Executor, RankCacheStats,
+    SparseOp,
 };
 pub use handle::{OpHandle, ResultHandle, ResultKind};
 pub use machine::Machine;

@@ -639,7 +639,9 @@ impl Transport for ProcTransport {
         if self.inj.on_send(to) {
             self.kill_worker(to);
         }
-        let deadline = self.deadline;
+        // Per-job deadline (service job scope on this thread) overrides
+        // the transport-wide default.
+        let deadline = crate::cost::scope_deadline().unwrap_or(self.deadline);
         let slot = self.route[to];
         let link = self.links[slot].as_mut().ok_or_else(|| {
             Error::fault(FaultKind::WorkerDied, to, "rank's worker slot is retired")
@@ -648,7 +650,7 @@ impl Transport for ProcTransport {
     }
 
     fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>> {
-        let deadline = self.deadline;
+        let deadline = crate::cost::scope_deadline().unwrap_or(self.deadline);
         let start = Instant::now();
         loop {
             let slot = *self

@@ -296,11 +296,15 @@ pub(crate) enum Reply {
         trunc_err: f64,
         n_discarded: u64,
     },
-    /// Resident-store footprint.
+    /// Resident-store footprint and lifetime cache counters.
     Stats {
         bytes: u64,
         entries: u64,
         pinned: u64,
+        pinned_bytes: u64,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
     },
     /// The task failed on the worker; the driver surfaces the message.
     Fail(String),
@@ -447,6 +451,78 @@ impl OpSs {
 }
 
 impl Request {
+    /// Operand payload bytes this request carries inline: tensor values,
+    /// sparse coordinates, and SUMMA panels — the data-plane volume
+    /// [`CostTracker::bytes_operands`](crate::CostTracker) meters. Key
+    /// references, dims, specs, and other control framing count zero, so
+    /// the meter reads what the driver actually *shipped*, and a request
+    /// whose operands are all worker-resident ships nothing.
+    pub(crate) fn payload_bytes(&self) -> usize {
+        fn f(op: &OpF) -> usize {
+            match op {
+                OpF::Inline(v) => 8 * v.len(),
+                OpF::Key(_) => 0,
+            }
+        }
+        fn c(op: &OpC) -> usize {
+            match op {
+                OpC::Inline(v) => 16 * v.len(),
+                OpC::Key(_) => 0,
+            }
+        }
+        fn coords(op: &OpCoords) -> usize {
+            match op {
+                OpCoords::Inline { rows, cols, vals } => 8 * (rows.len() + cols.len() + vals.len()),
+                OpCoords::Key(_) => 0,
+            }
+        }
+        fn ss(op: &OpSs) -> usize {
+            match op {
+                OpSs::Inline {
+                    keys,
+                    lens,
+                    cols,
+                    vals,
+                } => 8 * (keys.len() + lens.len() + cols.len() + vals.len()),
+                OpSs::Key(_) => 0,
+            }
+        }
+        match self {
+            Request::Put { data, .. } | Request::Upload { data, .. } => 8 * data.len(),
+            Request::PutC64 { data, .. } | Request::UploadC64 { data, .. } => 16 * data.len(),
+            Request::UploadCoords {
+                rows, cols, vals, ..
+            } => 8 * (rows.len() + cols.len() + vals.len()),
+            Request::UploadSs {
+                keys,
+                lens,
+                cols,
+                vals,
+                ..
+            } => 8 * (keys.len() + lens.len() + cols.len() + vals.len()),
+            Request::DenseChunk { a, b, .. } | Request::DensePair { a, b, .. } => f(a) + f(b),
+            Request::DenseChunkC64 { a, b, .. } => c(a) + c(b),
+            Request::SdChunk { a, b, .. } => coords(a) + f(b),
+            Request::SsChunk { a, b, .. } => coords(a) + ss(b),
+            Request::QrThin { a, .. } => f(a),
+            Request::SvdTrunc { a, .. } => f(a),
+            Request::SummaPanel { a, b, .. } => 8 * (a.len() + b.len()),
+            Request::ChainDense { a, b, .. } => f(a) + f(b),
+            Request::ChainDenseC64 { a, b, .. } => c(a) + c(b),
+            Request::ChainSd { a, b, .. } => coords(a) + f(b),
+            Request::Ping
+            | Request::Get { .. }
+            | Request::GetC64 { .. }
+            | Request::Free { .. }
+            | Request::Release { .. }
+            | Request::CacheStats
+            | Request::SetCacheCap { .. }
+            | Request::SummaInit { .. }
+            | Request::Download { .. }
+            | Request::Shutdown => 0,
+        }
+    }
+
     /// Encode to the wire format.
     pub(crate) fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
@@ -921,11 +997,19 @@ impl Reply {
                 bytes,
                 entries,
                 pinned,
+                pinned_bytes,
+                hits,
+                misses,
+                evictions,
             } => {
                 e.put_u8(8);
                 e.put_u64(*bytes);
                 e.put_u64(*entries);
                 e.put_u64(*pinned);
+                e.put_u64(*pinned_bytes);
+                e.put_u64(*hits);
+                e.put_u64(*misses);
+                e.put_u64(*evictions);
             }
         }
         e.finish()
@@ -967,6 +1051,10 @@ impl Reply {
                 bytes: d.u64()?,
                 entries: d.u64()?,
                 pinned: d.u64()?,
+                pinned_bytes: d.u64()?,
+                hits: d.u64()?,
+                misses: d.u64()?,
+                evictions: d.u64()?,
             },
             op => return Err(Error::transport(format!("unknown reply opcode {op}"))),
         };
@@ -1042,6 +1130,12 @@ pub(crate) struct WorkerState {
     clock: u64,
     bytes: u64,
     cap: u64,
+    /// Keyed lookups served from the store (lifetime).
+    hits: u64,
+    /// Fresh insertions — key not already resident (lifetime).
+    misses: u64,
+    /// LRU evictions (lifetime).
+    evictions: u64,
 }
 
 impl Default for WorkerState {
@@ -1063,6 +1157,9 @@ impl WorkerState {
             clock: 0,
             bytes: 0,
             cap,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
         }
     }
 
@@ -1083,7 +1180,10 @@ impl WorkerState {
                 self.bytes -= e.val.bytes();
                 e.rc
             }
-            None => 0,
+            None => {
+                self.misses += 1;
+                0
+            }
         };
         self.bytes += val.bytes();
         let last_use = self.tick();
@@ -1113,6 +1213,7 @@ impl WorkerState {
                 Some(k) => {
                     let e = self.store.remove(&k).expect("victim present");
                     self.bytes -= e.val.bytes();
+                    self.evictions += 1;
                 }
                 None => break, // everything left is pinned or staged
             }
@@ -1126,6 +1227,7 @@ impl WorkerState {
             .get_mut(&key)
             .ok_or_else(|| Error::transport(format!("no buffer under key {key:#x}")))?;
         e.last_use = stamp;
+        self.hits += 1;
         Ok(e)
     }
 
@@ -1339,6 +1441,15 @@ impl WorkerState {
                 bytes: self.bytes,
                 entries: self.store.len() as u64,
                 pinned: self.store.values().filter(|e| e.rc > 0).count() as u64,
+                pinned_bytes: self
+                    .store
+                    .values()
+                    .filter(|e| e.rc > 0)
+                    .map(|e| e.val.bytes())
+                    .sum(),
+                hits: self.hits,
+                misses: self.misses,
+                evictions: self.evictions,
             }),
             Request::SetCacheCap { bytes } => {
                 self.cap = bytes;
@@ -1852,6 +1963,10 @@ mod tests {
                 bytes: 4096,
                 entries: 3,
                 pinned: 1,
+                pinned_bytes: 2048,
+                hits: 17,
+                misses: 5,
+                evictions: 2,
             },
             Reply::Fail("boom".into()),
         ];
@@ -1951,7 +2066,15 @@ mod tests {
             let reps = vec![
                 Reply::F64s(data),
                 Reply::C64s(cdata),
-                Reply::Stats { bytes: key, entries: 1, pinned: 0 },
+                Reply::Stats {
+                    bytes: key,
+                    entries: 1,
+                    pinned: 0,
+                    pinned_bytes: 0,
+                    hits: key,
+                    misses: 1,
+                    evictions: 0,
+                },
             ];
             for rep in reps {
                 let bytes = rep.encode();

@@ -10,6 +10,9 @@
 //!   truncation bookkeeping and per-site timing/flop records,
 //! * [`ed`] — exact diagonalization references (generic term-based and
 //!   independent bitstring Hubbard),
+//! * [`service`] — the [`SolveRunner`](tt_dist::service::SolveRunner)
+//!   implementation plugging this driver into the multi-tenant solve
+//!   daemon (`tt-dist-serve`),
 //! * [`measure`] — observables on optimized states.
 //!
 //! Every contraction, SVD and QR routes through a
@@ -22,6 +25,8 @@ pub mod ed;
 pub mod env;
 pub mod heff;
 pub mod measure;
+#[cfg(unix)]
+pub mod service;
 pub mod sweep;
 
 pub use davidson::{davidson, DavidsonOptions, DavidsonResult};
@@ -29,6 +34,8 @@ pub use ed::{ground_state_energy, hubbard_ed, sector_basis};
 pub use env::{extend_left, extend_right, left_edge, right_edge, Environments};
 pub use heff::{EffectiveHam, ResidentHam};
 pub use measure::{correlation, site_expectation, structure_factor, total_expectation};
+#[cfg(unix)]
+pub use service::{run_reference, DmrgSolveRunner};
 pub use sweep::{Dmrg, DmrgRun, Schedule, SiteRecord, SweepParams, SweepRecord};
 
 /// Crate-wide result type.
